@@ -1,0 +1,273 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (DESIGN.md §4 maps each benchmark function to its
+// experiment id). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each Figure/Table benchmark executes the full experiment per iteration
+// and reports the headline quantities as custom metrics, so `-bench` output
+// doubles as the reproduction record. Absolute wall times are simulator
+// throughput, not the paper's numbers; the custom metrics (slowdowns,
+// bytes/record) are the reproduced results.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/figures"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/vpc"
+	"repro/internal/workloads"
+)
+
+// benchScale is the per-run dynamic instruction count for the figure
+// benchmarks: large enough to sit in steady state, small enough that the
+// full harness finishes in minutes.
+const benchScale = 400_000
+
+// benchOpts returns fresh experiment options per iteration.
+func benchOpts() figures.Options { return figures.Options{Scale: benchScale} }
+
+// reportPanel converts a Figure 2 panel into benchmark metrics.
+func reportPanel(b *testing.B, lifeguard string) {
+	b.Helper()
+	var summary figures.PanelSummary
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Figure2Panel(lifeguard, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		summary = figures.Summarise(lifeguard, rows)
+	}
+	b.ReportMetric(summary.MeanLBA, "lba-slowdown-X")
+	b.ReportMetric(summary.MeanValgrind, "valgrind-slowdown-X")
+	b.ReportMetric(summary.MinSpeedup, "min-speedup-x")
+	b.ReportMetric(summary.MaxSpeedup, "max-speedup-x")
+}
+
+// BenchmarkFigure2aAddrCheck regenerates Figure 2(a): AddrCheck on the
+// seven single-threaded benchmarks. Paper: mean LBA slowdown 3.9X.
+func BenchmarkFigure2aAddrCheck(b *testing.B) { reportPanel(b, "AddrCheck") }
+
+// BenchmarkFigure2bTaintCheck regenerates Figure 2(b): TaintCheck. Paper:
+// mean LBA slowdown 4.8X.
+func BenchmarkFigure2bTaintCheck(b *testing.B) { reportPanel(b, "TaintCheck") }
+
+// BenchmarkFigure2cLockSet regenerates Figure 2(c): LockSet on water and
+// zchaff. Paper: mean LBA slowdown 9.7X.
+func BenchmarkFigure2cLockSet(b *testing.B) { reportPanel(b, "LockSet") }
+
+// BenchmarkTableCharacteristics regenerates the benchmark-characteristics
+// statistics (§3: 51% memory references on average).
+func BenchmarkTableCharacteristics(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Characterisation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fracs []float64
+		for _, r := range rows {
+			fracs = append(fracs, r.MemRefFraction)
+		}
+		avg = metrics.Mean(fracs)
+	}
+	b.ReportMetric(100*avg, "mem-ref-%")
+}
+
+// BenchmarkTableCompression regenerates the VPC compression table (§2:
+// < 1 byte/instruction).
+func BenchmarkTableCompression(b *testing.B) {
+	var worst, mean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Compression(figures.Options{Scale: 700_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst, mean = 0, 0
+		for _, r := range rows {
+			if r.BytesPerRecord > worst {
+				worst = r.BytesPerRecord
+			}
+			mean += r.BytesPerRecord
+		}
+		mean /= float64(len(rows))
+	}
+	b.ReportMetric(mean, "mean-B/record")
+	b.ReportMetric(worst, "worst-B/record")
+}
+
+// BenchmarkTableAverages regenerates the §3 headline text: per-lifeguard
+// mean slowdowns and the Valgrind envelope.
+func BenchmarkTableAverages(b *testing.B) {
+	var addr, taint, lock float64
+	for i := 0; i < b.N; i++ {
+		for _, lifeguard := range []string{"AddrCheck", "TaintCheck", "LockSet"} {
+			rows, err := figures.Figure2Panel(lifeguard, benchOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := figures.Summarise(lifeguard, rows)
+			switch lifeguard {
+			case "AddrCheck":
+				addr = s.MeanLBA
+			case "TaintCheck":
+				taint = s.MeanLBA
+			case "LockSet":
+				lock = s.MeanLBA
+			}
+		}
+	}
+	b.ReportMetric(addr, "addrcheck-X")
+	b.ReportMetric(taint, "taintcheck-X")
+	b.ReportMetric(lock, "lockset-X")
+}
+
+// BenchmarkAblationBufferSize sweeps the log-buffer capacity (experiment
+// A-buffer: decoupling vs backpressure).
+func BenchmarkAblationBufferSize(b *testing.B) {
+	sizes := []uint64{1 << 10, 64 << 10, 1 << 20}
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.BufferSweep("gzip", sizes, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, large = rows[0].Slowdown, rows[len(rows)-1].Slowdown
+	}
+	b.ReportMetric(small, "slowdown-1KiB-X")
+	b.ReportMetric(large, "slowdown-1MiB-X")
+}
+
+// BenchmarkAblationCompression toggles the VPC engine (A-compress).
+func BenchmarkAblationCompression(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.CompressionAblation("gzip", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(rows[1].LogBytes) / float64(rows[0].LogBytes)
+	}
+	b.ReportMetric(ratio, "log-volume-saving-x")
+}
+
+// BenchmarkAblationFiltering measures heap-only address-range filtering
+// (A-filter, §3 future work).
+func BenchmarkAblationFiltering(b *testing.B) {
+	var before, after float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.FilterAblation("mcf", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		before, after = rows[0].Slowdown, rows[1].Slowdown
+	}
+	b.ReportMetric(before, "unfiltered-X")
+	b.ReportMetric(after, "filtered-X")
+}
+
+// BenchmarkAblationParallelLifeguard measures the k-core lifeguard
+// (A-parallel, §3 future work).
+func BenchmarkAblationParallelLifeguard(b *testing.B) {
+	var one, four float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.ParallelSweep("tidy", []int{1, 4}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		one, four = rows[0].Slowdown, rows[1].Slowdown
+	}
+	b.ReportMetric(one, "1-core-X")
+	b.ReportMetric(four, "4-cores-X")
+}
+
+// BenchmarkAblationSyscallStall measures the containment rule's cost
+// (A-stall, §2).
+func BenchmarkAblationSyscallStall(b *testing.B) {
+	var maxShare float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.SyscallStallTable(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxShare = 0
+		for _, r := range rows {
+			if r.DrainShare > maxShare {
+				maxShare = r.DrainShare
+			}
+		}
+	}
+	b.ReportMetric(100*maxShare, "worst-drain-%")
+}
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkVPCCompress measures compressor throughput on a hot-loop trace.
+func BenchmarkVPCCompress(b *testing.B) {
+	rec := event.Record{
+		Type: event.TLoad, PC: isa.PCForIndex(10),
+		In1: 1, In2: event.OpNone, Out: 2, Size: 8, Addr: 0x2000_0000,
+	}
+	c := vpc.NewCompressor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Addr += 8
+		c.Append(rec)
+	}
+	b.ReportMetric(c.BytesPerRecord(), "B/record")
+}
+
+// BenchmarkCacheAccess measures the cache model's lookup rate.
+func BenchmarkCacheAccess(b *testing.B) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	port := h.Port(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port.Data(uint64(i*64)%(1<<20), 8, i&1 == 0)
+	}
+}
+
+// BenchmarkLBAPipeline measures end-to-end simulation throughput
+// (instructions simulated per wall second) on the gzip workload.
+func BenchmarkLBAPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := workloads.BuildGzip(workloads.Config{Scale: benchScale})
+		res, err := core.RunLBA(p, "AddrCheck", core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Instructions))
+	}
+}
+
+// BenchmarkUnmonitoredPipeline is the baseline simulator throughput.
+func BenchmarkUnmonitoredPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := workloads.BuildGzip(workloads.Config{Scale: benchScale})
+		res, err := core.RunUnmonitored(p, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Instructions))
+	}
+}
+
+// BenchmarkAblationDispatchPipelining measures the nlba early-index
+// optimisation (§2).
+func BenchmarkAblationDispatchPipelining(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.PipelineAblation("bc", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, off = rows[0].Slowdown, rows[1].Slowdown
+	}
+	b.ReportMetric(on, "pipelined-X")
+	b.ReportMetric(off, "serialised-X")
+}

@@ -1,0 +1,287 @@
+// Command lbabench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index) and prints them in
+// paper-style text form.
+//
+// Usage:
+//
+//	lbabench                      # everything
+//	lbabench -fig 2a              # Figure 2(a): AddrCheck
+//	lbabench -fig 2b              # Figure 2(b): TaintCheck
+//	lbabench -fig 2c              # Figure 2(c): LockSet
+//	lbabench -table chars         # benchmark characteristics (§3)
+//	lbabench -table compress      # VPC compression (§2)
+//	lbabench -table avg           # headline averages (§3)
+//	lbabench -ablation buffer     # log-buffer size sweep
+//	lbabench -ablation compress   # VPC on/off
+//	lbabench -ablation filter     # address-range filtering (§3)
+//	lbabench -ablation parallel   # parallel lifeguards (§3)
+//	lbabench -ablation stall      # syscall-containment cost (§2)
+//	lbabench -ablation pipeline   # nlba dispatch pipelining (§2)
+//	lbabench -n 2000000           # instruction scale per run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "2a | 2b | 2c")
+		table    = flag.String("table", "", "chars | compress | avg")
+		ablation = flag.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
+		scale    = flag.Int("n", 1_000_000, "approximate dynamic instructions per run")
+		threads  = flag.Int("threads", 2, "threads for multithreaded benchmarks")
+	)
+	flag.Parse()
+
+	opts := figures.Options{Scale: *scale, Threads: *threads}
+
+	runAll := *fig == "" && *table == "" && *ablation == ""
+	var err error
+	switch {
+	case runAll:
+		err = everything(opts)
+	case *fig != "":
+		err = figure2(*fig, opts)
+	case *table != "":
+		err = tables(*table, opts)
+	case *ablation != "":
+		err = ablations(*ablation, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbabench:", err)
+		os.Exit(1)
+	}
+}
+
+func everything(opts figures.Options) error {
+	for _, f := range []string{"2a", "2b", "2c"} {
+		if err := figure2(f, opts); err != nil {
+			return err
+		}
+	}
+	for _, t := range []string{"chars", "compress", "avg"} {
+		if err := tables(t, opts); err != nil {
+			return err
+		}
+	}
+	for _, a := range []string{"buffer", "compress", "filter", "parallel", "stall", "pipeline"} {
+		if err := ablations(a, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var panelOf = map[string]string{
+	"2a": "AddrCheck",
+	"2b": "TaintCheck",
+	"2c": "LockSet",
+}
+
+func figure2(fig string, opts figures.Options) error {
+	lifeguard, ok := panelOf[fig]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c)", fig)
+	}
+	rows, err := figures.Figure2Panel(lifeguard, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 2(%s): %s — normalized execution time (1.0 = unmonitored)\n",
+		fig[1:], lifeguard)
+	tb := metrics.NewTable("benchmark", "valgrind(v)", "lba(l)", "lba-speedup")
+	for _, r := range rows {
+		tb.AddRow(r.Benchmark,
+			fmt.Sprintf("%.1fX", r.Valgrind),
+			fmt.Sprintf("%.1fX", r.LBA),
+			fmt.Sprintf("%.1fx", r.Speedup))
+	}
+	fmt.Print(tb.String())
+	fmt.Println()
+	fmt.Print(figures.RenderFigure2(lifeguard, rows))
+	s := figures.Summarise(lifeguard, rows)
+	fmt.Printf("mean LBA slowdown: %.1fX   (paper: %s)\n", s.MeanLBA, paperMean(lifeguard))
+	fmt.Printf("valgrind range: %.1f-%.1fX (paper band: 10-85X); LBA %.1f-%.1fx faster (paper: 4-19x)\n\n",
+		s.MinValgrind, s.MaxValgrind, s.MinSpeedup, s.MaxSpeedup)
+	return nil
+}
+
+func paperMean(lifeguard string) string {
+	switch lifeguard {
+	case "AddrCheck":
+		return "3.9X"
+	case "TaintCheck":
+		return "4.8X"
+	case "LockSet":
+		return "9.7X"
+	}
+	return "?"
+}
+
+func tables(name string, opts figures.Options) error {
+	switch name {
+	case "chars":
+		rows, err := figures.Characterisation(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Benchmark characteristics (paper §3: avg 209M instructions, 51% memory refs)")
+		tb := metrics.NewTable("benchmark", "instructions", "mem-refs", "CPI", "threads")
+		var sum float64
+		for _, r := range rows {
+			tb.AddRow(r.Benchmark,
+				fmt.Sprintf("%d", r.Instructions),
+				fmt.Sprintf("%.1f%%", 100*r.MemRefFraction),
+				fmt.Sprintf("%.2f", r.CPI),
+				fmt.Sprintf("%d", r.Threads))
+			sum += r.MemRefFraction
+		}
+		fmt.Print(tb.String())
+		fmt.Printf("suite average mem refs: %.1f%% (paper: 51%%; see EXPERIMENTS.md on the RISC/x86 gap)\n\n",
+			100*sum/float64(len(rows)))
+
+	case "compress":
+		rows, err := figures.Compression(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("VPC log compression (paper §2: < 1 byte/instruction)")
+		tb := metrics.NewTable("benchmark", "records", "B/record", "ratio")
+		for _, r := range rows {
+			tb.AddRow(r.Benchmark,
+				fmt.Sprintf("%d", r.Records),
+				fmt.Sprintf("%.3f", r.BytesPerRecord),
+				fmt.Sprintf("%.1fx", r.Ratio))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	case "avg":
+		fmt.Println("Headline averages (paper §3)")
+		tb := metrics.NewTable("lifeguard", "mean-lba", "paper", "valgrind-range", "speedup-range")
+		for _, lifeguard := range []string{"AddrCheck", "TaintCheck", "LockSet"} {
+			rows, err := figures.Figure2Panel(lifeguard, opts)
+			if err != nil {
+				return err
+			}
+			s := figures.Summarise(lifeguard, rows)
+			tb.AddRow(lifeguard,
+				fmt.Sprintf("%.1fX", s.MeanLBA),
+				paperMean(lifeguard),
+				fmt.Sprintf("%.1f-%.1fX", s.MinValgrind, s.MaxValgrind),
+				fmt.Sprintf("%.1f-%.1fx", s.MinSpeedup, s.MaxSpeedup))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	default:
+		return fmt.Errorf("unknown table %q (have chars, compress, avg)", name)
+	}
+	return nil
+}
+
+func ablations(name string, opts figures.Options) error {
+	switch name {
+	case "buffer":
+		sizes := []uint64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+		rows, err := figures.BufferSweep("gzip", sizes, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: log-buffer capacity vs application stalls (gzip, AddrCheck)")
+		tb := metrics.NewTable("capacity", "slowdown", "stall-cycles")
+		for _, r := range rows {
+			tb.AddRow(fmt.Sprintf("%dB", r.CapacityBytes),
+				fmt.Sprintf("%.2fX", r.Slowdown),
+				fmt.Sprintf("%d", r.StallCycles))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	case "compress":
+		rows, err := figures.CompressionAblation("gzip", opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: VPC compression on/off (gzip, AddrCheck)")
+		tb := metrics.NewTable("compression", "log-bytes", "slowdown", "stall-cycles")
+		for _, r := range rows {
+			tb.AddRow(fmt.Sprintf("%v", r.Compression),
+				fmt.Sprintf("%d", r.LogBytes),
+				fmt.Sprintf("%.2fX", r.Slowdown),
+				fmt.Sprintf("%d", r.StallCycles))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	case "filter":
+		rows, err := figures.FilterAblation("mcf", opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: heap-only address-range filtering (mcf, AddrCheck; paper §3)")
+		tb := metrics.NewTable("filtered", "slowdown", "records-dropped", "lifeguard-cycles")
+		for _, r := range rows {
+			tb.AddRow(fmt.Sprintf("%v", r.Filtered),
+				fmt.Sprintf("%.2fX", r.Slowdown),
+				fmt.Sprintf("%d", r.Dropped),
+				fmt.Sprintf("%d", r.LgCycles))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	case "parallel":
+		rows, err := figures.ParallelSweep("tidy", []int{1, 2, 4, 8}, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: parallel lifeguard cores (tidy, AddrCheck; paper §3)")
+		tb := metrics.NewTable("lifeguard-cores", "slowdown")
+		for _, r := range rows {
+			tb.AddRow(fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%.2fX", r.Slowdown))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	case "pipeline":
+		rows, err := figures.PipelineAblation("bc", opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: pipelined nlba dispatch (bc, AddrCheck; paper §2 early-index)")
+		tb := metrics.NewTable("pipelined", "slowdown", "lifeguard-cycles")
+		for _, r := range rows {
+			tb.AddRow(fmt.Sprintf("%v", r.Pipelined),
+				fmt.Sprintf("%.2fX", r.Slowdown),
+				fmt.Sprintf("%d", r.LgCycles))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	case "stall":
+		rows, err := figures.SyscallStallTable(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: syscall-containment stalls (paper §2 error containment)")
+		tb := metrics.NewTable("benchmark", "drains", "drain-cycles", "share-of-app")
+		for _, r := range rows {
+			tb.AddRow(r.Benchmark,
+				fmt.Sprintf("%d", r.DrainEvents),
+				fmt.Sprintf("%d", r.DrainCycles),
+				fmt.Sprintf("%.2f%%", 100*r.DrainShare))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+
+	default:
+		return fmt.Errorf("unknown ablation %q (have buffer, compress, filter, parallel, stall)", name)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command lbasim runs one benchmark of the suite under one monitoring mode
+// and prints the measured result: the single-experiment entry point of the
+// LBA reproduction.
+//
+// Usage:
+//
+//	lbasim -bench gzip -mode lba -lifeguard AddrCheck -scale 1000000
+//	lbasim -bench w3m -mode lba -lifeguard TaintCheck -bug tainted-jump
+//	lbasim -bench water -mode dbi -lifeguard LockSet -threads 4
+//
+// Modes: unmonitored, lba, dbi. Use -list for the benchmark table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "gzip", "benchmark name (see -list)")
+		mode      = flag.String("mode", "lba", "unmonitored | lba | dbi")
+		lifeguard = flag.String("lifeguard", "AddrCheck", "AddrCheck | TaintCheck | LockSet | StackCheck | CacheProf")
+		scale     = flag.Int("scale", 1_000_000, "approximate dynamic instructions")
+		seed      = flag.Uint64("seed", 0xB5EED, "workload seed")
+		threads   = flag.Int("threads", 2, "worker threads (multithreaded benchmarks)")
+		bugName   = flag.String("bug", "none", "injected bug: none | use-after-free | double-free | leak | tainted-jump | race")
+		baseline  = flag.Bool("baseline", true, "also run unmonitored and report the slowdown")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		tb := metrics.NewTable("benchmark", "threads", "description")
+		for _, s := range workloads.All() {
+			kind := "1"
+			if s.MultiThreaded {
+				kind = "N"
+			}
+			tb.AddRow(s.Name, kind, s.Description)
+		}
+		fmt.Print(tb.String())
+		return
+	}
+
+	if err := run(*bench, *mode, *lifeguard, *scale, *seed, *threads, *bugName, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "lbasim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseBug(name string) (workloads.BugKind, error) {
+	for b := workloads.BugNone; b <= workloads.BugRace; b++ {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown bug %q", name)
+}
+
+func parseMode(name string) (core.Mode, error) {
+	for _, m := range []core.Mode{core.ModeUnmonitored, core.ModeLBA, core.ModeDBI} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+func run(bench, modeName, lifeguard string, scale int, seed uint64, threads int, bugName string, baseline bool) error {
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	bug, err := parseBug(bugName)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(modeName)
+	if err != nil {
+		return err
+	}
+
+	wcfg := workloads.Config{Scale: scale, Seed: seed, Threads: threads, Bug: bug}
+	ccfg := core.DefaultConfig()
+
+	res, err := core.Run(mode, spec.Build(wcfg), lifeguard, ccfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("benchmark      %s (%s)\n", spec.Name, spec.Description)
+	fmt.Printf("mode           %s", res.Mode)
+	if res.Mode != core.ModeUnmonitored {
+		fmt.Printf(" + %s", res.Lifeguard)
+	}
+	fmt.Println()
+	fmt.Printf("instructions   %d\n", res.Instructions)
+	fmt.Printf("app cycles     %d (CPI %.2f)\n", res.AppCycles, res.CPI())
+	fmt.Printf("wall cycles    %d\n", res.WallCycles)
+	fmt.Printf("mem refs       %.1f%%\n", 100*res.MemRefFraction)
+	if res.Mode == core.ModeLBA {
+		fmt.Printf("log records    %d (%.3f B/record compressed)\n", res.Records, res.BytesPerRecord)
+		fmt.Printf("buffer stalls  %d cycles\n", res.BufferStallCycles)
+		fmt.Printf("drain stalls   %d cycles over %d syscalls\n", res.DrainStallCycles, res.DrainEvents)
+	}
+
+	if baseline && mode != core.ModeUnmonitored {
+		base, err := core.RunUnmonitored(spec.Build(wcfg), ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slowdown       %.2fX vs unmonitored\n", res.SlowdownVs(base))
+	}
+
+	if len(res.Violations) == 0 {
+		fmt.Println("violations     none")
+	} else {
+		fmt.Printf("violations     %d\n", len(res.Violations))
+		for i, v := range res.Violations {
+			if i == 10 {
+				fmt.Printf("  ... %d more\n", len(res.Violations)-10)
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	return nil
+}

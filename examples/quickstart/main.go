@@ -1,0 +1,57 @@
+// Quickstart: build a tiny program, run it unmonitored and under LBA with
+// the AddrCheck lifeguard, and watch LBA catch a use-after-free the plain
+// run silently survives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+func main() {
+	// A minimal buggy program: allocate, use, free... and use again.
+	p := prog.NewBuilder("quickstart").
+		Li(isa.R0, 64).
+		Syscall(osmodel.SysMalloc). // R0 = malloc(64)
+		Mov(isa.R10, isa.R0).
+		Li(isa.R1, 42).
+		Store(isa.R10, 0, isa.R1, 8). // *p = 42
+		Load(isa.R2, isa.R10, 0, 8).  // ok: read it back
+		Mov(isa.R0, isa.R10).
+		Syscall(osmodel.SysFree).    // free(p)
+		Load(isa.R3, isa.R10, 0, 8). // BUG: read after free
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		MustBuild()
+
+	cfg := core.DefaultConfig()
+
+	// 1. Unmonitored: the bug is invisible.
+	base, err := core.RunUnmonitored(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unmonitored: %d instructions, %d cycles, exit clean — bug unnoticed\n",
+		base.Instructions, base.WallCycles)
+
+	// 2. The same binary under LBA + AddrCheck on the second core.
+	res, err := core.RunLBA(p, "AddrCheck", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lba+addrcheck: %d log records (%.2f B/record), slowdown %.2fX\n",
+		res.Records, res.BytesPerRecord, res.SlowdownVs(base))
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+	if len(res.Violations) == 0 {
+		log.Fatal("expected AddrCheck to flag the use-after-free")
+	}
+}

@@ -1,0 +1,77 @@
+// Rewind / "how did I get here": the paper's §1 bonus. With the capture
+// hardware in rewind mode, store records carry the value they overwrote, so
+// the retained log window can (a) answer provenance questions about any
+// address and (b) selectively rewind memory to an earlier point — the
+// foundation for on-the-fly bug repair.
+//
+//	go run ./examples/rewind
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+	"repro/internal/replay"
+)
+
+func main() {
+	// A program that corrupts its own configuration word: a "config"
+	// value is written once correctly, then clobbered by a buggy loop
+	// that runs one index too far.
+	config := int64(isa.DataBase + 0x200)
+	arr := int64(isa.DataBase + 0x1C0) // 8 words; word 8 overlaps config!
+
+	p := prog.NewBuilder("rewindable").
+		Li(isa.R1, config).
+		Li(isa.R2, 0xC0FFEE).
+		Store(isa.R1, 0, isa.R2, 8). // config = 0xC0FFEE
+		// Buggy fill: writes arr[0..8] — one past the end.
+		Li(isa.R3, arr).
+		Li(isa.R4, 0).
+		Label("fill").
+		StoreIdx(isa.R3, isa.R4, 3, 0, isa.R4, 8).
+		AddI(isa.R4, isa.R4, 1).
+		BrI(isa.CondLE, isa.R4, 8, "fill"). // off-by-one: <= instead of <
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		MustBuild()
+
+	cfg := core.DefaultConfig()
+	cfg.RewindMode = true // capture overwritten values (the rewind footnote)
+
+	res, err := core.RunLBA(p, "AddrCheck", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	got := res.Memory.Read(uint64(config), 8)
+	fmt.Printf("config after run: %#x (expected 0xC0FFEE — corrupted!)\n", got)
+
+	// 1. How did I get here? Ask the log who touched the config word.
+	fmt.Println("\nhistory of the config word (newest first):")
+	for _, e := range res.Replay.HistoryOf(uint64(config), 8, 5) {
+		fmt.Printf("  seq=%-6d %s\n", e.Seq, e.Rec)
+	}
+	writer, ok := res.Replay.LastWriter(uint64(config))
+	if !ok {
+		log.Fatal("no writer found")
+	}
+	fmt.Printf("\nculprit: the store at pc=%#x (log seq %d) — the fill loop, not the init\n",
+		writer.Rec.PC, writer.Seq)
+
+	// 2. Selective rewind: undo memory back to just before the culprit.
+	undone, err := replay.NewRewinder(res.Replay, res.Memory).RewindMemory(writer.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrewound %d store(s); config is now %#x\n",
+		undone, res.Memory.Read(uint64(config), 8))
+	if res.Memory.Read(uint64(config), 8) != 0xC0FFEE {
+		log.Fatal("rewind failed to restore the config word")
+	}
+	fmt.Println("repair: state restored — a lifeguard could now patch the bounds and resume")
+}

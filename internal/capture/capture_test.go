@@ -1,0 +1,249 @@
+package capture
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// runCaptured executes p on a fresh core with a capture unit attached and
+// returns the captured records.
+func runCaptured(t *testing.T, p *prog.Program, rewind bool) ([]event.Record, *Unit) {
+	t.Helper()
+	var records []event.Record
+	u := New(func(r event.Record) { records = append(records, r) })
+	u.RewindMode = rewind
+
+	m := mem.NewMemory()
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	core := cpu.New(p, m, h.Port(0), nil)
+	core.LoadImage()
+	core.OnRetire = u.OnRetire
+
+	ctx := cpu.NewContext(0, p.EntryPC())
+	for i := 0; i < 10000 && !ctx.Halted; i++ {
+		if _, err := core.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ctx.Halted {
+		t.Fatal("program did not halt")
+	}
+	return records, u
+}
+
+func TestCaptureTypeMapping(t *testing.T) {
+	base := int64(isa.DataBase)
+	p := prog.NewBuilder("map").
+		Li(isa.R1, base).                    // TMovImm
+		Mov(isa.R2, isa.R1).                 // TMov
+		AddI(isa.R3, isa.R1, 8).             // TALU
+		Lea(isa.R4, isa.R1, 16).             // TALU (address generation)
+		Load(isa.R5, isa.R1, 0, 8).          // TLoad
+		Store(isa.R1, 8, isa.R5, 4).         // TStore
+		BrI(isa.CondEQ, isa.R5, 99, "skip"). // TBranch (not taken)
+		Label("skip").
+		Jmp("next"). // TJump
+		Label("next").
+		Call("fn"). // TCall
+		Halt().     // TThreadExit
+		Label("fn").
+		Ret(). // TRet
+		MustBuild()
+	records, u := runCaptured(t, p, false)
+
+	want := []event.Type{
+		event.TMovImm, event.TMov, event.TALU, event.TALU,
+		event.TLoad, event.TStore, event.TBranch, event.TJump,
+		event.TCall, event.TRet, event.TThreadExit,
+	}
+	if len(records) != len(want) {
+		t.Fatalf("captured %d records, want %d", len(records), len(want))
+	}
+	for i, ty := range want {
+		if records[i].Type != ty {
+			t.Errorf("record %d: type %s, want %s", i, records[i].Type, ty)
+		}
+	}
+	if u.Stats.Records != uint64(len(want)) {
+		t.Errorf("Stats.Records = %d", u.Stats.Records)
+	}
+	if u.Stats.MemRefs != 2 {
+		t.Errorf("MemRefs = %d, want 2", u.Stats.MemRefs)
+	}
+}
+
+func TestCaptureLoadRecordContents(t *testing.T) {
+	base := int64(isa.DataBase)
+	p := prog.NewBuilder("load").
+		Li(isa.R1, base).
+		Li(isa.R2, 3).
+		LoadIdx(isa.R5, isa.R1, isa.R2, 3, 8, 4). // EA = base + 3*8 + 8
+		Halt().
+		MustBuild()
+	records, _ := runCaptured(t, p, false)
+	var load *event.Record
+	for i := range records {
+		if records[i].Type == event.TLoad {
+			load = &records[i]
+		}
+	}
+	if load == nil {
+		t.Fatal("no load captured")
+	}
+	if load.Addr != isa.DataBase+32 {
+		t.Errorf("load EA = %#x, want %#x", load.Addr, isa.DataBase+32)
+	}
+	if load.Size != 4 {
+		t.Errorf("load size = %d, want 4", load.Size)
+	}
+	if load.In1 != uint8(isa.R1) || load.In2 != uint8(isa.R2) || load.Out != uint8(isa.R5) {
+		t.Errorf("operand ids: in1=%d in2=%d out=%d", load.In1, load.In2, load.Out)
+	}
+	if load.PC != isa.PCForIndex(2) {
+		t.Errorf("load PC = %#x", load.PC)
+	}
+}
+
+func TestCaptureStoreValueVsRewindMode(t *testing.T) {
+	base := int64(isa.DataBase)
+	build := func() *prog.Program {
+		return prog.NewBuilder("store").
+			Li(isa.R1, base).
+			Li(isa.R2, 111).
+			Store(isa.R1, 0, isa.R2, 8). // overwrites 0
+			Li(isa.R2, 222).
+			Store(isa.R1, 0, isa.R2, 8). // overwrites 111
+			Halt().
+			MustBuild()
+	}
+
+	records, _ := runCaptured(t, build(), false)
+	var auxes []uint64
+	for _, r := range records {
+		if r.Type == event.TStore {
+			auxes = append(auxes, r.Aux)
+		}
+	}
+	if len(auxes) != 2 || auxes[0] != 0 || auxes[1] != 0 {
+		t.Errorf("normal mode store aux = %v, want no logged values [0 0]", auxes)
+	}
+
+	records, _ = runCaptured(t, build(), true)
+	auxes = auxes[:0]
+	for _, r := range records {
+		if r.Type == event.TStore {
+			auxes = append(auxes, r.Aux)
+		}
+	}
+	if len(auxes) != 2 || auxes[0] != 0 || auxes[1] != 111 {
+		t.Errorf("rewind mode store aux = %v, want overwritten values [0 111]", auxes)
+	}
+}
+
+func TestCaptureIndirectTargets(t *testing.T) {
+	p := prog.NewBuilder("ind").
+		Li(isa.R1, int64(isa.PCForIndex(3))).
+		JmpInd(isa.R1).
+		Halt(). // skipped
+		Halt(). // index 3: target
+		MustBuild()
+	records, _ := runCaptured(t, p, false)
+	var ji *event.Record
+	for i := range records {
+		if records[i].Type == event.TJumpInd {
+			ji = &records[i]
+		}
+	}
+	if ji == nil {
+		t.Fatal("no indirect jump captured")
+	}
+	if ji.Addr != isa.PCForIndex(3) {
+		t.Errorf("indirect target = %#x, want %#x", ji.Addr, isa.PCForIndex(3))
+	}
+}
+
+func TestCaptureBranchOutcome(t *testing.T) {
+	p := prog.NewBuilder("br").
+		Li(isa.R1, 1).
+		BrI(isa.CondEQ, isa.R1, 1, "t"). // taken
+		Label("t").
+		BrI(isa.CondEQ, isa.R1, 2, "u"). // not taken
+		Label("u").
+		Halt().
+		MustBuild()
+	records, _ := runCaptured(t, p, false)
+	var outcomes []uint64
+	for _, r := range records {
+		if r.Type == event.TBranch {
+			outcomes = append(outcomes, r.Aux)
+		}
+	}
+	if len(outcomes) != 2 || outcomes[0] != 1 || outcomes[1] != 0 {
+		t.Errorf("branch outcomes = %v, want [1 0]", outcomes)
+	}
+	// Direct branches carry no target address (reconstructable statically).
+	for _, r := range records {
+		if r.Type == event.TBranch && r.Addr != 0 {
+			t.Error("direct branch should not log a target address")
+		}
+	}
+}
+
+func TestCaptureSyscallNumber(t *testing.T) {
+	p := prog.NewBuilder("sys").
+		Syscall(4).
+		Halt().
+		MustBuild()
+	// Provide a trivial syscall handler through a full core setup.
+	var records []event.Record
+	u := New(func(r event.Record) { records = append(records, r) })
+	m := mem.NewMemory()
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	core := cpu.New(p, m, h.Port(0), sysOK{})
+	core.LoadImage()
+	core.OnRetire = u.OnRetire
+	ctx := cpu.NewContext(0, p.EntryPC())
+	for !ctx.Halted {
+		if _, err := core.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if records[0].Type != event.TSyscall || records[0].Aux != 4 {
+		t.Errorf("syscall record = %+v", records[0])
+	}
+}
+
+type sysOK struct{}
+
+func (sysOK) Syscall(ctx *cpu.Context, num int64) cpu.SyscallResult {
+	return cpu.SyscallResult{}
+}
+
+func TestCaptureKernelEventForwarding(t *testing.T) {
+	var records []event.Record
+	u := New(func(r event.Record) { records = append(records, r) })
+	u.OnKernelEvent(event.Record{Type: event.TAlloc, Addr: 0x2000_0000, Aux: 64})
+	if len(records) != 1 || records[0].Type != event.TAlloc {
+		t.Fatal("kernel event not forwarded")
+	}
+	if u.Stats.PerType[event.TAlloc] != 1 {
+		t.Error("kernel events must be counted")
+	}
+}
+
+func TestMemRefFraction(t *testing.T) {
+	var s Stats
+	if s.MemRefFraction() != 0 {
+		t.Error("empty stats should report 0")
+	}
+	s.Records = 100
+	s.MemRefs = 51
+	if got := s.MemRefFraction(); got != 0.51 {
+		t.Errorf("MemRefFraction = %v", got)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// buildHeapLoop builds a program that allocates a buffer, runs iters
+// load/add/store passes over it, frees it, and exits. With useAfterFree it
+// touches the buffer after the free.
+func buildHeapLoop(iters int64, useAfterFree bool) *prog.Program {
+	b := prog.NewBuilder("heaploop").
+		Li(isa.R0, 4096).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R10, isa.R0). // buffer base
+		Li(isa.R8, 0).        // i
+		Label("outer").
+		Li(isa.R9, 0). // j
+		Label("inner").
+		LoadIdx(isa.R1, isa.R10, isa.R9, 3, 0, 8).
+		AddI(isa.R1, isa.R1, 1).
+		StoreIdx(isa.R10, isa.R9, 3, 0, isa.R1, 8).
+		AddI(isa.R9, isa.R9, 1).
+		BrI(isa.CondLT, isa.R9, 64, "inner").
+		AddI(isa.R8, isa.R8, 1).
+		BrI(isa.CondLT, isa.R8, iters, "outer").
+		Mov(isa.R0, isa.R10).
+		Syscall(osmodel.SysFree)
+	if useAfterFree {
+		b.Load(isa.R2, isa.R10, 16, 8)
+	}
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}
+
+func TestUnmonitoredBaseline(t *testing.T) {
+	res, err := RunUnmonitored(buildHeapLoop(20, false), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.WallCycles < res.Instructions {
+		t.Errorf("implausible result: %+v", res)
+	}
+	if res.MemRefFraction <= 0 || res.MemRefFraction >= 1 {
+		t.Errorf("mem ref fraction = %v", res.MemRefFraction)
+	}
+	if cpi := res.CPI(); cpi < 1 || cpi > 3 {
+		t.Errorf("CPI = %v, expected near 1 for a hot loop", cpi)
+	}
+}
+
+func TestLBACleanRunNoViolations(t *testing.T) {
+	res, err := RunLBA(buildHeapLoop(20, false), "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("clean program flagged: %v", res.Violations)
+	}
+	if res.Records == 0 || res.LogBits == 0 {
+		t.Error("log should have flowed")
+	}
+	if res.BytesPerRecord <= 0 || res.BytesPerRecord >= 2 {
+		t.Errorf("BytesPerRecord = %v, expected sub-2 B on a loop", res.BytesPerRecord)
+	}
+}
+
+func TestLBADetectsUseAfterFree(t *testing.T) {
+	res, err := RunLBA(buildHeapLoop(5, true), "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Kind != "use-after-free" {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestDBIDetectsSameViolationsAsLBA(t *testing.T) {
+	p := buildHeapLoop(5, true)
+	lba, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbiRes, err := RunDBI(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lba.Violations) != len(dbiRes.Violations) {
+		t.Fatalf("detection parity broken: lba=%v dbi=%v", lba.Violations, dbiRes.Violations)
+	}
+	for i := range lba.Violations {
+		if lba.Violations[i].Kind != dbiRes.Violations[i].Kind {
+			t.Errorf("violation %d: %s vs %s", i, lba.Violations[i].Kind, dbiRes.Violations[i].Kind)
+		}
+	}
+}
+
+func TestSlowdownOrderingLBAFasterThanDBI(t *testing.T) {
+	p := buildHeapLoop(100, false)
+	base, err := RunUnmonitored(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lba, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbiRes, err := RunDBI(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLBA, sDBI := lba.SlowdownVs(base), dbiRes.SlowdownVs(base)
+	if sLBA <= 1 {
+		t.Errorf("LBA slowdown = %v, must exceed 1", sLBA)
+	}
+	if sDBI <= sLBA {
+		t.Errorf("DBI (%.2fX) must be slower than LBA (%.2fX)", sDBI, sLBA)
+	}
+	if sDBI/sLBA < 2 {
+		t.Errorf("LBA should be several times faster than DBI, got %.2fx", sDBI/sLBA)
+	}
+}
+
+func TestSyscallDrainCharged(t *testing.T) {
+	// A program with many syscalls: each must drain the log.
+	b := prog.NewBuilder("sysheavy").
+		Li(isa.R8, 0).
+		Label("loop")
+	for i := 0; i < 5; i++ {
+		b.Li(isa.R0, 64).Syscall(osmodel.SysMalloc).Syscall(osmodel.SysFree)
+	}
+	b.AddI(isa.R8, isa.R8, 1).
+		BrI(isa.CondLT, isa.R8, 20, "loop").
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	p := b.MustBuild()
+
+	res, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DrainEvents == 0 {
+		t.Error("syscalls must trigger containment drains")
+	}
+}
+
+func TestCompressionOffAblation(t *testing.T) {
+	p := buildHeapLoop(50, false)
+	on, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CompressionOff = true
+	off, err := RunLBA(p, "AddrCheck", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.LogBits <= on.LogBits*4 {
+		t.Errorf("uncompressed log (%d bits) should dwarf compressed (%d bits)",
+			off.LogBits, on.LogBits)
+	}
+}
+
+func TestAddressFilterReducesLifeguardLoad(t *testing.T) {
+	p := buildHeapLoop(50, false)
+	full, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch only the first 256 bytes of the heap: the loop walks 512
+	// bytes, so half its memory records are dropped in the capture
+	// hardware before compression and dispatch.
+	cfg := DefaultConfig()
+	cfg.FilterRanges = []AddrRange{{Lo: isa.HeapBase, Hi: isa.HeapBase + 256}}
+	filt, err := RunLBA(p, "AddrCheck", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filt.FilteredOut == 0 {
+		t.Error("filter should drop non-heap memory records")
+	}
+	if filt.LgCycles >= full.LgCycles {
+		t.Errorf("filtering must reduce lifeguard work: %d vs %d",
+			filt.LgCycles, full.LgCycles)
+	}
+	// Heap accesses still checked: a use-after-free is still caught.
+	cfg2 := cfg
+	bug, err := RunLBA(buildHeapLoop(5, true), "AddrCheck", cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bug.Violations) != 1 {
+		t.Error("filter must not drop heap violations")
+	}
+}
+
+func TestParallelLifeguardsReduceWallClock(t *testing.T) {
+	p := buildHeapLoop(200, false)
+	single, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ParallelLifeguards = 4
+	par, err := RunLBA(p, "AddrCheck", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.WallCycles >= single.WallCycles {
+		t.Errorf("4 lifeguard cores should beat 1: %d vs %d cycles",
+			par.WallCycles, single.WallCycles)
+	}
+	if len(par.Violations) != 0 {
+		t.Errorf("parallel run invented violations: %v", par.Violations)
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	// Slowdown must be roughly independent of run length (DESIGN.md §6).
+	small, err := runPair(t, buildHeapLoop(50, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := runPair(t, buildHeapLoop(500, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := small / large
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("slowdown not scale invariant: %v (50 iters) vs %v (500 iters)", small, large)
+	}
+}
+
+func runPair(t *testing.T, p *prog.Program) (float64, error) {
+	t.Helper()
+	base, err := RunUnmonitored(p, DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	lba, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	return lba.SlowdownVs(base), nil
+}
+
+func TestUnknownLifeguardRejected(t *testing.T) {
+	p := buildHeapLoop(1, false)
+	if _, err := RunLBA(p, "NoSuchGuard", DefaultConfig()); err == nil {
+		t.Error("unknown lifeguard must error")
+	}
+	if _, err := RunDBI(p, "NoSuchGuard", DefaultConfig()); err == nil {
+		t.Error("unknown lifeguard must error for DBI too")
+	}
+}
+
+func TestRunModeDispatcher(t *testing.T) {
+	p := buildHeapLoop(5, false)
+	for _, mode := range []Mode{ModeUnmonitored, ModeLBA, ModeDBI} {
+		res, err := Run(mode, p, "AddrCheck", DefaultConfig())
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if res.Mode != mode {
+			t.Errorf("result mode = %s, want %s", res.Mode, mode)
+		}
+	}
+	if _, err := Run(Mode(99), p, "AddrCheck", DefaultConfig()); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
+
+func TestModeAndFactoryNames(t *testing.T) {
+	if ModeLBA.String() != "lba" || Mode(99).String() != "mode?" {
+		t.Error("mode names")
+	}
+	for _, name := range LifeguardNames() {
+		if _, err := Factory(name); err != nil {
+			t.Errorf("factory %s: %v", name, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := buildHeapLoop(50, false)
+	a, err := RunLBA(p, "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLBA(buildHeapLoop(50, false), "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WallCycles != b.WallCycles || a.LogBits != b.LogBits || a.AppCycles != b.AppCycles {
+		t.Errorf("simulation must be deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestViolationReportContainsContext(t *testing.T) {
+	res, err := RunLBA(buildHeapLoop(5, true), "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violations[0]
+	if v.PC == 0 || v.Addr == 0 {
+		t.Errorf("violation lacks context: %+v", v)
+	}
+	if !strings.Contains(v.String(), "use-after-free") {
+		t.Error("violation string should name the kind")
+	}
+}

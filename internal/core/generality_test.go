@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// The paper's thesis is that one log serves arbitrary lifeguards ("a
+// general-purpose infrastructure, aimed to enable efficient monitoring for
+// a wide variety of program bugs, security attacks, and performance
+// problems", §1). These tests run the two demonstration lifeguards beyond
+// the paper's three through the full LBA system.
+
+// buildCallTree builds a program with nested calls, optionally smashing a
+// return address on the stack before returning through it.
+func buildCallTree(smash bool) *prog.Program {
+	b := prog.NewBuilder("calltree").
+		Li(isa.R9, 0).
+		Call("outer").
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+
+		// outer: calls inner twice, accumulates.
+		Label("outer").
+		Call("inner").
+		Call("inner").
+		Ret().
+		Label("inner").
+		AddI(isa.R9, isa.R9, 1)
+	if smash {
+		// Overwrite the saved return address at [SP] with the address of
+		// "hijacked" — a classic stack smash. The CPU's ret genuinely
+		// loads the smashed value, so control really diverts.
+		b.LiLabel(isa.R8, "hijacked").
+			Store(isa.SP, 0, isa.R8, 8)
+	}
+	b.Ret().
+		Label("hijacked").
+		// Attacker-chosen continuation: exit "cleanly" so only the
+		// lifeguard notices.
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}
+
+func TestStackCheckCleanCallTree(t *testing.T) {
+	res, err := RunLBA(buildCallTree(false), "StackCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("balanced call tree flagged: %v", res.Violations)
+	}
+}
+
+func TestStackCheckCatchesSmashedReturn(t *testing.T) {
+	res, err := RunLBA(buildCallTree(true), "StackCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, v := range res.Violations {
+		if v.Kind == "return-mismatch" {
+			found = true
+			if !strings.Contains(v.Msg, "smashed") {
+				t.Errorf("report should explain the smash: %s", v.Msg)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("smashed return not detected: %v", res.Violations)
+	}
+	// Other lifeguards are blind to it — the generality argument.
+	ac, err := RunLBA(buildCallTree(true), "AddrCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ac.Violations) != 0 {
+		t.Errorf("AddrCheck should not flag a control-flow attack: %v", ac.Violations)
+	}
+}
+
+func TestStackCheckDBIDetectionParity(t *testing.T) {
+	lba, err := RunLBA(buildCallTree(true), "StackCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbiRes, err := RunDBI(buildCallTree(true), "StackCheck", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lba.Violations) != len(dbiRes.Violations) {
+		t.Errorf("parity broken: lba=%v dbi=%v", lba.Violations, dbiRes.Violations)
+	}
+}
+
+// buildStreamVsHot builds a program with one streaming loop (cache-hostile)
+// and one hot loop (cache-friendly) so the profiler has a clear target.
+func buildStreamVsHot() *prog.Program {
+	return prog.NewBuilder("streamhot").
+		Li(isa.R1, int64(isa.DataBase)).
+		Li(isa.R4, 0).
+		Label("stream"). // touches a fresh line every iteration
+		LoadIdx(isa.R2, isa.R1, isa.R4, 6, 0, 8).
+		AddI(isa.R4, isa.R4, 1).
+		BrI(isa.CondLT, isa.R4, 4000, "stream").
+		Li(isa.R4, 0).
+		Label("hot"). // same line every iteration
+		Load(isa.R3, isa.R1, 0, 8).
+		AddI(isa.R4, isa.R4, 1).
+		BrI(isa.CondLT, isa.R4, 4000, "hot").
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		MustBuild()
+}
+
+func TestCacheProfFindsStreamingLoop(t *testing.T) {
+	res, err := RunLBA(buildStreamVsHot(), "CacheProf", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("profiler should report the streaming load")
+	}
+	top := res.Violations[0]
+	if top.Kind != "hot-miss-pc" {
+		t.Fatalf("kind = %s", top.Kind)
+	}
+	// The streaming load is instruction index 2 (after the two Lis).
+	if top.PC != isa.PCForIndex(2) {
+		t.Errorf("top miss PC = %#x, want the streaming load at %#x",
+			top.PC, isa.PCForIndex(2))
+	}
+}
+
+func TestAllLifeguardsRunEveryMode(t *testing.T) {
+	p := buildHeapLoop(20, false)
+	for _, name := range LifeguardNames() {
+		for _, mode := range []Mode{ModeLBA, ModeDBI} {
+			if _, err := Run(mode, p, name, DefaultConfig()); err != nil {
+				t.Errorf("%s under %s: %v", name, mode, err)
+			}
+		}
+	}
+}
+
+func TestLifeguardCostsAmortised(t *testing.T) {
+	// The paper argues hardware cost is justified because it is "amortized
+	// over the diverse set of lifeguards supported": every lifeguard must
+	// run on the *same* unmodified log (same record count).
+	p := buildHeapLoop(50, false)
+	var records uint64
+	for _, name := range LifeguardNames() {
+		res, err := RunLBA(p, name, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if records == 0 {
+			records = res.Records
+		} else if res.Records != records {
+			t.Errorf("%s consumed %d records, others %d — the log must be lifeguard-independent",
+				name, res.Records, records)
+		}
+	}
+}

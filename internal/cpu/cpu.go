@@ -1,0 +1,328 @@
+// Package cpu implements the in-order application core of the simulated
+// chip multiprocessor. The core is single-CPI plus cache stalls (the model
+// the paper evaluates) and exposes a retirement hook — the point where the
+// LBA capture hardware attaches.
+//
+// The core executes one thread context at a time; the OS model (package
+// osmodel) owns the contexts and multiplexes them onto the core.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Execution errors.
+var (
+	// ErrWildPC is returned when control transfers outside the program
+	// image — the observable symptom of a successful control-flow hijack.
+	ErrWildPC = errors.New("cpu: control transfer outside program image")
+	// ErrHalted is returned when stepping a halted context.
+	ErrHalted = errors.New("cpu: context is halted")
+)
+
+// Context is one thread's architectural state.
+type Context struct {
+	TID    int
+	Regs   [isa.NumRegs]uint64
+	PC     uint64
+	Halted bool
+	// Blocked marks a context waiting on a kernel resource (mutex, join).
+	// The scheduler skips blocked contexts; the kernel clears the flag.
+	Blocked bool
+}
+
+// NewContext returns a runnable context for thread tid starting at pc with
+// the conventional stack layout.
+func NewContext(tid int, pc uint64) *Context {
+	ctx := &Context{TID: tid, PC: pc}
+	ctx.Regs[isa.SP] = isa.StackBaseFor(tid)
+	return ctx
+}
+
+// Runnable reports whether the scheduler may pick this context.
+func (c *Context) Runnable() bool { return !c.Halted && !c.Blocked }
+
+// Retire describes one retired instruction: everything the LBA capture
+// hardware records, plus fields used by the timing model and the replay
+// extension.
+type Retire struct {
+	Inst   *isa.Inst
+	PC     uint64
+	TID    int
+	Addr   uint64 // effective address (mem ops) or resolved target (control)
+	Size   uint8  // memory access size
+	Value  uint64 // value loaded or stored
+	OldVal uint64 // value overwritten by a store (replay support)
+	Taken  bool   // branch outcome
+	Cycles uint64 // cycles this instruction occupied the core
+}
+
+// SyscallAction tells the core how to complete a syscall instruction.
+type SyscallAction uint8
+
+// Syscall outcomes.
+const (
+	// SysReturn completes the syscall: R0 = Ret, PC advances.
+	SysReturn SyscallAction = iota
+	// SysBlock leaves PC at the syscall and marks the context blocked;
+	// the instruction re-executes when the kernel unblocks the thread.
+	// Blocked attempts do not retire and emit no log record.
+	SysBlock
+	// SysHalt terminates the thread (e.g. exit or thread_exit).
+	SysHalt
+)
+
+// SyscallResult is the kernel's answer to a syscall.
+type SyscallResult struct {
+	Action SyscallAction
+	Ret    uint64
+	// ExtraCycles models kernel time charged to the application core.
+	ExtraCycles uint64
+}
+
+// SyscallHandler services OpSyscall instructions. Implemented by the OS
+// model; tests use lightweight fakes.
+type SyscallHandler interface {
+	Syscall(ctx *Context, num int64) SyscallResult
+}
+
+// Core is one in-order processor core.
+type Core struct {
+	Prog *prog.Program
+	Mem  *mem.Memory
+	Port *mem.Port
+	Sys  SyscallHandler
+
+	// OnRetire, when non-nil, observes every retired instruction. This is
+	// the capture-hardware attachment point.
+	OnRetire func(*Retire)
+
+	// Cycles is the core's cycle counter (execution + cache stalls).
+	Cycles uint64
+	// Retired counts retired instructions.
+	Retired uint64
+	// StallCycles counts additional cycles imposed from outside (log
+	// buffer backpressure, syscall containment stalls). They advance
+	// Cycles as well; the split exists for reporting.
+	StallCycles uint64
+
+	retire Retire // reused across steps to avoid per-instruction allocation
+}
+
+// New builds a core over the given program, memory, and cache port.
+func New(p *prog.Program, m *mem.Memory, port *mem.Port, sys SyscallHandler) *Core {
+	return &Core{Prog: p, Mem: m, Port: port, Sys: sys}
+}
+
+// LoadImage writes the program's data segments into memory. Call once
+// before execution.
+func (c *Core) LoadImage() {
+	for _, seg := range c.Prog.Data {
+		c.Mem.WriteBytes(seg.Addr, seg.Bytes)
+	}
+}
+
+// Stall charges n externally-imposed stall cycles to the core.
+func (c *Core) Stall(n uint64) {
+	c.Cycles += n
+	c.StallCycles += n
+}
+
+// Step executes one instruction of ctx. It returns the retirement
+// information (valid until the next Step) or nil when the instruction did
+// not retire (blocked syscall), and an error for machine-level faults.
+func (c *Core) Step(ctx *Context) (*Retire, error) {
+	if ctx.Halted {
+		return nil, ErrHalted
+	}
+
+	idx := isa.IndexForPC(ctx.PC)
+	if idx < 0 || idx >= len(c.Prog.Insts) {
+		ctx.Halted = true
+		return nil, fmt.Errorf("%w: pc=%#x (thread %d)", ErrWildPC, ctx.PC, ctx.TID)
+	}
+	in := &c.Prog.Insts[idx]
+
+	cycles := c.Port.FetchInst(ctx.PC) // includes the 1-cycle execute slot
+	r := &c.retire
+	*r = Retire{Inst: in, PC: ctx.PC, TID: ctx.TID}
+
+	nextPC := ctx.PC + isa.InstBytes
+	regs := &ctx.Regs
+
+	switch in.Op {
+	case isa.OpNop:
+		// nothing
+
+	case isa.OpMovImm:
+		regs[in.Dst] = uint64(in.Imm)
+
+	case isa.OpMovReg:
+		regs[in.Dst] = regs[in.Src1]
+
+	case isa.OpLea:
+		regs[in.Dst] = c.effAddr(ctx, in)
+
+	case isa.OpLoad:
+		ea := c.effAddr(ctx, in)
+		v := c.Mem.Read(ea, in.Size)
+		cycles += c.Port.Data(ea, in.Size, false)
+		regs[in.Dst] = v
+		r.Addr, r.Size, r.Value = ea, in.Size, v
+
+	case isa.OpStore:
+		ea := c.effAddr(ctx, in)
+		v := regs[in.Src2]
+		r.OldVal = c.Mem.Read(ea, in.Size)
+		c.Mem.Write(ea, in.Size, v)
+		cycles += c.Port.Data(ea, in.Size, true)
+		r.Addr, r.Size, r.Value = ea, in.Size, v
+
+	case isa.OpJmp:
+		nextPC = isa.PCForIndex(int(in.Target))
+		r.Addr = nextPC
+
+	case isa.OpJmpInd:
+		nextPC = regs[in.Src1]
+		r.Addr = nextPC
+
+	case isa.OpBr:
+		a := int64(regs[in.Src1])
+		b := in.Imm
+		if in.Src2 != isa.RegNone {
+			b = int64(regs[in.Src2])
+		}
+		if in.Cond.Eval(a, b) {
+			nextPC = isa.PCForIndex(int(in.Target))
+			r.Taken = true
+		}
+		r.Addr = nextPC
+
+	case isa.OpCall, isa.OpCallInd:
+		target := isa.PCForIndex(int(in.Target))
+		if in.Op == isa.OpCallInd {
+			target = regs[in.Src1]
+		}
+		regs[isa.SP] -= 8
+		sp := regs[isa.SP]
+		c.Mem.Write(sp, 8, nextPC)
+		cycles += c.Port.Data(sp, 8, true)
+		nextPC = target
+		r.Addr = target
+
+	case isa.OpRet:
+		sp := regs[isa.SP]
+		ret := c.Mem.Read(sp, 8)
+		cycles += c.Port.Data(sp, 8, false)
+		regs[isa.SP] = sp + 8
+		nextPC = ret
+		r.Addr = ret
+
+	case isa.OpSyscall:
+		if c.Sys == nil {
+			ctx.Halted = true
+			return nil, fmt.Errorf("cpu: syscall %d with no handler (thread %d)", in.Imm, ctx.TID)
+		}
+		res := c.Sys.Syscall(ctx, in.Imm)
+		cycles += res.ExtraCycles
+		switch res.Action {
+		case SysBlock:
+			// Does not retire: PC stays, context blocked by the kernel.
+			c.Cycles += cycles
+			return nil, nil
+		case SysHalt:
+			ctx.Halted = true
+		default:
+			regs[isa.R0] = res.Ret
+		}
+		r.Value = res.Ret
+		r.Addr = uint64(in.Imm)
+
+	case isa.OpHalt:
+		ctx.Halted = true
+
+	default:
+		if in.Op.IsALU() {
+			a := regs[in.Src1]
+			b := uint64(in.Imm)
+			if in.Src2 != isa.RegNone {
+				b = regs[in.Src2]
+			}
+			regs[in.Dst] = aluOp(in.Op, a, b)
+		} else {
+			ctx.Halted = true
+			return nil, fmt.Errorf("cpu: unimplemented opcode %s at pc=%#x", in.Op, ctx.PC)
+		}
+	}
+
+	if !ctx.Halted {
+		ctx.PC = nextPC
+	}
+	r.Cycles = cycles
+	c.Cycles += cycles
+	c.Retired++
+	if c.OnRetire != nil {
+		c.OnRetire(r)
+	}
+	return r, nil
+}
+
+// effAddr computes the effective address Src1 + (Idx<<Scale) + Imm.
+func (c *Core) effAddr(ctx *Context, in *isa.Inst) uint64 {
+	var ea uint64
+	if in.Src1 != isa.RegNone {
+		ea = ctx.Regs[in.Src1]
+	}
+	if in.Idx != isa.RegNone {
+		ea += ctx.Regs[in.Idx] << in.Scale
+	}
+	return ea + uint64(in.Imm)
+}
+
+// aluOp evaluates an ALU operation. Division by zero yields all-ones rather
+// than faulting; the machine has no exception model and the workloads guard
+// their divisors, but a defined result keeps the simulator total.
+func aluOp(op isa.Opcode, a, b uint64) uint64 {
+	switch op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpMul:
+		return a * b
+	case isa.OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case isa.OpRem:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a % b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShl:
+		return a << (b & 63)
+	case isa.OpShr:
+		return a >> (b & 63)
+	}
+	return 0
+}
+
+// CPI returns average cycles per retired instruction.
+func (c *Core) CPI() float64 {
+	if c.Retired == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Retired)
+}

@@ -1,0 +1,441 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// newTestCore builds a single-core machine around p.
+func newTestCore(t *testing.T, p *prog.Program, sys SyscallHandler) (*Core, *Context) {
+	t.Helper()
+	m := mem.NewMemory()
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	c := New(p, m, h.Port(0), sys)
+	c.LoadImage()
+	return c, NewContext(0, p.EntryPC())
+}
+
+// run steps until the context halts or budget instructions retire.
+func run(t *testing.T, c *Core, ctx *Context, budget int) {
+	t.Helper()
+	for i := 0; i < budget && !ctx.Halted; i++ {
+		if _, err := c.Step(ctx); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if !ctx.Halted {
+		t.Fatalf("program did not halt within %d instructions", budget)
+	}
+}
+
+func TestALUAndLoop(t *testing.T) {
+	// Sum 1..10 into R1.
+	p := prog.NewBuilder("sum").
+		Li(isa.R0, 0). // i
+		Li(isa.R1, 0). // acc
+		Label("loop").
+		AddI(isa.R0, isa.R0, 1).
+		Add(isa.R1, isa.R1, isa.R0).
+		BrI(isa.CondLT, isa.R0, 10, "loop").
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	run(t, c, ctx, 100)
+	if ctx.Regs[isa.R1] != 55 {
+		t.Errorf("sum = %d, want 55", ctx.Regs[isa.R1])
+	}
+	if c.Retired == 0 || c.Cycles < c.Retired {
+		t.Errorf("cycle accounting looks wrong: retired=%d cycles=%d", c.Retired, c.Cycles)
+	}
+}
+
+func TestAllALUOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a, b uint64
+		want uint64
+	}{
+		{isa.OpAdd, 3, 4, 7},
+		{isa.OpSub, 10, 4, 6},
+		{isa.OpMul, 6, 7, 42},
+		{isa.OpDiv, 42, 6, 7},
+		{isa.OpDiv, 42, 0, ^uint64(0)},
+		{isa.OpRem, 43, 6, 1},
+		{isa.OpRem, 43, 0, ^uint64(0)},
+		{isa.OpAnd, 0xF0F0, 0xFF00, 0xF000},
+		{isa.OpOr, 0xF0F0, 0x0F0F, 0xFFFF},
+		{isa.OpXor, 0xFF, 0x0F, 0xF0},
+		{isa.OpShl, 1, 4, 16},
+		{isa.OpShl, 1, 64, 1}, // shift count masked mod 64
+		{isa.OpShr, 16, 4, 1},
+	}
+	for _, cse := range cases {
+		if got := aluOp(cse.op, cse.a, cse.b); got != cse.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", cse.op, cse.a, cse.b, got, cse.want)
+		}
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	base := int64(isa.DataBase)
+	p := prog.NewBuilder("ls").
+		Li(isa.R1, base).
+		Li(isa.R2, 0xABCD).
+		Store(isa.R1, 8, isa.R2, 8).
+		Load(isa.R3, isa.R1, 8, 8).
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	run(t, c, ctx, 10)
+	if ctx.Regs[isa.R3] != 0xABCD {
+		t.Errorf("loaded %#x, want 0xABCD", ctx.Regs[isa.R3])
+	}
+}
+
+func TestIndexedAddressing(t *testing.T) {
+	base := int64(isa.DataBase)
+	p := prog.NewBuilder("idx").
+		Li(isa.R1, base).
+		Li(isa.R2, 3). // index
+		Li(isa.R3, 77).
+		StoreIdx(isa.R1, isa.R2, 3, 0, isa.R3, 8). // Mem[base+3*8] = 77
+		LoadIdx(isa.R4, isa.R1, isa.R2, 3, 0, 8).
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	run(t, c, ctx, 10)
+	if ctx.Regs[isa.R4] != 77 {
+		t.Errorf("indexed load = %d, want 77", ctx.Regs[isa.R4])
+	}
+	if got := c.Mem.Read(isa.DataBase+24, 8); got != 77 {
+		t.Errorf("memory at base+24 = %d", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	p := prog.NewBuilder("call").
+		Call("fn").
+		Halt().
+		Label("fn").
+		Li(isa.R5, 99).
+		Ret().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	spBefore := ctx.Regs[isa.SP]
+	run(t, c, ctx, 10)
+	if ctx.Regs[isa.R5] != 99 {
+		t.Error("function body did not execute")
+	}
+	if ctx.Regs[isa.SP] != spBefore {
+		t.Error("stack pointer must balance across call/ret")
+	}
+}
+
+func TestIndirectCallAndJump(t *testing.T) {
+	p := prog.NewBuilder("ind").
+		Li(isa.R1, int64(isa.PCForIndex(4))). // address of fn
+		CallInd(isa.R1).
+		Li(isa.R2, 1).
+		Halt().
+		// fn at index 4:
+		Li(isa.R3, 42).
+		Ret().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	run(t, c, ctx, 20)
+	if ctx.Regs[isa.R3] != 42 || ctx.Regs[isa.R2] != 1 {
+		t.Errorf("indirect call flow broken: r3=%d r2=%d", ctx.Regs[isa.R3], ctx.Regs[isa.R2])
+	}
+}
+
+func TestWildJumpFaults(t *testing.T) {
+	p := prog.NewBuilder("wild").
+		Li(isa.R1, 0x1234). // not a code address
+		JmpInd(isa.R1).
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	var err error
+	for i := 0; i < 5 && !ctx.Halted; i++ {
+		_, err = c.Step(ctx)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrWildPC) {
+		t.Errorf("want ErrWildPC, got %v", err)
+	}
+	if !ctx.Halted {
+		t.Error("faulting context must halt")
+	}
+}
+
+func TestStepHaltedContext(t *testing.T) {
+	p := prog.NewBuilder("h").Halt().MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	run(t, c, ctx, 2)
+	if _, err := c.Step(ctx); !errors.Is(err, ErrHalted) {
+		t.Errorf("stepping a halted context: want ErrHalted, got %v", err)
+	}
+}
+
+func TestRetireHookSeesMemoryOps(t *testing.T) {
+	base := int64(isa.DataBase)
+	p := prog.NewBuilder("hook").
+		Li(isa.R1, base).
+		Li(isa.R2, 7).
+		Store(isa.R1, 0, isa.R2, 4).
+		Load(isa.R3, isa.R1, 0, 4).
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	var stores, loads int
+	var storeAddr, storeVal, loadVal uint64
+	c.OnRetire = func(r *Retire) {
+		switch r.Inst.Op {
+		case isa.OpStore:
+			stores++
+			storeAddr, storeVal = r.Addr, r.Value
+		case isa.OpLoad:
+			loads++
+			loadVal = r.Value
+		}
+	}
+	run(t, c, ctx, 10)
+	if stores != 1 || loads != 1 {
+		t.Fatalf("hook saw %d stores, %d loads", stores, loads)
+	}
+	if storeAddr != isa.DataBase || storeVal != 7 || loadVal != 7 {
+		t.Errorf("hook payload wrong: addr=%#x store=%d load=%d", storeAddr, storeVal, loadVal)
+	}
+}
+
+func TestRetireHookOldValueForReplay(t *testing.T) {
+	base := int64(isa.DataBase)
+	p := prog.NewBuilder("old").
+		Li(isa.R1, base).
+		Li(isa.R2, 1).
+		Store(isa.R1, 0, isa.R2, 8).
+		Li(isa.R2, 2).
+		Store(isa.R1, 0, isa.R2, 8).
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	var oldVals []uint64
+	c.OnRetire = func(r *Retire) {
+		if r.Inst.Op == isa.OpStore {
+			oldVals = append(oldVals, r.OldVal)
+		}
+	}
+	run(t, c, ctx, 10)
+	if len(oldVals) != 2 || oldVals[0] != 0 || oldVals[1] != 1 {
+		t.Errorf("old values = %v, want [0 1]", oldVals)
+	}
+}
+
+func TestBranchTakenReported(t *testing.T) {
+	p := prog.NewBuilder("br").
+		Li(isa.R0, 5).
+		BrI(isa.CondEQ, isa.R0, 5, "yes"). // taken
+		Halt().
+		Label("yes").
+		BrI(isa.CondEQ, isa.R0, 6, "no"). // not taken
+		Halt().
+		Label("no").
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	var outcomes []bool
+	c.OnRetire = func(r *Retire) {
+		if r.Inst.Op == isa.OpBr {
+			outcomes = append(outcomes, r.Taken)
+		}
+	}
+	run(t, c, ctx, 10)
+	if len(outcomes) != 2 || !outcomes[0] || outcomes[1] {
+		t.Errorf("branch outcomes = %v, want [true false]", outcomes)
+	}
+}
+
+// fakeSys scripts syscall results.
+type fakeSys struct {
+	results []SyscallResult
+	calls   []int64
+}
+
+func (f *fakeSys) Syscall(ctx *Context, num int64) SyscallResult {
+	f.calls = append(f.calls, num)
+	if len(f.results) == 0 {
+		return SyscallResult{}
+	}
+	r := f.results[0]
+	f.results = f.results[1:]
+	return r
+}
+
+func TestSyscallReturn(t *testing.T) {
+	p := prog.NewBuilder("sys").Syscall(42).Halt().MustBuild()
+	sys := &fakeSys{results: []SyscallResult{{Action: SysReturn, Ret: 1234, ExtraCycles: 50}}}
+	c, ctx := newTestCore(t, p, sys)
+	run(t, c, ctx, 5)
+	if ctx.Regs[isa.R0] != 1234 {
+		t.Errorf("syscall return = %d, want 1234", ctx.Regs[isa.R0])
+	}
+	if len(sys.calls) != 1 || sys.calls[0] != 42 {
+		t.Errorf("syscall numbers = %v", sys.calls)
+	}
+}
+
+func TestSyscallBlockDoesNotRetire(t *testing.T) {
+	p := prog.NewBuilder("blk").Syscall(7).Halt().MustBuild()
+	sys := &fakeSys{results: []SyscallResult{
+		{Action: SysBlock},
+		{Action: SysReturn, Ret: 5},
+	}}
+	c, ctx := newTestCore(t, p, nil)
+	c.Sys = sys
+
+	r, err := c.Step(ctx)
+	if err != nil || r != nil {
+		t.Fatalf("blocked syscall should return (nil, nil), got (%v, %v)", r, err)
+	}
+	if c.Retired != 0 {
+		t.Error("blocked syscall must not retire")
+	}
+	pcBefore := ctx.PC
+	// Re-execute after the kernel unblocks.
+	r, err = c.Step(ctx)
+	if err != nil || r == nil {
+		t.Fatalf("retried syscall should retire, got (%v, %v)", r, err)
+	}
+	if ctx.PC == pcBefore {
+		t.Error("retired syscall must advance PC")
+	}
+	if ctx.Regs[isa.R0] != 5 {
+		t.Errorf("retry return = %d, want 5", ctx.Regs[isa.R0])
+	}
+}
+
+func TestSyscallHaltTerminatesThread(t *testing.T) {
+	p := prog.NewBuilder("exit").Syscall(0).Nop().Halt().MustBuild()
+	sys := &fakeSys{results: []SyscallResult{{Action: SysHalt}}}
+	c, ctx := newTestCore(t, p, sys)
+	if _, err := c.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Halted {
+		t.Error("SysHalt must halt the context")
+	}
+}
+
+func TestSyscallWithoutHandlerFaults(t *testing.T) {
+	p := prog.NewBuilder("nosys").Syscall(1).Halt().MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	if _, err := c.Step(ctx); err == nil {
+		t.Error("syscall without a handler must fault")
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	p := prog.NewBuilder("stall").Halt().MustBuild()
+	c, _ := newTestCore(t, p, nil)
+	before := c.Cycles
+	c.Stall(100)
+	if c.Cycles != before+100 || c.StallCycles != 100 {
+		t.Errorf("stall accounting: cycles=%d stalls=%d", c.Cycles, c.StallCycles)
+	}
+}
+
+func TestCPI(t *testing.T) {
+	p := prog.NewBuilder("cpi").Li(isa.R0, 1).Li(isa.R1, 2).Halt().MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	if c.CPI() != 0 {
+		t.Error("CPI of idle core should be 0")
+	}
+	run(t, c, ctx, 5)
+	if c.CPI() < 1 {
+		t.Errorf("CPI = %v, want >= 1", c.CPI())
+	}
+}
+
+func TestCacheWarmupReducesCPI(t *testing.T) {
+	// A tight loop should approach CPI 1 once the I-cache warms.
+	p := prog.NewBuilder("warm").
+		Li(isa.R0, 0).
+		Label("loop").
+		AddI(isa.R0, isa.R0, 1).
+		BrI(isa.CondLT, isa.R0, 10000, "loop").
+		Halt().
+		MustBuild()
+	c, ctx := newTestCore(t, p, nil)
+	run(t, c, ctx, 30000)
+	if cpi := c.CPI(); cpi > 1.2 {
+		t.Errorf("hot-loop CPI = %v, want close to 1", cpi)
+	}
+}
+
+func TestContextStackIsolation(t *testing.T) {
+	a := NewContext(0, isa.PCForIndex(0))
+	b := NewContext(1, isa.PCForIndex(0))
+	if a.Regs[isa.SP] == b.Regs[isa.SP] {
+		t.Error("threads must get distinct stacks")
+	}
+	if !a.Runnable() {
+		t.Error("fresh context should be runnable")
+	}
+	a.Blocked = true
+	if a.Runnable() {
+		t.Error("blocked context is not runnable")
+	}
+}
+
+// Property: the machine's ALU semantics agree with Go's own operators for
+// every operation and operand pair.
+func TestALUSemanticsProperty(t *testing.T) {
+	f := func(opSel uint8, a, b uint64) bool {
+		ops := []isa.Opcode{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+			isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr}
+		op := ops[int(opSel)%len(ops)]
+		got := aluOp(op, a, b)
+		var want uint64
+		switch op {
+		case isa.OpAdd:
+			want = a + b
+		case isa.OpSub:
+			want = a - b
+		case isa.OpMul:
+			want = a * b
+		case isa.OpDiv:
+			if b == 0 {
+				want = ^uint64(0)
+			} else {
+				want = a / b
+			}
+		case isa.OpRem:
+			if b == 0 {
+				want = ^uint64(0)
+			} else {
+				want = a % b
+			}
+		case isa.OpAnd:
+			want = a & b
+		case isa.OpOr:
+			want = a | b
+		case isa.OpXor:
+			want = a ^ b
+		case isa.OpShl:
+			want = a << (b & 63)
+		case isa.OpShr:
+			want = a >> (b & 63)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package dbi
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+	"repro/internal/lifeguards/addrcheck"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+func TestExpansionTablesCoverEveryLifeguard(t *testing.T) {
+	for _, name := range []string{"AddrCheck", "TaintCheck", "LockSet", "StackCheck", "CacheProf"} {
+		e := ExpansionFor(name)
+		if e.PerInstr == 0 {
+			t.Errorf("%s: translation overhead must be non-zero", name)
+		}
+	}
+	// Unknown tools get the null-tool expansion.
+	if e := ExpansionFor("nulgrind"); e.PerInstr == 0 || e.PerMemOp != 0 {
+		t.Errorf("null tool expansion = %+v", e)
+	}
+}
+
+func TestExpansionOrdering(t *testing.T) {
+	// The per-access analysis cost must follow the lifeguard ordering the
+	// paper reports: AddrCheck < TaintCheck < LockSet on loads.
+	a := ExpansionFor("AddrCheck").PerType[event.TLoad]
+	tc := ExpansionFor("TaintCheck").PerType[event.TLoad]
+	l := ExpansionFor("LockSet").PerType[event.TLoad]
+	if !(a < tc && tc < l) {
+		t.Errorf("load expansion ordering broken: %d, %d, %d", a, tc, l)
+	}
+}
+
+func TestMeterPricesThroughAppCache(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	m := &Meter{Port: h.Port(0)}
+	m.Instr(5)
+	m.Shadow(0x2000_0000, 1, false) // cold: L1+L2+DRAM
+	cold := m.Take()
+	if cold < 5+100 {
+		t.Errorf("cold shadow access should cost DRAM latency, got %d", cold)
+	}
+	m.Shadow(0x2000_0000, 1, false) // warm
+	if warm := m.Take(); warm != 1 {
+		t.Errorf("warm shadow access = %d, want 1", warm)
+	}
+	// Shadow traffic must have polluted the application's L1D.
+	if h.Port(0).L1DStats().Accesses == 0 {
+		t.Error("DBI shadow accesses must go through the app core's cache")
+	}
+}
+
+func buildTinyHeapProgram() *prog.Program {
+	return prog.NewBuilder("tiny").
+		Li(isa.R0, 64).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R10, isa.R0).
+		Store(isa.R10, 0, isa.R1, 8).
+		Mov(isa.R0, isa.R10).
+		Syscall(osmodel.SysFree).
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		MustBuild()
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	r, err := NewRunner(buildTinyHeapProgram(), osmodel.DefaultKernelConfig(),
+		osmodel.DefaultMachineConfig(),
+		func(m lifeguard.Meter) lifeguard.Lifeguard { return addrcheck.New(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifeguard != "AddrCheck" {
+		t.Errorf("lifeguard = %s", res.Lifeguard)
+	}
+	if res.AnalysisCycles == 0 {
+		t.Error("instrumentation must cost cycles")
+	}
+	if res.TotalCycles != res.AppCycles+res.AnalysisCycles {
+		t.Error("total must be app + analysis")
+	}
+	if res.Records == 0 || res.Instructions == 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("clean program flagged: %v", res.Violations)
+	}
+	if r.Lifeguard().Name() != "AddrCheck" {
+		t.Error("Lifeguard accessor")
+	}
+}
+
+func TestRunnerRejectsInvalidProgram(t *testing.T) {
+	bad := &prog.Program{Name: "bad"} // empty: fails validation
+	_, err := NewRunner(bad, osmodel.DefaultKernelConfig(), osmodel.DefaultMachineConfig(),
+		func(m lifeguard.Meter) lifeguard.Lifeguard { return addrcheck.New(m) })
+	if err == nil {
+		t.Error("invalid program must be rejected")
+	}
+}

@@ -1,0 +1,163 @@
+// Package dispatch models the lifeguard core's hardware dispatch engine.
+//
+// Per the paper (§2): "Log record fetch is driven by the lifeguard, which
+// is primarily organized as a collection of event handlers, each of which
+// terminates by issuing an nlba (next LBA record) instruction. This
+// operation causes the dispatch hardware to retrieve the next record from
+// the decompression engine and execute the lifeguard handler associated
+// with that type of event. Certain event values (such as the memory
+// addresses of loads and stores) are simultaneously placed in the register
+// file by the dispatch engine for ready lifeguard handler access."
+//
+// The engine charges, per record:
+//
+//   - a dispatch cost (jump-table lookup + register preload), reduced to a
+//     single cycle when pipelining hides it ("although each nlba
+//     instruction causes a jump table lookup ..., the index can be
+//     determined very early");
+//   - the handler's metered work (instructions plus shadow accesses priced
+//     through the lifeguard core's caches).
+package dispatch
+
+import (
+	"repro/internal/event"
+	"repro/internal/lifeguard"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// Config tunes the engine's cost model.
+type Config struct {
+	// DispatchCycles is the un-pipelined cost of an nlba: jump-table
+	// lookup plus register preload.
+	DispatchCycles uint64
+	// Pipelined enables the early-index optimisation, overlapping all but
+	// one cycle of dispatch with the previous handler.
+	Pipelined bool
+	// EmptyHandlerCycles is the cost of a record whose type has no
+	// registered handler (a handler that is just nlba).
+	EmptyHandlerCycles uint64
+}
+
+// DefaultConfig returns the evaluation's dispatch cost model.
+func DefaultConfig() Config {
+	return Config{DispatchCycles: 3, Pipelined: true, EmptyHandlerCycles: 1}
+}
+
+// Stats describes engine activity.
+type Stats struct {
+	Records        uint64
+	Cycles         uint64
+	PerTypeRecords [event.NumTypes]uint64
+	PerTypeCycles  [event.NumTypes]uint64
+}
+
+// CyclesPerRecord returns the average lifeguard-core cost per record.
+func (s *Stats) CyclesPerRecord() float64 {
+	if s.Records == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Records)
+}
+
+// CoreMeter prices handler work on the lifeguard core: instructions are
+// single-cycle (in-order core) and shadow accesses go through the core's
+// own cache port. It implements lifeguard.Meter.
+type CoreMeter struct {
+	Port   *mem.Port
+	cycles uint64
+}
+
+// Instr implements lifeguard.Meter.
+func (m *CoreMeter) Instr(n uint64) { m.cycles += n }
+
+// Shadow implements lifeguard.Meter.
+func (m *CoreMeter) Shadow(appAddr uint64, size uint8, write bool) {
+	m.cycles += m.Port.Data(shadow.AddrOf(appAddr), size, write)
+}
+
+// Take drains the accumulated cycles.
+func (m *CoreMeter) Take() uint64 {
+	c := m.cycles
+	m.cycles = 0
+	return c
+}
+
+// Engine is the dispatch hardware plus the lifeguard's jump table.
+type Engine struct {
+	cfg   Config
+	table [event.NumTypes]lifeguard.Handler
+	meter *CoreMeter
+	seq   uint64
+	stats Stats
+	lg    lifeguard.Lifeguard
+}
+
+// New builds an engine that prices handler work with meter.
+func New(cfg Config, meter *CoreMeter) *Engine {
+	if cfg.DispatchCycles == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Engine{cfg: cfg, meter: meter}
+}
+
+// Attach installs a lifeguard's handlers into the jump table.
+func (e *Engine) Attach(lg lifeguard.Lifeguard) {
+	e.lg = lg
+	for ty, h := range lg.Handlers() {
+		e.table[ty] = h
+	}
+}
+
+// Lifeguard returns the attached lifeguard.
+func (e *Engine) Lifeguard() lifeguard.Lifeguard { return e.lg }
+
+// Stats returns a copy of the engine statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Seq returns the number of records dispatched so far.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// Dispatch delivers one record: nlba fetch, jump-table lookup, handler
+// execution. It returns the lifeguard-core cycles the record consumed —
+// the cost the log channel charges to the consumer side.
+func (e *Engine) Dispatch(r *event.Record) uint64 {
+	dispatchCost := e.cfg.DispatchCycles
+	if e.cfg.Pipelined && dispatchCost > 1 {
+		dispatchCost = 1
+	}
+
+	var handlerCost uint64
+	if h := e.table[r.Type]; h != nil {
+		h(e.seq, r)
+		handlerCost = e.meter.Take()
+	} else {
+		handlerCost = e.cfg.EmptyHandlerCycles
+	}
+
+	if r.Type == event.TExit && e.lg != nil {
+		e.lg.Finish()
+		handlerCost += e.meter.Take()
+	}
+
+	total := dispatchCost + handlerCost
+	e.stats.Records++
+	e.stats.Cycles += total
+	e.stats.PerTypeRecords[r.Type]++
+	e.stats.PerTypeCycles[r.Type] += total
+	e.seq++
+	return total
+}
+
+// ChargeExternal accounts cycles for a record whose functional handler ran
+// on another engine but whose state update this core must mirror
+// (replicated allocation metadata in parallel-lifeguard mode). It affects
+// timing and statistics only.
+func (e *Engine) ChargeExternal(ty event.Type, cycles uint64) uint64 {
+	e.stats.Records++
+	e.stats.Cycles += cycles
+	e.stats.PerTypeRecords[ty]++
+	e.stats.PerTypeCycles[ty] += cycles
+	e.seq++
+	return cycles
+}

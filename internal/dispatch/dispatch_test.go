@@ -1,0 +1,149 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/lifeguard"
+	"repro/internal/mem"
+)
+
+// fakeGuard counts handler invocations and charges a fixed budget.
+type fakeGuard struct {
+	meter    lifeguard.Meter
+	loads    int
+	finished bool
+	seqs     []uint64
+}
+
+func (f *fakeGuard) Name() string                      { return "fake" }
+func (f *fakeGuard) Finish()                           { f.finished = true }
+func (f *fakeGuard) Violations() []lifeguard.Violation { return nil }
+func (f *fakeGuard) Handlers() map[event.Type]lifeguard.Handler {
+	return map[event.Type]lifeguard.Handler{
+		event.TLoad: func(seq uint64, r *event.Record) {
+			f.loads++
+			f.seqs = append(f.seqs, seq)
+			f.meter.Instr(5)
+			f.meter.Shadow(r.Addr, 1, false)
+		},
+	}
+}
+
+func newEngine(t *testing.T) (*Engine, *fakeGuard, *mem.Hierarchy) {
+	t.Helper()
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(2))
+	meter := &CoreMeter{Port: h.Port(1)} // lifeguard core = core 1
+	e := New(DefaultConfig(), meter)
+	g := &fakeGuard{meter: meter}
+	e.Attach(g)
+	return e, g, h
+}
+
+func TestDispatchInvokesHandler(t *testing.T) {
+	e, g, _ := newEngine(t)
+	cost := e.Dispatch(&event.Record{Type: event.TLoad, Addr: 0x2000_0000, Size: 8})
+	if g.loads != 1 {
+		t.Fatal("handler not invoked")
+	}
+	// 1 (pipelined dispatch) + 5 (instr) + cold shadow access (>= 100).
+	if cost < 1+5+100 {
+		t.Errorf("cost = %d: cold shadow miss should dominate", cost)
+	}
+	// Second dispatch hits the warm shadow line.
+	warm := e.Dispatch(&event.Record{Type: event.TLoad, Addr: 0x2000_0000, Size: 8})
+	if warm != 1+5+1 {
+		t.Errorf("warm cost = %d, want 7", warm)
+	}
+}
+
+func TestDispatchUnhandledTypeIsCheap(t *testing.T) {
+	e, _, _ := newEngine(t)
+	cfg := DefaultConfig()
+	cost := e.Dispatch(&event.Record{Type: event.TALU})
+	want := uint64(1) + cfg.EmptyHandlerCycles // pipelined dispatch + nlba-only handler
+	if cost != want {
+		t.Errorf("empty handler cost = %d, want %d", cost, want)
+	}
+}
+
+func TestDispatchUnpipelined(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(2))
+	meter := &CoreMeter{Port: h.Port(1)}
+	cfg := DefaultConfig()
+	cfg.Pipelined = false
+	e := New(cfg, meter)
+	cost := e.Dispatch(&event.Record{Type: event.TALU})
+	want := cfg.DispatchCycles + cfg.EmptyHandlerCycles
+	if cost != want {
+		t.Errorf("unpipelined cost = %d, want %d", cost, want)
+	}
+}
+
+func TestDispatchSequenceNumbers(t *testing.T) {
+	e, g, _ := newEngine(t)
+	e.Dispatch(&event.Record{Type: event.TALU})
+	e.Dispatch(&event.Record{Type: event.TLoad})
+	e.Dispatch(&event.Record{Type: event.TLoad})
+	if len(g.seqs) != 2 || g.seqs[0] != 1 || g.seqs[1] != 2 {
+		t.Errorf("handler seqs = %v, want [1 2]", g.seqs)
+	}
+	if e.Seq() != 3 {
+		t.Errorf("Seq = %d, want 3", e.Seq())
+	}
+}
+
+func TestDispatchFinishOnExit(t *testing.T) {
+	e, g, _ := newEngine(t)
+	e.Dispatch(&event.Record{Type: event.TExit})
+	if !g.finished {
+		t.Error("TExit must trigger lifeguard Finish")
+	}
+}
+
+func TestDispatchStats(t *testing.T) {
+	e, _, _ := newEngine(t)
+	e.Dispatch(&event.Record{Type: event.TLoad, Addr: 0x1000, Size: 4})
+	e.Dispatch(&event.Record{Type: event.TALU})
+	st := e.Stats()
+	if st.Records != 2 {
+		t.Errorf("Records = %d", st.Records)
+	}
+	if st.PerTypeRecords[event.TLoad] != 1 || st.PerTypeRecords[event.TALU] != 1 {
+		t.Error("per-type record counts wrong")
+	}
+	if st.Cycles == 0 || st.CyclesPerRecord() <= 0 {
+		t.Error("cycle accounting missing")
+	}
+	var empty Stats
+	if empty.CyclesPerRecord() != 0 {
+		t.Error("empty stats should report 0 cycles/record")
+	}
+}
+
+func TestCoreMeterTakeDrains(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	m := &CoreMeter{Port: h.Port(0)}
+	m.Instr(10)
+	if got := m.Take(); got != 10 {
+		t.Errorf("Take = %d, want 10", got)
+	}
+	if got := m.Take(); got != 0 {
+		t.Errorf("second Take = %d, want 0", got)
+	}
+}
+
+func TestEngineZeroConfigDefaults(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	e := New(Config{}, &CoreMeter{Port: h.Port(0)})
+	if e.cfg.DispatchCycles != DefaultConfig().DispatchCycles {
+		t.Error("zero config should use defaults")
+	}
+}
+
+func TestLifeguardAccessor(t *testing.T) {
+	e, g, _ := newEngine(t)
+	if e.Lifeguard() != lifeguard.Lifeguard(g) {
+		t.Error("Lifeguard() should return the attached lifeguard")
+	}
+}

@@ -1,0 +1,173 @@
+// Package event defines the LBA log record: the unit of information the
+// capture hardware emits for every retired application instruction and that
+// lifeguards consume through the dispatch engine.
+//
+// Per the paper (§2), each record carries the instruction's (a) program
+// counter, (b) type, (c) input and output operand identifiers, and (d) the
+// load/store memory address when present. We add the thread id (needed by
+// LockSet on multithreaded runs) and an auxiliary value field; the paper's
+// footnote notes that "additional fields would be needed to enable rewind",
+// and Aux is exactly that field (it carries the overwritten value for the
+// replay extension, allocation sizes, and syscall numbers).
+package event
+
+import "fmt"
+
+// Type classifies a log record. The first group mirrors instruction classes
+// captured at retirement; the second group is synthesised by the OS model at
+// well-known points (allocation, locking, thread lifecycle), standing in for
+// the instrumented libc/pthread wrappers the paper's lifeguards rely on.
+type Type uint8
+
+// Record types.
+const (
+	TNop Type = iota
+	TALU
+	TMov     // register-to-register copy
+	TMovImm  // immediate load (no input operands)
+	TLoad    // memory read; Addr/Size valid
+	TStore   // memory write; Addr/Size valid; Aux = overwritten value in rewind mode
+	TBranch  // conditional direct branch; Aux = 1 if taken
+	TJump    // unconditional direct jump
+	TJumpInd // indirect jump; Addr = target PC
+	TCall    // direct call
+	TCallInd // indirect call; Addr = target PC
+	TRet     // return
+	TSyscall // Aux = syscall number
+
+	// Kernel-synthesised records.
+	TAlloc       // Addr = block base, Aux = size
+	TFree        // Addr = block base
+	TLock        // Addr = lock address
+	TUnlock      // Addr = lock address
+	TTaintSource // untrusted input arrived: Addr = buffer, Aux = length
+	TThreadStart // TID of the new thread
+	TThreadExit
+	TExit // application exited; last record in a log
+
+	NumTypes = int(TExit) + 1
+)
+
+var typeNames = [...]string{
+	TNop:         "nop",
+	TALU:         "alu",
+	TMov:         "mov",
+	TMovImm:      "movimm",
+	TLoad:        "load",
+	TStore:       "store",
+	TBranch:      "branch",
+	TJump:        "jump",
+	TJumpInd:     "jumpind",
+	TCall:        "call",
+	TCallInd:     "callind",
+	TRet:         "ret",
+	TSyscall:     "syscall",
+	TAlloc:       "alloc",
+	TFree:        "free",
+	TLock:        "lock",
+	TUnlock:      "unlock",
+	TTaintSource: "taintsource",
+	TThreadStart: "threadstart",
+	TThreadExit:  "threadexit",
+	TExit:        "exit",
+}
+
+// String returns the record type name.
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type?%d", uint8(t))
+}
+
+// Valid reports whether t is a defined record type.
+func (t Type) Valid() bool { return int(t) < NumTypes }
+
+// IsMem reports whether the record describes a data-memory access.
+func (t Type) IsMem() bool { return t == TLoad || t == TStore }
+
+// IsSynthesised reports whether the record comes from the OS model rather
+// than instruction retirement.
+func (t Type) IsSynthesised() bool { return t >= TAlloc }
+
+// OpNone marks an absent operand identifier in a record. Operand
+// identifiers 0..15 name architectural registers.
+const OpNone uint8 = 0xFF
+
+// Record is one log entry. The zero value is a TNop record.
+type Record struct {
+	Type Type
+	TID  uint8 // thread that retired the instruction
+	In1  uint8 // first input operand identifier (register) or OpNone
+	In2  uint8 // second input operand identifier or OpNone
+	Out  uint8 // output operand identifier or OpNone
+	Size uint8 // memory access size in bytes (loads/stores)
+	PC   uint64
+	Addr uint64 // effective address / control target / block base / lock
+	Aux  uint64 // type-dependent auxiliary value (see Type docs)
+}
+
+// String renders the record for trace dumps.
+func (r Record) String() string {
+	op := func(id uint8) string {
+		if id == OpNone {
+			return "--"
+		}
+		return fmt.Sprintf("r%d", id)
+	}
+	return fmt.Sprintf("[t%d pc=%#x %s in=%s,%s out=%s addr=%#x size=%d aux=%#x]",
+		r.TID, r.PC, r.Type, op(r.In1), op(r.In2), op(r.Out), r.Addr, r.Size, r.Aux)
+}
+
+// EncodedSize is the fixed uncompressed wire size of a record in bytes.
+// The VPC compressor (internal/vpc) shrinks records far below this; the raw
+// encoding exists for trace files and for measuring compression ratios.
+const EncodedSize = 32
+
+// Encode serialises r into dst, which must be at least EncodedSize bytes.
+// Layout (little-endian): type, tid, in1, in2, out, size, 2 pad bytes,
+// pc, addr, aux.
+func (r Record) Encode(dst []byte) {
+	_ = dst[EncodedSize-1]
+	dst[0] = byte(r.Type)
+	dst[1] = r.TID
+	dst[2] = r.In1
+	dst[3] = r.In2
+	dst[4] = r.Out
+	dst[5] = r.Size
+	dst[6] = 0
+	dst[7] = 0
+	putU64(dst[8:], r.PC)
+	putU64(dst[16:], r.Addr)
+	putU64(dst[24:], r.Aux)
+}
+
+// Decode deserialises a record from src, which must hold EncodedSize bytes.
+func Decode(src []byte) Record {
+	_ = src[EncodedSize-1]
+	return Record{
+		Type: Type(src[0]),
+		TID:  src[1],
+		In1:  src[2],
+		In2:  src[3],
+		Out:  src[4],
+		Size: src[5],
+		PC:   getU64(src[8:]),
+		Addr: getU64(src[16:]),
+		Aux:  getU64(src[24:]),
+	}
+}
+
+func putU64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(src []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(src[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeNamesComplete(t *testing.T) {
+	for ty := Type(0); int(ty) < NumTypes; ty++ {
+		name := ty.String()
+		if name == "" || strings.HasPrefix(name, "type?") {
+			t.Errorf("type %d lacks a name", uint8(ty))
+		}
+		if !ty.Valid() {
+			t.Errorf("type %s should be valid", name)
+		}
+	}
+	if Type(200).Valid() {
+		t.Error("type 200 should be invalid")
+	}
+	if !strings.HasPrefix(Type(200).String(), "type?") {
+		t.Error("unknown type should stringify as type?N")
+	}
+}
+
+func TestTypeClasses(t *testing.T) {
+	if !TLoad.IsMem() || !TStore.IsMem() {
+		t.Error("load/store are memory records")
+	}
+	if TALU.IsMem() || TAlloc.IsMem() {
+		t.Error("alu/alloc are not memory records")
+	}
+	for _, ty := range []Type{TAlloc, TFree, TLock, TUnlock, TTaintSource, TThreadStart, TThreadExit, TExit} {
+		if !ty.IsSynthesised() {
+			t.Errorf("%s should be synthesised", ty)
+		}
+	}
+	for _, ty := range []Type{TNop, TALU, TLoad, TStore, TSyscall} {
+		if ty.IsSynthesised() {
+			t.Errorf("%s should come from retirement", ty)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{
+		Type: TStore,
+		TID:  3,
+		In1:  5,
+		In2:  OpNone,
+		Out:  OpNone,
+		Size: 8,
+		PC:   0x40_0010,
+		Addr: 0x2000_0040,
+		Aux:  0xDEADBEEF,
+	}
+	var buf [EncodedSize]byte
+	r.Encode(buf[:])
+	got := Decode(buf[:])
+	if got != r {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+// Property: Encode/Decode are inverses for all field values.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(ty uint8, tid, in1, in2, out, size uint8, pc, addr, aux uint64) bool {
+		r := Record{
+			Type: Type(ty % uint8(NumTypes)),
+			TID:  tid, In1: in1, In2: in2, Out: out, Size: size,
+			PC: pc, Addr: addr, Aux: aux,
+		}
+		var buf [EncodedSize]byte
+		r.Encode(buf[:])
+		return Decode(buf[:]) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroRecordIsNop(t *testing.T) {
+	var r Record
+	if r.Type != TNop {
+		t.Error("zero record should be a nop")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Type: TLoad, TID: 1, In1: 2, In2: OpNone, Out: 4, Size: 8, PC: 0x400000, Addr: 0x1000}
+	s := r.String()
+	for _, want := range []string{"load", "r2", "r4", "--", "t1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestEncodePanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode into a short buffer must panic")
+		}
+	}()
+	var r Record
+	r.Encode(make([]byte, 8))
+}

@@ -1,0 +1,246 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// Ablation experiments: design-point sweeps for the LBA mechanisms the
+// paper proposes (DESIGN.md experiment ids A-buffer, A-compress, A-filter,
+// A-parallel, A-stall).
+
+// BufferRow is one point of the log-buffer size sweep.
+type BufferRow struct {
+	CapacityBytes uint64
+	Slowdown      float64
+	StallCycles   uint64 // producer backpressure
+}
+
+// BufferSweep measures how log-buffer capacity trades off against
+// application-core stalls (the decoupling claim of §2): bigger buffers must
+// monotonically reduce backpressure.
+func BufferSweep(bench string, sizes []uint64, opts Options) ([]BufferRow, error) {
+	opts = opts.withDefaults()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
+	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []BufferRow
+	for _, size := range sizes {
+		cfg := opts.coreConfig()
+		cfg.Channel.CapacityBytes = size
+		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: buffer %d: %w", size, err)
+		}
+		rows = append(rows, BufferRow{
+			CapacityBytes: size,
+			Slowdown:      res.SlowdownVs(base),
+			StallCycles:   res.BufferStallCycles,
+		})
+	}
+	return rows, nil
+}
+
+// CompressionAblationRow compares the transport with and without VPC.
+type CompressionAblationRow struct {
+	Compression bool
+	LogBytes    uint64
+	Slowdown    float64
+	StallCycles uint64
+}
+
+// CompressionAblation quantifies what the VPC engine buys: log volume and
+// the stalls a small buffer suffers without it.
+func CompressionAblation(bench string, opts Options) ([]CompressionAblationRow, error) {
+	opts = opts.withDefaults()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
+	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []CompressionAblationRow
+	for _, compressed := range []bool{true, false} {
+		cfg := opts.coreConfig()
+		cfg.CompressionOff = !compressed
+		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CompressionAblationRow{
+			Compression: compressed,
+			LogBytes:    res.LogBits / 8,
+			Slowdown:    res.SlowdownVs(base),
+			StallCycles: res.BufferStallCycles,
+		})
+	}
+	return rows, nil
+}
+
+// FilterRow is one point of the address-range filter ablation.
+type FilterRow struct {
+	Filtered bool
+	Slowdown float64
+	Dropped  uint64
+	LgCycles uint64
+}
+
+// FilterAblation measures the §3 "address-range based filtering" proposal:
+// capture-side filtering to heap-only records must cut lifeguard load
+// without losing heap coverage.
+func FilterAblation(bench string, opts Options) ([]FilterRow, error) {
+	opts = opts.withDefaults()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
+	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FilterRow
+	for _, filtered := range []bool{false, true} {
+		cfg := opts.coreConfig()
+		if filtered {
+			cfg.FilterRanges = []core.AddrRange{{Lo: isa.HeapBase, Hi: isa.HeapLimit}}
+		}
+		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FilterRow{
+			Filtered: filtered,
+			Slowdown: res.SlowdownVs(base),
+			Dropped:  res.FilteredOut,
+			LgCycles: res.LgCycles,
+		})
+	}
+	return rows, nil
+}
+
+// ParallelRow is one point of the parallel-lifeguard sweep.
+type ParallelRow struct {
+	Cores    int
+	Slowdown float64
+}
+
+// ParallelSweep measures the §3 "parallelizing lifeguards" proposal:
+// consuming the log on k address-interleaved cores.
+func ParallelSweep(bench string, cores []int, opts Options) ([]ParallelRow, error) {
+	opts = opts.withDefaults()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
+	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ParallelRow
+	for _, k := range cores {
+		cfg := opts.coreConfig()
+		cfg.ParallelLifeguards = k
+		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ParallelRow{Cores: k, Slowdown: res.SlowdownVs(base)})
+	}
+	return rows, nil
+}
+
+// PipelineRow compares pipelined vs serialised nlba dispatch.
+type PipelineRow struct {
+	Pipelined bool
+	Slowdown  float64
+	LgCycles  uint64
+}
+
+// PipelineAblation measures the dispatch engine's early-index optimisation
+// ("although each nlba instruction causes a jump table lookup to retrieve
+// the lifeguard handler address, the index can be determined very early",
+// §2): disabling the overlap exposes the full dispatch latency on every
+// record.
+func PipelineAblation(bench string, opts Options) ([]PipelineRow, error) {
+	opts = opts.withDefaults()
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
+	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []PipelineRow
+	for _, pipelined := range []bool{true, false} {
+		cfg := opts.coreConfig()
+		cfg.Dispatch.Pipelined = pipelined
+		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PipelineRow{
+			Pipelined: pipelined,
+			Slowdown:  res.SlowdownVs(base),
+			LgCycles:  res.LgCycles,
+		})
+	}
+	return rows, nil
+}
+
+// StallRow is one point of the syscall-containment ablation.
+type StallRow struct {
+	Benchmark   string
+	DrainEvents uint64
+	DrainCycles uint64
+	DrainShare  float64 // fraction of application cycles lost to drains
+}
+
+// SyscallStallTable quantifies the §2 containment rule ("the OS stalls each
+// application syscall until the lifeguard finishes checking") across the
+// suite: syscall-heavy benchmarks pay more.
+func SyscallStallTable(opts Options) ([]StallRow, error) {
+	opts = opts.withDefaults()
+	var rows []StallRow
+	for _, spec := range workloads.All() {
+		lifeguard := "AddrCheck"
+		if spec.MultiThreaded {
+			lifeguard = "LockSet"
+		}
+		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
+		res, err := core.RunLBA(spec.Build(wcfg), lifeguard, opts.coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		row := StallRow{
+			Benchmark:   spec.Name,
+			DrainEvents: res.DrainEvents,
+			DrainCycles: res.DrainStallCycles,
+		}
+		if res.AppCycles > 0 {
+			row.DrainShare = float64(res.DrainStallCycles) / float64(res.AppCycles)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

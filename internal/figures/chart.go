@@ -1,0 +1,46 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFigure2 draws one Figure 2 panel as a horizontal ASCII bar chart —
+// the visual analogue of the paper's figure, with a Valgrind (v) and an
+// LBA (l) bar per benchmark, normalised to unmonitored execution time.
+func RenderFigure2(lifeguard string, rows []Figure2Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	maxVal := 0.0
+	nameW := 0
+	for _, r := range rows {
+		if r.Valgrind > maxVal {
+			maxVal = r.Valgrind
+		}
+		if len(r.Benchmark) > nameW {
+			nameW = len(r.Benchmark)
+		}
+	}
+	const barW = 50
+	scale := float64(barW) / maxVal
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — normalized execution time (bar length ∝ slowdown, 1.0 = unmonitored)\n",
+		lifeguard)
+	for _, r := range rows {
+		vBar := int(r.Valgrind*scale + 0.5)
+		lBar := int(r.LBA*scale + 0.5)
+		if vBar < 1 {
+			vBar = 1
+		}
+		if lBar < 1 {
+			lBar = 1
+		}
+		fmt.Fprintf(&sb, "%-*s v %s %.1fX\n", nameW, r.Benchmark,
+			strings.Repeat("█", vBar), r.Valgrind)
+		fmt.Fprintf(&sb, "%-*s l %s %.1fX\n", nameW, "",
+			strings.Repeat("▒", lBar), r.LBA)
+	}
+	return sb.String()
+}

@@ -1,0 +1,211 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (the experiment index of DESIGN.md §4). Each generator runs
+// the relevant benchmarks through the three system modes and returns
+// structured rows; cmd/lbabench renders them as paper-style text and
+// bench_test.go wraps them as Go benchmarks.
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is the per-benchmark dynamic instruction target. The paper's
+	// runs average 209M instructions; defaults here are sized so the whole
+	// suite regenerates in seconds while staying past cache warm-up (the
+	// slowdown ratios are scale-invariant; see TestScaleInvariance).
+	Scale int
+	// Seed drives workload generation.
+	Seed uint64
+	// Threads for the multithreaded pair.
+	Threads int
+	// Config overrides the system design point (zero value = paper's).
+	Config *core.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 400_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xB5EED
+	}
+	if o.Threads <= 0 {
+		o.Threads = 2
+	}
+	return o
+}
+
+func (o Options) coreConfig() core.Config {
+	if o.Config != nil {
+		return *o.Config
+	}
+	return core.DefaultConfig()
+}
+
+// Figure2Row is one benchmark's bar pair in Figure 2: normalized execution
+// times of the Valgrind-style baseline (v) and LBA (l).
+type Figure2Row struct {
+	Benchmark string
+	Valgrind  float64 // slowdown vs unmonitored
+	LBA       float64 // slowdown vs unmonitored
+	Speedup   float64 // Valgrind / LBA (paper: 4-19X)
+}
+
+// Figure2Panel regenerates one panel of Figure 2 for the given lifeguard:
+// AddrCheck and TaintCheck run the seven single-threaded benchmarks;
+// LockSet runs the two multithreaded ones.
+func Figure2Panel(lifeguard string, opts Options) ([]Figure2Row, error) {
+	opts = opts.withDefaults()
+	specs := workloads.SingleThreaded()
+	if lifeguard == "LockSet" {
+		specs = workloads.MultiThreaded()
+	}
+
+	var rows []Figure2Row
+	for _, spec := range specs {
+		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
+		ccfg := opts.coreConfig()
+
+		base, err := core.RunUnmonitored(spec.Build(wcfg), ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s unmonitored: %w", spec.Name, err)
+		}
+		lba, err := core.RunLBA(spec.Build(wcfg), lifeguard, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s lba: %w", spec.Name, err)
+		}
+		dbi, err := core.RunDBI(spec.Build(wcfg), lifeguard, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s dbi: %w", spec.Name, err)
+		}
+
+		row := Figure2Row{
+			Benchmark: spec.Name,
+			Valgrind:  dbi.SlowdownVs(base),
+			LBA:       lba.SlowdownVs(base),
+		}
+		if row.LBA > 0 {
+			row.Speedup = row.Valgrind / row.LBA
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PanelSummary aggregates a Figure 2 panel the way the paper's text does.
+type PanelSummary struct {
+	Lifeguard    string
+	MeanLBA      float64 // paper: 3.9X / 4.8X / 9.7X
+	MeanValgrind float64
+	MinValgrind  float64 // paper: 10-85X across panels
+	MaxValgrind  float64
+	MinSpeedup   float64 // paper: 4-19X
+	MaxSpeedup   float64
+}
+
+// Summarise reduces a panel to the paper's headline numbers.
+func Summarise(lifeguard string, rows []Figure2Row) PanelSummary {
+	s := PanelSummary{Lifeguard: lifeguard}
+	if len(rows) == 0 {
+		return s
+	}
+	s.MinValgrind, s.MaxValgrind = rows[0].Valgrind, rows[0].Valgrind
+	s.MinSpeedup, s.MaxSpeedup = rows[0].Speedup, rows[0].Speedup
+	for _, r := range rows {
+		s.MeanLBA += r.LBA
+		s.MeanValgrind += r.Valgrind
+		if r.Valgrind < s.MinValgrind {
+			s.MinValgrind = r.Valgrind
+		}
+		if r.Valgrind > s.MaxValgrind {
+			s.MaxValgrind = r.Valgrind
+		}
+		if r.Speedup < s.MinSpeedup {
+			s.MinSpeedup = r.Speedup
+		}
+		if r.Speedup > s.MaxSpeedup {
+			s.MaxSpeedup = r.Speedup
+		}
+	}
+	s.MeanLBA /= float64(len(rows))
+	s.MeanValgrind /= float64(len(rows))
+	return s
+}
+
+// CharacterisationRow is one line of the benchmark-characteristics table
+// (§3: instruction counts and the 51%-memory-references figure).
+type CharacterisationRow struct {
+	Benchmark      string
+	Instructions   uint64
+	MemRefFraction float64
+	CPI            float64
+	Threads        int
+}
+
+// Characterisation regenerates the benchmark statistics table.
+func Characterisation(opts Options) ([]CharacterisationRow, error) {
+	opts = opts.withDefaults()
+	var rows []CharacterisationRow
+	for _, spec := range workloads.All() {
+		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
+		res, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", spec.Name, err)
+		}
+		threads := 1
+		if spec.MultiThreaded {
+			threads = opts.Threads
+		}
+		rows = append(rows, CharacterisationRow{
+			Benchmark:      spec.Name,
+			Instructions:   res.Instructions,
+			MemRefFraction: res.MemRefFraction,
+			CPI:            res.CPI(),
+			Threads:        threads,
+		})
+	}
+	return rows, nil
+}
+
+// CompressionRow is one line of the log-compression table (§2: "less than
+// one byte per instruction").
+type CompressionRow struct {
+	Benchmark      string
+	Records        uint64
+	BytesPerRecord float64
+	Ratio          float64 // raw (32 B) / compressed
+}
+
+// Compression measures VPC compression across the suite by running the
+// full LBA pipeline (AddrCheck attached, since a lifeguard must drive
+// consumption) and reading the transport statistics.
+func Compression(opts Options) ([]CompressionRow, error) {
+	opts = opts.withDefaults()
+	var rows []CompressionRow
+	for _, spec := range workloads.All() {
+		lifeguard := "AddrCheck"
+		if spec.MultiThreaded {
+			lifeguard = "LockSet"
+		}
+		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
+		res, err := core.RunLBA(spec.Build(wcfg), lifeguard, opts.coreConfig())
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", spec.Name, err)
+		}
+		row := CompressionRow{
+			Benchmark:      spec.Name,
+			Records:        res.Records,
+			BytesPerRecord: res.BytesPerRecord,
+		}
+		if res.BytesPerRecord > 0 {
+			row.Ratio = 32 / res.BytesPerRecord
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,449 @@
+// Package isa defines the instruction set of the simulated machine used
+// throughout the LBA reproduction.
+//
+// The paper evaluates LBA on x86 binaries running under Simics. We do not
+// have Simics or the benchmark binaries, so the reproduction substitutes a
+// compact register machine whose instructions expose exactly the state the
+// LBA capture hardware records for each retired instruction: a program
+// counter, an instruction type, input and output operand identifiers, and a
+// load/store memory address. Every subsystem above this package (capture,
+// compression, dispatch, lifeguards) consumes only that information, so the
+// substitution preserves the behaviour the evaluation depends on.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. The machine has sixteen
+// general-purpose 64-bit registers; by software convention R15 is the stack
+// pointer. RegNone marks an unused operand slot in an instruction and is
+// also the "no operand" identifier in log records.
+type Reg uint8
+
+// General-purpose registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NumRegs is the size of the architectural register file.
+	NumRegs = 16
+
+	// SP is the stack pointer by software convention.
+	SP = R15
+
+	// RegNone marks an absent operand.
+	RegNone Reg = 0xFF
+)
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "--"
+	case r == SP:
+		return "sp"
+	case r.Valid():
+		return fmt.Sprintf("r%d", uint8(r))
+	default:
+		return fmt.Sprintf("r?%d", uint8(r))
+	}
+}
+
+// Opcode enumerates the operations of the machine.
+type Opcode uint8
+
+// Opcodes. The set is intentionally small but covers every instruction class
+// the LBA capture hardware distinguishes: ALU operations, register moves,
+// address generation, loads, stores, direct and indirect control flow, and
+// system calls.
+const (
+	OpNop Opcode = iota
+
+	// ALU: Dst = Src1 <op> Src2, or Dst = Src1 <op> Imm when Src2 is
+	// RegNone.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Moves and address generation.
+	OpMovReg // Dst = Src1
+	OpMovImm // Dst = Imm
+	OpLea    // Dst = Src1 + (Idx << Scale) + Imm (no memory access)
+
+	// Memory. Effective address = Src1 + (Idx << Scale) + Imm.
+	OpLoad  // Dst = Mem[EA] (Size bytes, zero-extended)
+	OpStore // Mem[EA] = Src2 (Size bytes)
+
+	// Control flow. Direct targets are resolved instruction indices.
+	OpJmp     // unconditional direct jump
+	OpJmpInd  // PC = Src1 (indirect jump; TaintCheck's primary sink)
+	OpBr      // conditional: if Cond(Src1, Src2or Imm) then jump
+	OpCall    // push return PC, direct jump
+	OpCallInd // push return PC, PC = Src1
+	OpRet     // pop return PC
+
+	// System.
+	OpSyscall // number = Imm, args in R0..R5, result in R0
+	OpHalt    // terminate the current thread
+
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpNop:     "nop",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpRem:     "rem",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpMovReg:  "mov",
+	OpMovImm:  "movi",
+	OpLea:     "lea",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpJmp:     "jmp",
+	OpJmpInd:  "jmpi",
+	OpBr:      "br",
+	OpCall:    "call",
+	OpCallInd: "calli",
+	OpRet:     "ret",
+	OpSyscall: "syscall",
+	OpHalt:    "halt",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// IsALU reports whether op is an arithmetic/logic operation.
+func (op Opcode) IsALU() bool { return op >= OpAdd && op <= OpShr }
+
+// IsMem reports whether op accesses data memory directly.
+// Call and Ret also touch the stack; they are accounted separately because
+// the capture hardware classifies them as control transfers.
+func (op Opcode) IsMem() bool { return op == OpLoad || op == OpStore }
+
+// IsControl reports whether op may redirect the program counter.
+func (op Opcode) IsControl() bool {
+	switch op {
+	case OpJmp, OpJmpInd, OpBr, OpCall, OpCallInd, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether op takes its control-flow target from a
+// register. Indirect transfers are the sinks checked by TaintCheck.
+func (op Opcode) IsIndirect() bool { return op == OpJmpInd || op == OpCallInd }
+
+// Cond enumerates branch conditions for OpBr. Comparisons are signed.
+type Cond uint8
+
+// Branch conditions.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+
+	numConds
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the assembler suffix of the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", uint8(c))
+}
+
+// Valid reports whether c is a defined condition.
+func (c Cond) Valid() bool { return c < numConds }
+
+// Eval evaluates the condition on two signed operands.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}
+
+// Inst is a decoded instruction. Instructions are fixed 4-byte entities for
+// the purposes of the program counter (PC = code base + 4*index), which
+// keeps instruction-cache behaviour realistic without a binary encoding.
+type Inst struct {
+	Op    Opcode
+	Dst   Reg   // destination register (RegNone if none)
+	Src1  Reg   // first source / base register / indirect target
+	Src2  Reg   // second source / store data register
+	Idx   Reg   // index register for addressing (RegNone if unused)
+	Scale uint8 // left shift applied to Idx when forming an address
+	Size  uint8 // access size in bytes for Load/Store: 1, 2, 4 or 8
+	Cond  Cond  // condition for Br
+	Imm   int64 // immediate operand / displacement / syscall number
+	// Target is the resolved instruction index for direct control flow
+	// (Jmp, Br, Call). It is filled in by the program builder.
+	Target int32
+}
+
+// InstBytes is the architectural size of one instruction; program counters
+// advance by this amount.
+const InstBytes = 4
+
+// UsesImmALU reports whether an ALU instruction takes its second operand
+// from the immediate field rather than Src2.
+func (in *Inst) UsesImmALU() bool { return in.Op.IsALU() && in.Src2 == RegNone }
+
+// Inputs appends the register input operand identifiers of the instruction
+// to dst and returns the extended slice. Memory inputs are not included;
+// they are described by the effective address in the log record.
+func (in *Inst) Inputs(dst []Reg) []Reg {
+	switch in.Op {
+	case OpNop, OpMovImm, OpJmp, OpHalt:
+		// no register inputs
+	case OpMovReg:
+		dst = append(dst, in.Src1)
+	case OpLea, OpLoad:
+		if in.Src1 != RegNone {
+			dst = append(dst, in.Src1)
+		}
+		if in.Idx != RegNone {
+			dst = append(dst, in.Idx)
+		}
+	case OpStore:
+		if in.Src1 != RegNone {
+			dst = append(dst, in.Src1)
+		}
+		if in.Idx != RegNone {
+			dst = append(dst, in.Idx)
+		}
+		dst = append(dst, in.Src2)
+	case OpJmpInd, OpCallInd:
+		dst = append(dst, in.Src1)
+	case OpBr:
+		dst = append(dst, in.Src1)
+		if in.Src2 != RegNone {
+			dst = append(dst, in.Src2)
+		}
+	case OpCall, OpRet:
+		// stack accesses are implicit
+	case OpSyscall:
+		// arguments R0..R5 are implicit; the kernel model reads them
+	default:
+		if in.Op.IsALU() {
+			dst = append(dst, in.Src1)
+			if in.Src2 != RegNone {
+				dst = append(dst, in.Src2)
+			}
+		}
+	}
+	return dst
+}
+
+// Output returns the register written by the instruction, or RegNone.
+func (in *Inst) Output() Reg {
+	switch in.Op {
+	case OpMovReg, OpMovImm, OpLea, OpLoad:
+		return in.Dst
+	case OpSyscall:
+		return R0
+	default:
+		if in.Op.IsALU() {
+			return in.Dst
+		}
+	}
+	return RegNone
+}
+
+// Validate checks structural well-formedness of the instruction. It is used
+// by the program builder and by tests; the CPU assumes validated programs.
+func (in *Inst) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	checkReg := func(name string, r Reg, allowNone bool) error {
+		if r == RegNone {
+			if allowNone {
+				return nil
+			}
+			return fmt.Errorf("isa: %s: %s operand required", in.Op, name)
+		}
+		if !r.Valid() {
+			return fmt.Errorf("isa: %s: bad %s register %d", in.Op, name, uint8(r))
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpNop, OpHalt, OpRet, OpJmp, OpSyscall:
+		// no register requirements
+	case OpMovImm:
+		return checkReg("dst", in.Dst, false)
+	case OpMovReg:
+		if err := checkReg("dst", in.Dst, false); err != nil {
+			return err
+		}
+		return checkReg("src1", in.Src1, false)
+	case OpLea:
+		if err := checkReg("dst", in.Dst, false); err != nil {
+			return err
+		}
+		if err := checkReg("base", in.Src1, true); err != nil {
+			return err
+		}
+		return checkReg("index", in.Idx, true)
+	case OpLoad:
+		if err := checkReg("dst", in.Dst, false); err != nil {
+			return err
+		}
+		if err := checkReg("base", in.Src1, true); err != nil {
+			return err
+		}
+		if err := checkReg("index", in.Idx, true); err != nil {
+			return err
+		}
+		return validSize(in.Op, in.Size)
+	case OpStore:
+		if err := checkReg("data", in.Src2, false); err != nil {
+			return err
+		}
+		if err := checkReg("base", in.Src1, true); err != nil {
+			return err
+		}
+		if err := checkReg("index", in.Idx, true); err != nil {
+			return err
+		}
+		return validSize(in.Op, in.Size)
+	case OpJmpInd, OpCallInd:
+		return checkReg("target", in.Src1, false)
+	case OpBr:
+		if !in.Cond.Valid() {
+			return fmt.Errorf("isa: br: invalid condition %d", uint8(in.Cond))
+		}
+		if err := checkReg("src1", in.Src1, false); err != nil {
+			return err
+		}
+		return checkReg("src2", in.Src2, true)
+	case OpCall:
+		// target index checked by the builder
+	default:
+		if in.Op.IsALU() {
+			if err := checkReg("dst", in.Dst, false); err != nil {
+				return err
+			}
+			if err := checkReg("src1", in.Src1, false); err != nil {
+				return err
+			}
+			return checkReg("src2", in.Src2, true)
+		}
+	}
+	return nil
+}
+
+func validSize(op Opcode, size uint8) error {
+	switch size {
+	case 1, 2, 4, 8:
+		return nil
+	}
+	return fmt.Errorf("isa: %s: invalid access size %d", op, size)
+}
+
+// String renders the instruction in a readable assembler-like form.
+func (in *Inst) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpRet:
+		return in.Op.String()
+	case OpMovImm:
+		return fmt.Sprintf("%s %s, #%d", in.Op, in.Dst, in.Imm)
+	case OpMovReg:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src1)
+	case OpLea:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.eaString())
+	case OpLoad:
+		return fmt.Sprintf("%s%d %s, %s", in.Op, in.Size, in.Dst, in.eaString())
+	case OpStore:
+		return fmt.Sprintf("%s%d %s, %s", in.Op, in.Size, in.eaString(), in.Src2)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case OpJmpInd, OpCallInd:
+		return fmt.Sprintf("%s %s", in.Op, in.Src1)
+	case OpBr:
+		if in.Src2 == RegNone {
+			return fmt.Sprintf("br.%s %s, #%d, @%d", in.Cond, in.Src1, in.Imm, in.Target)
+		}
+		return fmt.Sprintf("br.%s %s, %s, @%d", in.Cond, in.Src1, in.Src2, in.Target)
+	case OpSyscall:
+		return fmt.Sprintf("syscall #%d", in.Imm)
+	default:
+		if in.Op.IsALU() {
+			if in.Src2 == RegNone {
+				return fmt.Sprintf("%s %s, %s, #%d", in.Op, in.Dst, in.Src1, in.Imm)
+			}
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+		}
+		return fmt.Sprintf("%s ...", in.Op)
+	}
+}
+
+func (in *Inst) eaString() string {
+	s := "["
+	if in.Src1 != RegNone {
+		s += in.Src1.String()
+	}
+	if in.Idx != RegNone {
+		s += fmt.Sprintf("+%s<<%d", in.Idx, in.Scale)
+	}
+	if in.Imm != 0 {
+		s += fmt.Sprintf("%+d", in.Imm)
+	}
+	return s + "]"
+}

@@ -1,0 +1,371 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"},
+		{R7, "r7"},
+		{R14, "r14"},
+		{SP, "sp"},
+		{RegNone, "--"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(c.r), got, c.want)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		if !r.Valid() {
+			t.Errorf("register %s should be valid", r)
+		}
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("register 16 should be invalid")
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone should be invalid")
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op?") {
+			t.Errorf("opcode %d has no name", uint8(op))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes %d and %d share name %q", uint8(prev), uint8(op), name)
+		}
+		seen[name] = op
+	}
+	if !strings.HasPrefix(Opcode(250).String(), "op?") {
+		t.Error("unknown opcode should stringify with op? prefix")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	aluOps := []Opcode{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr}
+	for _, op := range aluOps {
+		if !op.IsALU() {
+			t.Errorf("%s should be ALU", op)
+		}
+		if op.IsMem() || op.IsControl() {
+			t.Errorf("%s should not be mem or control", op)
+		}
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Error("load/store should be memory ops")
+	}
+	ctl := []Opcode{OpJmp, OpJmpInd, OpBr, OpCall, OpCallInd, OpRet}
+	for _, op := range ctl {
+		if !op.IsControl() {
+			t.Errorf("%s should be control", op)
+		}
+	}
+	if OpSyscall.IsControl() || OpMovReg.IsControl() {
+		t.Error("syscall/mov are not control flow")
+	}
+	if !OpJmpInd.IsIndirect() || !OpCallInd.IsIndirect() {
+		t.Error("jmpi/calli are indirect")
+	}
+	if OpJmp.IsIndirect() || OpCall.IsIndirect() || OpRet.IsIndirect() {
+		t.Error("direct transfers must not be flagged indirect")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b int64
+		want bool
+	}{
+		{CondEQ, 3, 3, true},
+		{CondEQ, 3, 4, false},
+		{CondNE, 3, 4, true},
+		{CondNE, 4, 4, false},
+		{CondLT, -1, 0, true},
+		{CondLT, 0, 0, false},
+		{CondLE, 0, 0, true},
+		{CondLE, 1, 0, false},
+		{CondGT, 5, 4, true},
+		{CondGT, 4, 4, false},
+		{CondGE, 4, 4, true},
+		{CondGE, 3, 4, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("Cond(%s).Eval(%d, %d) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+	if Cond(99).Eval(1, 1) {
+		t.Error("invalid condition must evaluate false")
+	}
+}
+
+// Property: every condition and its logical negation partition all input
+// pairs: exactly one of (EQ,NE), (LT,GE), (LE,GT) holds.
+func TestCondComplementProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return CondEQ.Eval(a, b) != CondNE.Eval(a, b) &&
+			CondLT.Eval(a, b) != CondGE.Eval(a, b) &&
+			CondLE.Eval(a, b) != CondGT.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputsOutput(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Inst
+		wantIn  []Reg
+		wantOut Reg
+	}{
+		{
+			name:    "add reg reg",
+			in:      Inst{Op: OpAdd, Dst: R0, Src1: R1, Src2: R2},
+			wantIn:  []Reg{R1, R2},
+			wantOut: R0,
+		},
+		{
+			name:    "add imm",
+			in:      Inst{Op: OpAdd, Dst: R0, Src1: R1, Src2: RegNone, Imm: 4},
+			wantIn:  []Reg{R1},
+			wantOut: R0,
+		},
+		{
+			name:    "mov reg",
+			in:      Inst{Op: OpMovReg, Dst: R3, Src1: R4},
+			wantIn:  []Reg{R4},
+			wantOut: R3,
+		},
+		{
+			name:    "movi",
+			in:      Inst{Op: OpMovImm, Dst: R3, Imm: 9},
+			wantIn:  nil,
+			wantOut: R3,
+		},
+		{
+			name:    "load base+idx",
+			in:      Inst{Op: OpLoad, Dst: R2, Src1: R5, Idx: R6, Scale: 3, Size: 8},
+			wantIn:  []Reg{R5, R6},
+			wantOut: R2,
+		},
+		{
+			name:    "store",
+			in:      Inst{Op: OpStore, Src1: R5, Src2: R7, Idx: RegNone, Size: 4},
+			wantIn:  []Reg{R5, R7},
+			wantOut: RegNone,
+		},
+		{
+			name:    "jmpi",
+			in:      Inst{Op: OpJmpInd, Src1: R9},
+			wantIn:  []Reg{R9},
+			wantOut: RegNone,
+		},
+		{
+			name:    "br two regs",
+			in:      Inst{Op: OpBr, Cond: CondLT, Src1: R1, Src2: R2},
+			wantIn:  []Reg{R1, R2},
+			wantOut: RegNone,
+		},
+		{
+			name:    "syscall writes R0",
+			in:      Inst{Op: OpSyscall, Imm: 1},
+			wantIn:  nil,
+			wantOut: R0,
+		},
+		{
+			name:    "halt",
+			in:      Inst{Op: OpHalt},
+			wantIn:  nil,
+			wantOut: RegNone,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.in.Inputs(nil)
+			if len(got) != len(c.wantIn) {
+				t.Fatalf("Inputs = %v, want %v", got, c.wantIn)
+			}
+			for i := range got {
+				if got[i] != c.wantIn[i] {
+					t.Fatalf("Inputs = %v, want %v", got, c.wantIn)
+				}
+			}
+			if out := c.in.Output(); out != c.wantOut {
+				t.Errorf("Output = %v, want %v", out, c.wantOut)
+			}
+		})
+	}
+}
+
+func TestInputsAppendsToDst(t *testing.T) {
+	in := Inst{Op: OpAdd, Dst: R0, Src1: R1, Src2: R2}
+	buf := make([]Reg, 0, 4)
+	buf = append(buf, R9)
+	got := in.Inputs(buf)
+	if len(got) != 3 || got[0] != R9 || got[1] != R1 || got[2] != R2 {
+		t.Errorf("Inputs should append, got %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Inst{
+		{Op: OpNop},
+		{Op: OpAdd, Dst: R0, Src1: R1, Src2: R2},
+		{Op: OpAdd, Dst: R0, Src1: R1, Src2: RegNone, Imm: 1},
+		{Op: OpMovImm, Dst: R1, Imm: 7},
+		{Op: OpMovReg, Dst: R1, Src1: R2},
+		{Op: OpLea, Dst: R1, Src1: R2, Idx: R3, Scale: 3},
+		{Op: OpLea, Dst: R1, Src1: RegNone, Idx: RegNone, Imm: 100},
+		{Op: OpLoad, Dst: R1, Src1: R2, Idx: RegNone, Size: 8},
+		{Op: OpStore, Src1: R2, Src2: R3, Idx: RegNone, Size: 1},
+		{Op: OpJmp, Target: 5},
+		{Op: OpJmpInd, Src1: R4},
+		{Op: OpBr, Cond: CondNE, Src1: R1, Src2: RegNone, Imm: 0},
+		{Op: OpCall, Target: 3},
+		{Op: OpCallInd, Src1: R2},
+		{Op: OpRet},
+		{Op: OpSyscall, Imm: 2},
+		{Op: OpHalt},
+	}
+	for i, in := range valid {
+		in := in
+		if err := in.Validate(); err != nil {
+			t.Errorf("valid[%d] %s: unexpected error %v", i, in.String(), err)
+		}
+	}
+
+	invalid := []Inst{
+		{Op: Opcode(200)},
+		{Op: OpAdd, Dst: RegNone, Src1: R1, Src2: R2},
+		{Op: OpAdd, Dst: R0, Src1: RegNone, Src2: R2},
+		{Op: OpMovImm, Dst: RegNone},
+		{Op: OpMovReg, Dst: R0, Src1: RegNone},
+		{Op: OpLoad, Dst: RegNone, Src1: R1, Idx: RegNone, Size: 8},
+		{Op: OpLoad, Dst: R0, Src1: R1, Idx: RegNone, Size: 3},
+		{Op: OpStore, Src1: R1, Src2: RegNone, Idx: RegNone, Size: 4},
+		{Op: OpStore, Src1: R1, Src2: R2, Idx: RegNone, Size: 0},
+		{Op: OpJmpInd, Src1: RegNone},
+		{Op: OpBr, Cond: Cond(99), Src1: R1, Src2: R2},
+		{Op: OpBr, Cond: CondEQ, Src1: RegNone, Src2: R2},
+		{Op: OpLoad, Dst: R0, Src1: Reg(77), Idx: RegNone, Size: 8},
+	}
+	for i, in := range invalid {
+		in := in
+		if err := in.Validate(); err == nil {
+			t.Errorf("invalid[%d] (%+v): Validate() should fail", i, in)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpAdd, Dst: R0, Src1: R1, Src2: R2}, "add r0, r1, r2"},
+		{Inst{Op: OpAdd, Dst: R0, Src1: R1, Src2: RegNone, Imm: 4}, "add r0, r1, #4"},
+		{Inst{Op: OpMovImm, Dst: R2, Imm: -3}, "movi r2, #-3"},
+		{Inst{Op: OpLoad, Dst: R1, Src1: R2, Idx: RegNone, Imm: 8, Size: 8}, "load8 r1, [r2+8]"},
+		{Inst{Op: OpStore, Src1: R2, Src2: R3, Idx: R4, Scale: 2, Size: 4}, "store4 [r2+r4<<2], r3"},
+		{Inst{Op: OpJmp, Target: 12}, "jmp @12"},
+		{Inst{Op: OpBr, Cond: CondLT, Src1: R1, Src2: R2, Target: 3}, "br.lt r1, r2, @3"},
+		{Inst{Op: OpSyscall, Imm: 7}, "syscall #7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 17, 100000} {
+		pc := PCForIndex(idx)
+		if got := IndexForPC(pc); got != idx {
+			t.Errorf("IndexForPC(PCForIndex(%d)) = %d", idx, got)
+		}
+	}
+	if IndexForPC(CodeBase+1) != -1 {
+		t.Error("misaligned PC should map to -1")
+	}
+	if IndexForPC(CodeBase-4) != -1 {
+		t.Error("PC below code base should map to -1")
+	}
+	if IndexForPC(CodeLimit) != -1 {
+		t.Error("PC at code limit should map to -1")
+	}
+}
+
+// Property: PCForIndex/IndexForPC are inverses on the valid range.
+func TestPCIndexProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		idx := int(raw % uint32((CodeLimit-CodeBase)/InstBytes))
+		return IndexForPC(PCForIndex(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{CodeBase, RegionCode},
+		{CodeLimit - 1, RegionCode},
+		{DataBase, RegionData},
+		{HeapBase, RegionHeap},
+		{HeapLimit - 1, RegionHeap},
+		{StackTop - 8, RegionStack},
+		{StackBaseFor(3), RegionStack},
+		{0, RegionNone},
+		{0xFFFF_FFFF_FFFF_FFFF, RegionNone},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestStackBasesDisjoint(t *testing.T) {
+	for tid := 0; tid < 8; tid++ {
+		base := StackBaseFor(tid)
+		next := StackBaseFor(tid + 1)
+		if next >= base {
+			t.Errorf("stack bases must descend: tid %d base %#x, tid %d base %#x", tid, base, tid+1, next)
+		}
+		if base-next != StackSize {
+			t.Errorf("stacks must be StackSize apart, got %#x", base-next)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r := RegionNone; r <= RegionStack; r++ {
+		if r.String() == "region?" {
+			t.Errorf("region %d lacks a name", r)
+		}
+	}
+	if Region(200).String() != "region?" {
+		t.Error("unknown region should stringify as region?")
+	}
+}

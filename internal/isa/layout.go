@@ -1,0 +1,90 @@
+package isa
+
+// Address-space layout of the simulated machine. The regions mirror a
+// conventional Unix process image so that lifeguards can classify addresses
+// (code vs. globals vs. heap vs. stack) the same way the paper's lifeguards
+// classify x86 process addresses.
+const (
+	// CodeBase is the address of instruction index 0. PC values are
+	// CodeBase + InstBytes*index.
+	CodeBase uint64 = 0x0040_0000
+
+	// CodeLimit bounds the code region (1M instructions).
+	CodeLimit uint64 = CodeBase + 0x0040_0000
+
+	// DataBase is the start of the static data (globals) region.
+	DataBase uint64 = 0x1000_0000
+
+	// DataLimit bounds the static data region (256 MiB).
+	DataLimit uint64 = 0x2000_0000
+
+	// HeapBase is the start of the simulated heap; the kernel's allocator
+	// hands out blocks growing upward from here.
+	HeapBase uint64 = 0x2000_0000
+
+	// HeapLimit bounds the heap (512 MiB).
+	HeapLimit uint64 = 0x4000_0000
+
+	// StackTop is the top of the main thread's stack. Thread t's stack
+	// occupies [StackTop - (t+1)*StackSize, StackTop - t*StackSize).
+	StackTop uint64 = 0x7F00_0000
+
+	// StackSize is the per-thread stack reservation.
+	StackSize uint64 = 1 << 20
+)
+
+// PCForIndex returns the program counter of instruction index idx.
+func PCForIndex(idx int) uint64 { return CodeBase + uint64(idx)*InstBytes }
+
+// IndexForPC returns the instruction index of program counter pc, or -1 if
+// pc does not lie in the code region or is misaligned.
+func IndexForPC(pc uint64) int {
+	if pc < CodeBase || pc >= CodeLimit || (pc-CodeBase)%InstBytes != 0 {
+		return -1
+	}
+	return int((pc - CodeBase) / InstBytes)
+}
+
+// Region classifies an address.
+type Region uint8
+
+// Address regions.
+const (
+	RegionNone Region = iota
+	RegionCode
+	RegionData
+	RegionHeap
+	RegionStack
+)
+
+var regionNames = [...]string{"none", "code", "data", "heap", "stack"}
+
+// String returns the region name.
+func (r Region) String() string {
+	if int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return "region?"
+}
+
+// RegionOf classifies addr into one of the layout regions.
+func RegionOf(addr uint64) Region {
+	switch {
+	case addr >= CodeBase && addr < CodeLimit:
+		return RegionCode
+	case addr >= DataBase && addr < DataLimit:
+		return RegionData
+	case addr >= HeapBase && addr < HeapLimit:
+		return RegionHeap
+	case addr >= StackTop-64*StackSize && addr < StackTop:
+		return RegionStack
+	}
+	return RegionNone
+}
+
+// StackBaseFor returns the initial stack pointer for thread tid. Stacks grow
+// downward; the returned value is 16-byte aligned and strictly inside the
+// thread's reservation.
+func StackBaseFor(tid int) uint64 {
+	return StackTop - uint64(tid)*StackSize - 16
+}

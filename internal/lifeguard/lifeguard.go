@@ -1,0 +1,101 @@
+// Package lifeguard defines the framework shared by all LBA monitoring
+// tools ("lifeguards"): the handler model, the violation report format, and
+// the cost-metering abstraction that separates a lifeguard's *functional*
+// behaviour (shadow-state updates, checks) from the *timing* of the
+// platform it runs on.
+//
+// The same lifeguard implementation runs in two environments:
+//
+//   - LBA mode: handlers execute on the otherwise-idle lifeguard core,
+//     dispatched per log record (package dispatch); shadow accesses go
+//     through that core's own L1/L2.
+//   - DBI mode: the identical functional work is inlined into the
+//     application's instruction stream on the *same* core (package dbi),
+//     reproducing Valgrind-style instrumentation costs.
+//
+// Handlers report the work they perform to a Meter; each environment prices
+// that work according to its own model.
+package lifeguard
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Handler processes one log record. seq is the record's position in the
+// log (used to order violation reports and replay queries).
+type Handler func(seq uint64, r *event.Record)
+
+// Lifeguard is a monitoring tool: a collection of event handlers plus
+// end-of-log finalisation, exactly the structure the paper describes
+// ("the lifeguard ... is primarily organized as a collection of event
+// handlers, each of which terminates by issuing an nlba instruction").
+type Lifeguard interface {
+	// Name identifies the lifeguard in reports ("AddrCheck", ...).
+	Name() string
+	// Handlers returns the jump table: one handler per event type the
+	// lifeguard cares about. Unlisted types fall through to the dispatch
+	// engine's empty handler.
+	Handlers() map[event.Type]Handler
+	// Finish runs after the TExit record (leak detection and the like).
+	Finish()
+	// Violations returns everything detected so far, in detection order.
+	Violations() []Violation
+}
+
+// Violation is one detected problem.
+type Violation struct {
+	Kind string // short stable identifier, e.g. "use-after-free"
+	Seq  uint64 // log position of the triggering record
+	PC   uint64 // application PC of the triggering instruction
+	Addr uint64 // offending address, when meaningful
+	TID  uint8  // thread that executed the triggering instruction
+	Msg  string // human-readable detail
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s @seq=%d pc=%#x addr=%#x tid=%d: %s",
+		v.Kind, v.Seq, v.PC, v.Addr, v.TID, v.Msg)
+}
+
+// Meter prices the work a handler performs. Implementations accumulate
+// cycles; drivers drain them per record.
+type Meter interface {
+	// Instr charges n handler instructions (ALU/branch/bookkeeping).
+	Instr(n uint64)
+	// Shadow charges one shadow-state access keyed by *application*
+	// address; the implementation maps it to a shadow location and prices
+	// the memory access.
+	Shadow(appAddr uint64, size uint8, write bool)
+}
+
+// NopMeter discards all charges; tests of functional behaviour use it.
+type NopMeter struct{}
+
+// Instr implements Meter.
+func (NopMeter) Instr(uint64) {}
+
+// Shadow implements Meter.
+func (NopMeter) Shadow(uint64, uint8, bool) {}
+
+// CountingMeter records charges without pricing them; used in tests to
+// assert that handlers meter their work.
+type CountingMeter struct {
+	Instrs       uint64
+	ShadowReads  uint64
+	ShadowWrites uint64
+}
+
+// Instr implements Meter.
+func (m *CountingMeter) Instr(n uint64) { m.Instrs += n }
+
+// Shadow implements Meter.
+func (m *CountingMeter) Shadow(_ uint64, _ uint8, write bool) {
+	if write {
+		m.ShadowWrites++
+	} else {
+		m.ShadowReads++
+	}
+}

@@ -1,0 +1,47 @@
+package lifeguard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Kind: "use-after-free", Seq: 42, PC: 0x40_0010,
+		Addr: 0x2000_0008, TID: 3, Msg: "8-byte load touches freed heap memory",
+	}
+	s := v.String()
+	for _, want := range []string{"use-after-free", "seq=42", "0x400010", "0x20000008", "tid=3", "freed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestNopMeterDiscards(t *testing.T) {
+	var m NopMeter
+	// Must be callable without effect (and without panicking).
+	m.Instr(100)
+	m.Shadow(0x1000, 8, true)
+}
+
+func TestCountingMeter(t *testing.T) {
+	m := &CountingMeter{}
+	m.Instr(3)
+	m.Instr(4)
+	m.Shadow(0x100, 1, false)
+	m.Shadow(0x200, 8, true)
+	m.Shadow(0x300, 8, true)
+	if m.Instrs != 7 {
+		t.Errorf("Instrs = %d, want 7", m.Instrs)
+	}
+	if m.ShadowReads != 1 || m.ShadowWrites != 2 {
+		t.Errorf("shadow counts = %d reads, %d writes", m.ShadowReads, m.ShadowWrites)
+	}
+}
+
+// Both meters must satisfy the interface.
+var (
+	_ Meter = NopMeter{}
+	_ Meter = (*CountingMeter)(nil)
+)

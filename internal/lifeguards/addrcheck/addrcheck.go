@@ -1,0 +1,155 @@
+// Package addrcheck implements the AddrCheck lifeguard: it "detects
+// accesses to unallocated memory, double free(), and memory leaks" (paper
+// §3, after Nethercote's Valgrind addrcheck tool).
+//
+// The lifeguard maintains a byte-granular shadow of the heap recording each
+// byte's allocation state. Load/store records are checked against it;
+// TAlloc/TFree records (synthesised by the OS model at malloc/free, the
+// equivalent of the instrumented allocator the paper's lifeguards rely on)
+// update it. At program exit, still-live blocks are reported as leaks.
+package addrcheck
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+	"repro/internal/shadow"
+)
+
+// Shadow states, one byte per application heap byte.
+const (
+	stUnalloc byte = 0 // never allocated (or outside any live block)
+	stAlloc   byte = 1 // inside a live allocation
+	stFreed   byte = 2 // inside a freed allocation (use-after-free detector)
+)
+
+// Handler instruction budgets: the number of lifeguard-core instructions
+// each handler executes beyond its shadow accesses. These are the LBA cost
+// calibration points; the DBI baseline prices the same functional work with
+// its own (much larger) expansion factors.
+const (
+	// A real addrcheck access handler decodes the preloaded address and
+	// size, range-tests the region, computes the shadow location, loads
+	// and compares the state span, and branches to the report path:
+	// ~10 instructions on top of the metered shadow access.
+	costMemCheck = 16
+	costAlloc    = 20 // block-table insert around the shadow fill
+	costFree     = 16 // block-table lookup, state checks, fill setup
+)
+
+// AddrCheck is the allocation-state lifeguard.
+type AddrCheck struct {
+	meter  lifeguard.Meter
+	shadow *shadow.Memory
+	// live maps block base -> size for leak reports and free validation.
+	// The lifeguard reconstructs the allocator's state purely from the
+	// log, exactly as the paper's lifeguards do.
+	live map[uint64]uint64
+	// freed remembers bases that were freed and not since reallocated, to
+	// distinguish double frees from wild frees.
+	freed      map[uint64]bool
+	violations []lifeguard.Violation
+}
+
+// New returns an AddrCheck charging its work to meter.
+func New(meter lifeguard.Meter) *AddrCheck {
+	return &AddrCheck{
+		meter:  meter,
+		shadow: shadow.New(0, meter),
+		live:   make(map[uint64]uint64),
+		freed:  make(map[uint64]bool),
+	}
+}
+
+// Name implements lifeguard.Lifeguard.
+func (a *AddrCheck) Name() string { return "AddrCheck" }
+
+// Violations implements lifeguard.Lifeguard.
+func (a *AddrCheck) Violations() []lifeguard.Violation { return a.violations }
+
+// Handlers implements lifeguard.Lifeguard.
+func (a *AddrCheck) Handlers() map[event.Type]lifeguard.Handler {
+	return map[event.Type]lifeguard.Handler{
+		event.TLoad:  a.onMem,
+		event.TStore: a.onMem,
+		event.TAlloc: a.onAlloc,
+		event.TFree:  a.onFree,
+	}
+}
+
+func (a *AddrCheck) report(kind string, seq uint64, r *event.Record, msg string) {
+	a.violations = append(a.violations, lifeguard.Violation{
+		Kind: kind, Seq: seq, PC: r.PC, Addr: r.Addr, TID: r.TID, Msg: msg,
+	})
+}
+
+// onMem checks a load or store against the allocation shadow. Only heap
+// addresses carry allocation state; accesses elsewhere pay the range test
+// and pass (stack and globals are always addressable in this machine).
+func (a *AddrCheck) onMem(seq uint64, r *event.Record) {
+	a.meter.Instr(costMemCheck)
+	if isa.RegionOf(r.Addr) != isa.RegionHeap {
+		return
+	}
+	var span [8]byte
+	n := a.shadow.GetSpan(r.Addr, r.Size, &span)
+	for i := 0; i < n; i++ {
+		switch span[i] {
+		case stAlloc:
+			continue
+		case stFreed:
+			a.report("use-after-free", seq, r,
+				fmt.Sprintf("%d-byte %s touches freed heap memory", r.Size, r.Type))
+			return
+		default:
+			a.report("unallocated-access", seq, r,
+				fmt.Sprintf("%d-byte %s touches unallocated heap memory", r.Size, r.Type))
+			return
+		}
+	}
+}
+
+func (a *AddrCheck) onAlloc(seq uint64, r *event.Record) {
+	a.meter.Instr(costAlloc)
+	base, size := r.Addr, r.Aux
+	a.live[base] = size
+	delete(a.freed, base)         // recycled block: no longer "freed"
+	a.meter.Shadow(base, 8, true) // block metadata insert
+	a.shadow.SetRange(base, size, stAlloc)
+}
+
+func (a *AddrCheck) onFree(seq uint64, r *event.Record) {
+	a.meter.Instr(costFree)
+	base := r.Addr
+	a.meter.Shadow(base, 8, false) // block metadata lookup
+	size, ok := a.live[base]
+	if !ok {
+		if a.freed[base] {
+			a.report("double-free", seq, r, "free() of an already-freed block")
+		} else {
+			a.report("wild-free", seq, r, "free() of an address that was never allocated")
+		}
+		return
+	}
+	delete(a.live, base)
+	a.freed[base] = true
+	a.shadow.SetRange(base, size, stFreed)
+}
+
+// Finish implements lifeguard.Lifeguard: blocks still live at exit leak.
+func (a *AddrCheck) Finish() {
+	a.meter.Instr(uint64(4 + 2*len(a.live)))
+	for base, size := range a.live {
+		a.violations = append(a.violations, lifeguard.Violation{
+			Kind: "leak",
+			Addr: base,
+			Msg:  fmt.Sprintf("%d-byte block never freed", size),
+		})
+	}
+}
+
+// LiveBlocks reports the lifeguard's view of outstanding allocations; tests
+// compare it against the kernel's ground truth.
+func (a *AddrCheck) LiveBlocks() int { return len(a.live) }

@@ -1,0 +1,219 @@
+package addrcheck
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+)
+
+// feed drives records through the lifeguard's handler table the way the
+// dispatch engine would.
+func feed(lg lifeguard.Lifeguard, records ...event.Record) {
+	handlers := lg.Handlers()
+	for i := range records {
+		if h := handlers[records[i].Type]; h != nil {
+			h(uint64(i), &records[i])
+		}
+		if records[i].Type == event.TExit {
+			lg.Finish()
+		}
+	}
+}
+
+func kinds(lg lifeguard.Lifeguard) []string {
+	var out []string
+	for _, v := range lg.Violations() {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+const heapBlock = isa.HeapBase + 0x100
+
+func alloc(addr, size uint64) event.Record {
+	return event.Record{Type: event.TAlloc, Addr: addr, Aux: size}
+}
+func free(addr uint64) event.Record {
+	return event.Record{Type: event.TFree, Addr: addr}
+}
+func load(addr uint64, size uint8) event.Record {
+	return event.Record{Type: event.TLoad, Addr: addr, Size: size}
+}
+func store(addr uint64, size uint8) event.Record {
+	return event.Record{Type: event.TStore, Addr: addr, Size: size}
+}
+
+func TestCleanAllocationLifecycle(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 64),
+		store(heapBlock, 8),
+		load(heapBlock+56, 8),
+		free(heapBlock),
+		event.Record{Type: event.TExit},
+	)
+	if len(a.Violations()) != 0 {
+		t.Errorf("clean program flagged: %v", a.Violations())
+	}
+}
+
+func TestUnallocatedAccess(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a, load(isa.HeapBase+0x9999, 8))
+	got := kinds(a)
+	if len(got) != 1 || got[0] != "unallocated-access" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestOutOfBoundsAfterAllocation(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 32),
+		load(heapBlock+32, 8), // one past the end
+	)
+	got := kinds(a)
+	if len(got) != 1 || got[0] != "unallocated-access" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 64),
+		free(heapBlock),
+		store(heapBlock+8, 4),
+	)
+	got := kinds(a)
+	if len(got) != 1 || got[0] != "use-after-free" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 16),
+		free(heapBlock),
+		free(heapBlock),
+	)
+	got := kinds(a)
+	if len(got) != 1 || got[0] != "double-free" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestWildFree(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a, free(isa.HeapBase+0x5000))
+	got := kinds(a)
+	if len(got) != 1 || got[0] != "wild-free" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestLeakDetection(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 64),
+		alloc(heapBlock+0x1000, 32),
+		free(heapBlock),
+		event.Record{Type: event.TExit},
+	)
+	got := kinds(a)
+	if len(got) != 1 || got[0] != "leak" {
+		t.Errorf("violations = %v", got)
+	}
+	if a.Violations()[0].Addr != heapBlock+0x1000 {
+		t.Error("leak should name the unfreed block")
+	}
+}
+
+func TestRecycledBlockNotDoubleFree(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 16),
+		free(heapBlock),
+		alloc(heapBlock, 16), // allocator recycled the block
+		free(heapBlock),      // perfectly legal
+		event.Record{Type: event.TExit},
+	)
+	if len(a.Violations()) != 0 {
+		t.Errorf("recycled block flagged: %v", a.Violations())
+	}
+}
+
+func TestNonHeapAccessesIgnored(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		load(isa.DataBase+8, 8),
+		store(isa.StackBaseFor(0)-16, 8),
+	)
+	if len(a.Violations()) != 0 {
+		t.Errorf("non-heap accesses flagged: %v", a.Violations())
+	}
+}
+
+func TestFreedThenRecycledNeighborIndependence(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a,
+		alloc(heapBlock, 16),
+		alloc(heapBlock+16, 16),
+		free(heapBlock),
+		load(heapBlock+16, 8), // neighbour still valid
+	)
+	if len(a.Violations()) != 0 {
+		t.Errorf("neighbour access flagged: %v", a.Violations())
+	}
+}
+
+func TestViolationMetadata(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	rec := event.Record{Type: event.TLoad, Addr: isa.HeapBase + 8, Size: 8, PC: 0x40_0040, TID: 3}
+	h := a.Handlers()[event.TLoad]
+	h(77, &rec)
+	v := a.Violations()[0]
+	if v.Seq != 77 || v.PC != 0x40_0040 || v.TID != 3 || v.Addr != isa.HeapBase+8 {
+		t.Errorf("violation metadata = %+v", v)
+	}
+	if v.String() == "" {
+		t.Error("violation should render")
+	}
+}
+
+func TestLiveBlocksTracking(t *testing.T) {
+	a := New(lifeguard.NopMeter{})
+	feed(a, alloc(heapBlock, 16), alloc(heapBlock+0x100, 16))
+	if a.LiveBlocks() != 2 {
+		t.Errorf("LiveBlocks = %d, want 2", a.LiveBlocks())
+	}
+	feed(a, free(heapBlock))
+	if a.LiveBlocks() != 1 {
+		t.Errorf("LiveBlocks = %d, want 1", a.LiveBlocks())
+	}
+}
+
+func TestMeterCharged(t *testing.T) {
+	m := &lifeguard.CountingMeter{}
+	a := New(m)
+	feed(a,
+		alloc(heapBlock, 64),
+		load(heapBlock, 8),
+		free(heapBlock),
+	)
+	if m.Instrs == 0 {
+		t.Error("handlers must charge instructions")
+	}
+	if m.ShadowWrites == 0 || m.ShadowReads == 0 {
+		t.Errorf("handlers must charge shadow traffic: %+v", m)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(lifeguard.NopMeter{}).Name() != "AddrCheck" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,137 @@
+package cacheprof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+)
+
+func feed(lg lifeguard.Lifeguard, records ...event.Record) {
+	handlers := lg.Handlers()
+	for i := range records {
+		if h := handlers[records[i].Type]; h != nil {
+			h(uint64(i), &records[i])
+		}
+	}
+}
+
+func load(pc, addr uint64) event.Record {
+	return event.Record{Type: event.TLoad, PC: pc, Addr: addr, Size: 8}
+}
+
+func TestHotMissPCIdentified(t *testing.T) {
+	c := New(lifeguard.NopMeter{})
+	hotPC := isa.PCForIndex(100)
+	coldPC := isa.PCForIndex(200)
+
+	// hotPC streams over 1 MiB (every access a fresh line: all misses);
+	// coldPC hammers one line (one cold miss, then hits).
+	for i := uint64(0); i < 2000; i++ {
+		feed(c, load(hotPC, isa.DataBase+i*64))
+		feed(c, load(coldPC, isa.DataBase+0x40_0000))
+	}
+	c.Finish()
+
+	vio := c.Violations()
+	if len(vio) == 0 {
+		t.Fatal("profiler should report the streaming PC")
+	}
+	if vio[0].PC != hotPC {
+		t.Errorf("top miss PC = %#x, want %#x", vio[0].PC, hotPC)
+	}
+	if vio[0].Kind != "hot-miss-pc" {
+		t.Errorf("kind = %s", vio[0].Kind)
+	}
+	for _, v := range vio {
+		if v.PC == coldPC {
+			t.Error("the well-behaved PC must not be reported")
+		}
+	}
+	if !strings.Contains(vio[0].Msg, "misses") {
+		t.Error("report should quantify the misses")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(lifeguard.NopMeter{})
+	if c.MissRate() != 0 {
+		t.Error("idle profiler must report 0")
+	}
+	// Same line repeatedly: exactly one miss.
+	for i := 0; i < 10; i++ {
+		feed(c, load(isa.PCForIndex(1), isa.DataBase))
+	}
+	if got := c.MissRate(); got != 0.1 {
+		t.Errorf("MissRate = %v, want 0.1", got)
+	}
+}
+
+func TestNoReportWithoutMisses(t *testing.T) {
+	c := New(lifeguard.NopMeter{})
+	c.Finish()
+	if len(c.Violations()) != 0 {
+		t.Error("no traffic, no report")
+	}
+}
+
+func TestTopNBoundsReport(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TopN = 2
+	cfg.MinShare = 0
+	c := NewWithConfig(lifeguard.NopMeter{}, cfg)
+	// Three PCs each streaming distinct regions.
+	for i := uint64(0); i < 300; i++ {
+		feed(c,
+			load(isa.PCForIndex(1), isa.DataBase+i*64),
+			load(isa.PCForIndex(2), isa.DataBase+0x10_0000+i*64),
+			load(isa.PCForIndex(3), isa.DataBase+0x20_0000+i*64),
+		)
+	}
+	c.Finish()
+	if len(c.Violations()) != 2 {
+		t.Errorf("report has %d entries, want TopN=2", len(c.Violations()))
+	}
+}
+
+func TestDeterministicTieOrdering(t *testing.T) {
+	run := func() []lifeguard.Violation {
+		cfg := DefaultConfig()
+		cfg.MinShare = 0
+		c := NewWithConfig(lifeguard.NopMeter{}, cfg)
+		for i := uint64(0); i < 200; i++ {
+			feed(c,
+				load(isa.PCForIndex(5), isa.DataBase+i*64),
+				load(isa.PCForIndex(4), isa.DataBase+0x10_0000+i*64),
+			)
+		}
+		c.Finish()
+		return c.Violations()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic report length")
+	}
+	for i := range a {
+		if a[i].PC != b[i].PC {
+			t.Fatal("nondeterministic report order on tied miss counts")
+		}
+	}
+}
+
+func TestMeterCharged(t *testing.T) {
+	m := &lifeguard.CountingMeter{}
+	c := New(m)
+	feed(c, load(isa.PCForIndex(1), isa.DataBase))
+	if m.Instrs == 0 || m.ShadowWrites == 0 {
+		t.Errorf("handler must meter its work: %+v", m)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(lifeguard.NopMeter{}).Name() != "CacheProf" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,269 @@
+package lockset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+)
+
+func feed(lg lifeguard.Lifeguard, records ...event.Record) {
+	handlers := lg.Handlers()
+	for i := range records {
+		if h := handlers[records[i].Type]; h != nil {
+			h(uint64(i), &records[i])
+		}
+	}
+}
+
+func kinds(lg lifeguard.Lifeguard) []string {
+	var out []string
+	for _, v := range lg.Violations() {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+const (
+	shared = isa.DataBase + 0x100
+	lockA  = isa.DataBase + 0x10
+	lockB  = isa.DataBase + 0x20
+)
+
+func lk(tid uint8, addr uint64) event.Record {
+	return event.Record{Type: event.TLock, TID: tid, Addr: addr}
+}
+func unlk(tid uint8, addr uint64) event.Record {
+	return event.Record{Type: event.TUnlock, TID: tid, Addr: addr}
+}
+func rd(tid uint8, addr uint64) event.Record {
+	return event.Record{Type: event.TLoad, TID: tid, Addr: addr, Size: 8}
+}
+func wr(tid uint8, addr uint64) event.Record {
+	return event.Record{Type: event.TStore, TID: tid, Addr: addr, Size: 8}
+}
+
+func TestProperlyLockedNoRace(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		lk(0, lockA), wr(0, shared), unlk(0, lockA),
+		lk(1, lockA), wr(1, shared), unlk(1, lockA),
+		lk(0, lockA), rd(0, shared), unlk(0, lockA),
+	)
+	if len(l.Violations()) != 0 {
+		t.Errorf("locked accesses flagged: %v", l.Violations())
+	}
+}
+
+func TestUnlockedSharedWriteRaces(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		wr(0, shared), // exclusive
+		wr(1, shared), // second thread, no locks -> shared-modified, empty C(v)
+	)
+	got := kinds(l)
+	if len(got) != 1 || got[0] != "data-race" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestDisjointLocksRace(t *testing.T) {
+	// Each thread consistently holds a lock — but different ones. Eraser
+	// detects this on the third access: leaving Exclusive sets C(v) to
+	// the second thread's lockset {B}; the next access under {A} empties
+	// the intersection.
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		lk(0, lockA), wr(0, shared), unlk(0, lockA),
+		lk(1, lockB), wr(1, shared), unlk(1, lockB),
+		lk(0, lockA), wr(0, shared), unlk(0, lockA),
+	)
+	got := kinds(l)
+	if len(got) != 1 || got[0] != "data-race" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestExclusivePhaseNeverRaces(t *testing.T) {
+	// A single thread needs no locks (initialisation pattern).
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		wr(0, shared), wr(0, shared), rd(0, shared),
+		wr(0, shared+8), rd(0, shared+8),
+	)
+	if len(l.Violations()) != 0 {
+		t.Errorf("single-threaded phase flagged: %v", l.Violations())
+	}
+}
+
+func TestReadSharedWithoutLocksNoRace(t *testing.T) {
+	// Write during init (thread 0), then read-only sharing: no race even
+	// without locks (Shared state, never SharedModified).
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		wr(0, shared),
+		rd(1, shared), rd(2, shared), rd(1, shared),
+	)
+	if len(l.Violations()) != 0 {
+		t.Errorf("read-only sharing flagged: %v", l.Violations())
+	}
+}
+
+func TestLateWriteAfterReadSharingRaces(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		wr(0, shared),
+		rd(1, shared), // Shared, C(v) = {} (no locks held)
+		wr(2, shared), // SharedModified with empty C(v): race
+	)
+	got := kinds(l)
+	if len(got) != 1 || got[0] != "data-race" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestRaceReportedOncePerWord(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		wr(0, shared), wr(1, shared),
+		wr(0, shared), wr(1, shared), // keep racing
+	)
+	if len(l.Violations()) != 1 {
+		t.Errorf("race should be reported once, got %d reports", len(l.Violations()))
+	}
+}
+
+func TestDistinctWordsTrackedIndependently(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		wr(0, shared), wr(1, shared), // race on word 1
+		lk(0, lockA), wr(0, shared+64), unlk(0, lockA),
+		lk(1, lockA), wr(1, shared+64), unlk(1, lockA), // clean on word 2
+	)
+	if len(l.Violations()) != 1 {
+		t.Errorf("violations = %v", l.Violations())
+	}
+}
+
+func TestStackAccessesFiltered(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	sp0 := isa.StackBaseFor(0) - 32
+	sp1 := isa.StackBaseFor(1) - 32
+	feed(l, wr(0, sp0), wr(1, sp1), wr(1, sp0)) // even cross-stack touches
+	if len(l.Violations()) != 0 {
+		t.Errorf("stack accesses must be filtered: %v", l.Violations())
+	}
+}
+
+func TestHeapSharedDataCovered(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	heapWord := isa.HeapBase + 0x40
+	feed(l, wr(0, heapWord), wr(1, heapWord))
+	if len(l.Violations()) != 1 {
+		t.Error("heap words must be monitored")
+	}
+}
+
+func TestLockSetMaintenance(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l, lk(0, lockB), lk(0, lockA), lk(0, lockB)) // re-acquire is idempotent
+	if got := l.HeldLocks(0); len(got) != 2 || got[0] != lockA || got[1] != lockB {
+		t.Errorf("held = %#x, want sorted {lockA, lockB}", got)
+	}
+	feed(l, unlk(0, lockA))
+	if got := l.HeldLocks(0); len(got) != 1 || got[0] != lockB {
+		t.Errorf("held after unlock = %#x", got)
+	}
+	feed(l, unlk(0, lockA)) // unlock of non-held lock: ignored
+	if got := l.HeldLocks(0); len(got) != 1 {
+		t.Errorf("held = %#x", got)
+	}
+}
+
+func TestCandidateSetRefinement(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	feed(l,
+		lk(0, lockA), lk(0, lockB), wr(0, shared), unlk(0, lockB), unlk(0, lockA),
+		lk(1, lockA), lk(1, lockB), wr(1, shared), unlk(1, lockB), unlk(1, lockA),
+	)
+	_, cset, known := l.VarState(shared)
+	if !known {
+		t.Fatal("variable should be tracked")
+	}
+	if len(cset) != 2 {
+		t.Errorf("C(v) = %#x, want both locks", cset)
+	}
+	// Third thread holds only lockB: C(v) shrinks to {lockB}, no race.
+	feed(l, lk(2, lockB), wr(2, shared), unlk(2, lockB))
+	_, cset, _ = l.VarState(shared)
+	if len(cset) != 1 || cset[0] != lockB {
+		t.Errorf("C(v) = %#x, want {lockB}", cset)
+	}
+	if len(l.Violations()) != 0 {
+		t.Errorf("common lock exists, no race: %v", l.Violations())
+	}
+}
+
+// Property: the candidate lockset never grows across accesses.
+func TestCandidateSetShrinksProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l := New(lifeguard.NopMeter{})
+		// Prime: two threads with both locks -> C(v) = {A, B}.
+		feed(l,
+			lk(0, lockA), lk(0, lockB), wr(0, shared),
+			lk(1, lockA), lk(1, lockB), wr(1, shared),
+		)
+		_, prev, _ := l.VarState(shared)
+		for _, op := range ops {
+			tid := op % 3
+			switch (op / 3) % 4 {
+			case 0:
+				feed(l, lk(tid, lockA))
+			case 1:
+				feed(l, unlk(tid, lockA))
+			case 2:
+				feed(l, wr(tid, shared))
+			case 3:
+				feed(l, rd(tid, shared))
+			}
+			_, cur, _ := l.VarState(shared)
+			if len(cur) > len(prev) {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterCharged(t *testing.T) {
+	m := &lifeguard.CountingMeter{}
+	l := New(m)
+	feed(l, lk(0, lockA), wr(0, shared), unlk(0, lockA), wr(1, shared))
+	if m.Instrs == 0 || m.ShadowReads == 0 || m.ShadowWrites == 0 {
+		t.Errorf("handlers must meter their work: %+v", m)
+	}
+}
+
+func TestNameAndFinish(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	if l.Name() != "LockSet" {
+		t.Error("name")
+	}
+	l.Finish()
+	if len(l.Violations()) != 0 {
+		t.Error("Finish should not invent violations")
+	}
+}
+
+func TestVarStateUnknown(t *testing.T) {
+	l := New(lifeguard.NopMeter{})
+	if _, _, known := l.VarState(0x1234_5678); known {
+		t.Error("untouched word should be unknown")
+	}
+}

@@ -1,0 +1,121 @@
+// Package stackcheck implements a call/return-integrity lifeguard.
+//
+// The paper positions LBA against "previous proposals that add
+// special-purpose hardware support for specific types of lifeguards [7, 8]
+// (e.g., checking memory references or function call/return pairs)" (§1) —
+// LBA's point being that the *same* general log supports such checkers as
+// ordinary software. StackCheck is that call/return-pair checker: it
+// maintains a per-thread shadow stack of expected return addresses from
+// TCall/TCallInd records and verifies every TRet against it. A mismatch
+// means the on-stack return address was overwritten — stack smashing — and
+// depth excursions flag runaway recursion and stack-pivot patterns.
+package stackcheck
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+)
+
+// Handler instruction budgets (see addrcheck for the calibration role).
+const (
+	costCall = 4 // push expected return on the shadow stack
+	costRet  = 6 // pop + compare + branch to the alarm path
+)
+
+// maxDepth flags runaway recursion before the simulated stack reservation
+// (1 MiB / 8 B per frame) is exhausted.
+const maxDepth = 64 << 10
+
+// frame is one shadow-stack entry.
+type frame struct {
+	retPC  uint64 // expected return target
+	callPC uint64 // site of the call, for reports
+}
+
+// StackCheck is the call/return-integrity lifeguard.
+type StackCheck struct {
+	meter      lifeguard.Meter
+	stacks     map[uint8][]frame
+	violations []lifeguard.Violation
+	// depthAlarmed suppresses repeated recursion reports per thread.
+	depthAlarmed map[uint8]bool
+}
+
+// New returns a StackCheck charging its work to meter.
+func New(meter lifeguard.Meter) *StackCheck {
+	return &StackCheck{
+		meter:        meter,
+		stacks:       make(map[uint8][]frame),
+		depthAlarmed: make(map[uint8]bool),
+	}
+}
+
+// Name implements lifeguard.Lifeguard.
+func (s *StackCheck) Name() string { return "StackCheck" }
+
+// Violations implements lifeguard.Lifeguard.
+func (s *StackCheck) Violations() []lifeguard.Violation { return s.violations }
+
+// Finish implements lifeguard.Lifeguard (nothing to finalise: leftover
+// frames at exit are normal — main never returns).
+func (s *StackCheck) Finish() {}
+
+// Handlers implements lifeguard.Lifeguard.
+func (s *StackCheck) Handlers() map[event.Type]lifeguard.Handler {
+	return map[event.Type]lifeguard.Handler{
+		event.TCall:    s.onCall,
+		event.TCallInd: s.onCall,
+		event.TRet:     s.onRet,
+	}
+}
+
+func (s *StackCheck) onCall(seq uint64, r *event.Record) {
+	s.meter.Instr(costCall)
+	// The shadow stack itself is lifeguard state in memory: one metered
+	// access per push (the top-of-stack slot).
+	s.meter.Shadow(uint64(r.TID)<<20|uint64(len(s.stacks[r.TID]))<<3, 8, true)
+
+	// A direct call's record carries no target (reconstructable from the
+	// static code); either way the *return* address is PC + instruction.
+	expected := r.PC + isa.InstBytes
+	s.stacks[r.TID] = append(s.stacks[r.TID], frame{retPC: expected, callPC: r.PC})
+
+	if len(s.stacks[r.TID]) > maxDepth && !s.depthAlarmed[r.TID] {
+		s.depthAlarmed[r.TID] = true
+		s.violations = append(s.violations, lifeguard.Violation{
+			Kind: "stack-overflow", Seq: seq, PC: r.PC, TID: r.TID,
+			Msg: fmt.Sprintf("call depth exceeded %d frames (runaway recursion)", maxDepth),
+		})
+	}
+}
+
+func (s *StackCheck) onRet(seq uint64, r *event.Record) {
+	s.meter.Instr(costRet)
+	stack := s.stacks[r.TID]
+	s.meter.Shadow(uint64(r.TID)<<20|uint64(len(stack))<<3, 8, false)
+
+	if len(stack) == 0 {
+		s.violations = append(s.violations, lifeguard.Violation{
+			Kind: "return-without-call", Seq: seq, PC: r.PC, Addr: r.Addr, TID: r.TID,
+			Msg: "ret executed with an empty shadow stack (stack pivot?)",
+		})
+		return
+	}
+	top := stack[len(stack)-1]
+	s.stacks[r.TID] = stack[:len(stack)-1]
+
+	if r.Addr != top.retPC {
+		s.violations = append(s.violations, lifeguard.Violation{
+			Kind: "return-mismatch", Seq: seq, PC: r.PC, Addr: r.Addr, TID: r.TID,
+			Msg: fmt.Sprintf(
+				"ret targets %#x but the call at %#x expected %#x (smashed return address)",
+				r.Addr, top.callPC, top.retPC),
+		})
+	}
+}
+
+// Depth reports thread tid's current shadow-stack depth; for tests.
+func (s *StackCheck) Depth(tid uint8) int { return len(s.stacks[tid]) }

@@ -1,0 +1,156 @@
+package stackcheck
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+)
+
+func feed(lg lifeguard.Lifeguard, records ...event.Record) {
+	handlers := lg.Handlers()
+	for i := range records {
+		if h := handlers[records[i].Type]; h != nil {
+			h(uint64(i), &records[i])
+		}
+	}
+}
+
+func kinds(lg lifeguard.Lifeguard) []string {
+	var out []string
+	for _, v := range lg.Violations() {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+func call(pc uint64) event.Record {
+	return event.Record{Type: event.TCall, PC: pc}
+}
+func callInd(pc, target uint64) event.Record {
+	return event.Record{Type: event.TCallInd, PC: pc, Addr: target}
+}
+func ret(pc, target uint64) event.Record {
+	return event.Record{Type: event.TRet, PC: pc, Addr: target}
+}
+
+func TestBalancedCallsClean(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	c1, c2 := isa.PCForIndex(10), isa.PCForIndex(20)
+	feed(s,
+		call(c1),
+		callInd(c2, isa.PCForIndex(50)),
+		ret(isa.PCForIndex(51), c2+isa.InstBytes),
+		ret(isa.PCForIndex(31), c1+isa.InstBytes),
+	)
+	if len(s.Violations()) != 0 {
+		t.Errorf("balanced call/ret flagged: %v", s.Violations())
+	}
+	if s.Depth(0) != 0 {
+		t.Errorf("depth = %d, want 0", s.Depth(0))
+	}
+}
+
+func TestSmashedReturnAddressDetected(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	c1 := isa.PCForIndex(10)
+	feed(s,
+		call(c1),
+		ret(isa.PCForIndex(31), isa.PCForIndex(999)), // wrong target
+	)
+	got := kinds(s)
+	if len(got) != 1 || got[0] != "return-mismatch" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestReturnWithoutCall(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	feed(s, ret(isa.PCForIndex(5), isa.PCForIndex(6)))
+	got := kinds(s)
+	if len(got) != 1 || got[0] != "return-without-call" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestPerThreadStacks(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	c := isa.PCForIndex(10)
+	r0 := call(c)
+	r1 := call(c)
+	r1.TID = 1
+	feed(s, r0, r1)
+	if s.Depth(0) != 1 || s.Depth(1) != 1 {
+		t.Errorf("depths = %d, %d; want 1, 1", s.Depth(0), s.Depth(1))
+	}
+	// Thread 1 returns correctly; thread 0's frame must be untouched.
+	rr := ret(isa.PCForIndex(20), c+isa.InstBytes)
+	rr.TID = 1
+	feed(s, rr)
+	if s.Depth(1) != 0 || s.Depth(0) != 1 {
+		t.Error("per-thread stacks must be independent")
+	}
+	if len(s.Violations()) != 0 {
+		t.Errorf("clean cross-thread sequence flagged: %v", s.Violations())
+	}
+}
+
+func TestNestedCallsOrder(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	a, b := isa.PCForIndex(1), isa.PCForIndex(2)
+	feed(s,
+		call(a),
+		call(b),
+		ret(isa.PCForIndex(40), b+isa.InstBytes), // inner first
+		ret(isa.PCForIndex(41), a+isa.InstBytes),
+	)
+	if len(s.Violations()) != 0 {
+		t.Errorf("LIFO return order flagged: %v", s.Violations())
+	}
+	// Returning in the wrong order must trip the checker.
+	s2 := New(lifeguard.NopMeter{})
+	feed(s2,
+		call(a),
+		call(b),
+		ret(isa.PCForIndex(40), a+isa.InstBytes), // outer target from inner frame
+	)
+	if got := kinds(s2); len(got) != 1 || got[0] != "return-mismatch" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestRunawayRecursionFlaggedOnce(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	c := call(isa.PCForIndex(7))
+	h := s.Handlers()[event.TCall]
+	for i := 0; i < maxDepth+100; i++ {
+		h(uint64(i), &c)
+	}
+	got := kinds(s)
+	if len(got) != 1 || got[0] != "stack-overflow" {
+		t.Errorf("violations = %v, want one stack-overflow", got)
+	}
+}
+
+func TestMeterCharged(t *testing.T) {
+	m := &lifeguard.CountingMeter{}
+	s := New(m)
+	c := isa.PCForIndex(3)
+	feed(s, call(c), ret(isa.PCForIndex(9), c+isa.InstBytes))
+	if m.Instrs == 0 || m.ShadowWrites == 0 || m.ShadowReads == 0 {
+		t.Errorf("handlers must meter their work: %+v", m)
+	}
+}
+
+func TestNameAndFinish(t *testing.T) {
+	s := New(lifeguard.NopMeter{})
+	if s.Name() != "StackCheck" {
+		t.Error("name")
+	}
+	feed(s, call(isa.PCForIndex(1)))
+	s.Finish() // leftover frames at exit are not violations
+	if len(s.Violations()) != 0 {
+		t.Error("Finish must not flag outstanding frames")
+	}
+}

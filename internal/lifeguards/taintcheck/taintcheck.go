@@ -1,0 +1,169 @@
+// Package taintcheck implements the TaintCheck lifeguard: it "detects
+// security exploits by tracking the propagation of inputs, and checking if
+// they eventually modify jump target addresses or other critical data"
+// (paper §3, after Newsome & Song, NDSS 2005).
+//
+// Taint state is a byte-granular shadow of memory plus a per-thread
+// register taint vector. Untrusted input (network receives, and file reads
+// when the kernel is so configured) taints its buffer; every data-moving
+// record propagates taint from inputs to outputs; indirect control
+// transfers whose target register is tainted — a control-flow hijack — and
+// tainted stores into the code region — code injection — are violations.
+//
+// This is the lifeguard the paper singles out as needing full data-flow
+// tracking ("LBA ... supports tracking data flow through all
+// instructions — a crucial attribute for certain lifeguards such as
+// TaintCheck", §4): unlike AddrCheck it runs a handler for essentially
+// every retired instruction.
+package taintcheck
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+	"repro/internal/shadow"
+)
+
+// maxThreads bounds the per-thread register taint table.
+const maxThreads = 64
+
+// Handler instruction budgets (see addrcheck for the calibration role).
+const (
+	// Propagation handlers decode the operand identifiers the dispatch
+	// engine preloads, merge taint lattice values, and write the result
+	// back to the register-taint vector; memory handlers additionally
+	// compute shadow spans. Budgets reflect those instruction sequences
+	// on top of the metered shadow accesses.
+	costALU     = 6
+	costMov     = 4
+	costLoad    = 13
+	costStore   = 13
+	costControl = 4  // taint test + branch to the alarm path
+	costSource  = 10 // range computation around the shadow fill
+)
+
+// TaintCheck is the dynamic information-flow lifeguard.
+type TaintCheck struct {
+	meter  lifeguard.Meter
+	shadow *shadow.Memory // 1 = tainted, byte granularity
+	// regs[tid][r] reports whether register r of thread tid holds tainted
+	// data. Register state lives in the lifeguard's own registers/memory;
+	// updates are priced by the Instr budgets above.
+	regs       [maxThreads][isa.NumRegs]bool
+	violations []lifeguard.Violation
+}
+
+// New returns a TaintCheck charging its work to meter.
+func New(meter lifeguard.Meter) *TaintCheck {
+	return &TaintCheck{meter: meter, shadow: shadow.New(0, meter)}
+}
+
+// Name implements lifeguard.Lifeguard.
+func (t *TaintCheck) Name() string { return "TaintCheck" }
+
+// Violations implements lifeguard.Lifeguard.
+func (t *TaintCheck) Violations() []lifeguard.Violation { return t.violations }
+
+// Finish implements lifeguard.Lifeguard (nothing to finalise).
+func (t *TaintCheck) Finish() {}
+
+// Handlers implements lifeguard.Lifeguard.
+func (t *TaintCheck) Handlers() map[event.Type]lifeguard.Handler {
+	return map[event.Type]lifeguard.Handler{
+		event.TALU:         t.onALU,
+		event.TMov:         t.onMov,
+		event.TMovImm:      t.onMovImm,
+		event.TLoad:        t.onLoad,
+		event.TStore:       t.onStore,
+		event.TJumpInd:     t.onIndirect,
+		event.TCallInd:     t.onIndirect,
+		event.TSyscall:     t.onSyscall,
+		event.TTaintSource: t.onSource,
+	}
+}
+
+func (t *TaintCheck) report(kind string, seq uint64, r *event.Record, msg string) {
+	t.violations = append(t.violations, lifeguard.Violation{
+		Kind: kind, Seq: seq, PC: r.PC, Addr: r.Addr, TID: r.TID, Msg: msg,
+	})
+}
+
+func (t *TaintCheck) regTaint(tid, reg uint8) bool {
+	if reg == event.OpNone || reg >= isa.NumRegs || tid >= maxThreads {
+		return false
+	}
+	return t.regs[tid][reg]
+}
+
+func (t *TaintCheck) setRegTaint(tid, reg uint8, v bool) {
+	if reg == event.OpNone || reg >= isa.NumRegs || tid >= maxThreads {
+		return
+	}
+	t.regs[tid][reg] = v
+}
+
+func (t *TaintCheck) onALU(seq uint64, r *event.Record) {
+	t.meter.Instr(costALU)
+	t.setRegTaint(r.TID, r.Out, t.regTaint(r.TID, r.In1) || t.regTaint(r.TID, r.In2))
+}
+
+func (t *TaintCheck) onMov(seq uint64, r *event.Record) {
+	t.meter.Instr(costMov)
+	t.setRegTaint(r.TID, r.Out, t.regTaint(r.TID, r.In1))
+}
+
+func (t *TaintCheck) onMovImm(seq uint64, r *event.Record) {
+	t.meter.Instr(costMov)
+	t.setRegTaint(r.TID, r.Out, false)
+}
+
+func (t *TaintCheck) onLoad(seq uint64, r *event.Record) {
+	t.meter.Instr(costLoad)
+	tainted := !t.shadow.AllInRange(r.Addr, r.Size, 0)
+	t.setRegTaint(r.TID, r.Out, tainted)
+}
+
+func (t *TaintCheck) onStore(seq uint64, r *event.Record) {
+	t.meter.Instr(costStore)
+	tainted := t.regTaint(r.TID, r.In1)
+	v := byte(0)
+	if tainted {
+		v = 1
+	}
+	t.shadow.SetRange(r.Addr, uint64(r.Size), v)
+	if tainted && isa.RegionOf(r.Addr) == isa.RegionCode {
+		t.report("code-injection", seq, r, "tainted store into the code region")
+	}
+}
+
+func (t *TaintCheck) onIndirect(seq uint64, r *event.Record) {
+	t.meter.Instr(costControl)
+	if t.regTaint(r.TID, r.In1) {
+		t.report("tainted-jump", seq, r, fmt.Sprintf(
+			"indirect %s target %#x derived from untrusted input (control-flow hijack)",
+			r.Type, r.Addr))
+	}
+}
+
+// onSyscall models the kernel boundary: the syscall's result register is
+// kernel-produced and therefore clean.
+func (t *TaintCheck) onSyscall(seq uint64, r *event.Record) {
+	t.meter.Instr(costMov)
+	t.setRegTaint(r.TID, uint8(isa.R0), false)
+}
+
+func (t *TaintCheck) onSource(seq uint64, r *event.Record) {
+	t.meter.Instr(costSource)
+	t.shadow.SetRange(r.Addr, r.Aux, 1)
+}
+
+// MemTainted reports whether any byte of [addr, addr+size) is tainted;
+// tests use it to verify propagation.
+func (t *TaintCheck) MemTainted(addr uint64, size uint8) bool {
+	return !t.shadow.AllInRange(addr, size, 0)
+}
+
+// RegTainted reports thread tid's register-taint state; for tests.
+func (t *TaintCheck) RegTainted(tid, reg uint8) bool { return t.regTaint(tid, reg) }

@@ -1,0 +1,252 @@
+package taintcheck
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/lifeguard"
+)
+
+func feed(lg lifeguard.Lifeguard, records ...event.Record) {
+	handlers := lg.Handlers()
+	for i := range records {
+		if h := handlers[records[i].Type]; h != nil {
+			h(uint64(i), &records[i])
+		}
+	}
+}
+
+func kinds(lg lifeguard.Lifeguard) []string {
+	var out []string
+	for _, v := range lg.Violations() {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+const buf = isa.DataBase + 0x1000
+
+func source(addr, n uint64) event.Record {
+	return event.Record{Type: event.TTaintSource, Addr: addr, Aux: n}
+}
+func loadR(out uint8, addr uint64) event.Record {
+	return event.Record{Type: event.TLoad, Out: out, In1: event.OpNone, In2: event.OpNone, Addr: addr, Size: 8}
+}
+func storeR(in uint8, addr uint64) event.Record {
+	return event.Record{Type: event.TStore, In1: in, In2: event.OpNone, Out: event.OpNone, Addr: addr, Size: 8}
+}
+func aluR(out, in1, in2 uint8) event.Record {
+	return event.Record{Type: event.TALU, Out: out, In1: in1, In2: in2}
+}
+func movR(out, in uint8) event.Record {
+	return event.Record{Type: event.TMov, Out: out, In1: in, In2: event.OpNone}
+}
+func movI(out uint8) event.Record {
+	return event.Record{Type: event.TMovImm, Out: out, In1: event.OpNone, In2: event.OpNone}
+}
+func jmpInd(in uint8, target uint64) event.Record {
+	return event.Record{Type: event.TJumpInd, In1: in, In2: event.OpNone, Out: event.OpNone, Addr: target}
+}
+
+func TestSourceTaintsMemory(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc, source(buf, 64))
+	if !tc.MemTainted(buf, 8) || !tc.MemTainted(buf+56, 8) {
+		t.Error("source range should be tainted")
+	}
+	if tc.MemTainted(buf+64, 8) {
+		t.Error("beyond the source range should be clean")
+	}
+}
+
+func TestLoadPropagatesTaintToRegister(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc, source(buf, 8), loadR(3, buf))
+	if !tc.RegTainted(0, 3) {
+		t.Error("loading tainted memory must taint the register")
+	}
+	feed(tc, loadR(3, buf+0x100))
+	if tc.RegTainted(0, 3) {
+		t.Error("loading clean memory must clear the register")
+	}
+}
+
+func TestALUUnionPropagation(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc,
+		source(buf, 8),
+		loadR(1, buf), // r1 tainted
+		movI(2),       // r2 clean
+		aluR(3, 1, 2), // r3 = r1 op r2 -> tainted
+		aluR(4, 2, 2), // r4 clean
+	)
+	if !tc.RegTainted(0, 3) {
+		t.Error("ALU must union input taint")
+	}
+	if tc.RegTainted(0, 4) {
+		t.Error("clean inputs must give a clean output")
+	}
+}
+
+func TestStoreWritesTaintToMemory(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	dst := buf + 0x2000
+	feed(tc,
+		source(buf, 8),
+		loadR(1, buf),
+		storeR(1, dst),
+	)
+	if !tc.MemTainted(dst, 8) {
+		t.Error("storing a tainted register must taint memory")
+	}
+	// Overwriting with a clean register untaints.
+	feed(tc, movI(2), storeR(2, dst))
+	if tc.MemTainted(dst, 8) {
+		t.Error("clean store must clear taint")
+	}
+}
+
+func TestTaintedJumpDetected(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc,
+		source(buf, 8),
+		loadR(5, buf),
+		jmpInd(5, isa.PCForIndex(100)),
+	)
+	got := kinds(tc)
+	if len(got) != 1 || got[0] != "tainted-jump" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestCleanJumpNotFlagged(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc, movI(5), jmpInd(5, isa.PCForIndex(100)))
+	if len(tc.Violations()) != 0 {
+		t.Errorf("clean indirect jump flagged: %v", tc.Violations())
+	}
+}
+
+func TestTaintedCallDetected(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc,
+		source(buf, 8),
+		loadR(5, buf),
+		event.Record{Type: event.TCallInd, In1: 5, In2: event.OpNone, Out: event.OpNone, Addr: isa.PCForIndex(7)},
+	)
+	if got := kinds(tc); len(got) != 1 || got[0] != "tainted-jump" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestCodeInjectionDetected(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc,
+		source(buf, 8),
+		loadR(1, buf),
+		storeR(1, isa.CodeBase+0x40),
+	)
+	if got := kinds(tc); len(got) != 1 || got[0] != "code-injection" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestSyscallResultClean(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc,
+		source(buf, 8),
+		loadR(0, buf), // r0 tainted
+		event.Record{Type: event.TSyscall, In1: event.OpNone, In2: event.OpNone, Out: event.OpNone, Aux: 1},
+	)
+	if tc.RegTainted(0, 0) {
+		t.Error("syscall must scrub its result register")
+	}
+}
+
+func TestPerThreadRegisterIsolation(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc, source(buf, 8))
+	r := loadR(1, buf)
+	r.TID = 2
+	feed(tc, r)
+	if !tc.RegTainted(2, 1) {
+		t.Error("thread 2's register should be tainted")
+	}
+	if tc.RegTainted(0, 1) {
+		t.Error("thread 0's register must be unaffected")
+	}
+}
+
+func TestMultiHopPropagationChain(t *testing.T) {
+	// taint -> load -> alu -> mov -> store -> load -> jump: a realistic
+	// exploit chain crossing memory twice.
+	tc := New(lifeguard.NopMeter{})
+	hop := buf + 0x4000
+	feed(tc,
+		source(buf, 16),
+		loadR(1, buf+8),
+		aluR(2, 1, 1),
+		movR(3, 2),
+		storeR(3, hop),
+		loadR(4, hop),
+		jmpInd(4, isa.PCForIndex(55)),
+	)
+	if got := kinds(tc); len(got) != 1 || got[0] != "tainted-jump" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestSubByteTaintGranularity(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	feed(tc, source(buf+3, 1)) // taint a single byte
+	// An 8-byte load covering it is tainted; a load next to it is not.
+	feed(tc, loadR(1, buf))
+	if !tc.RegTainted(0, 1) {
+		t.Error("covering load should pick up the tainted byte")
+	}
+	feed(tc, loadR(2, buf+4))
+	if tc.RegTainted(0, 2) {
+		t.Error("adjacent load must stay clean")
+	}
+}
+
+func TestMeterCharged(t *testing.T) {
+	m := &lifeguard.CountingMeter{}
+	tc := New(m)
+	feed(tc, source(buf, 8), loadR(1, buf), storeR(1, buf+64), aluR(2, 1, 1))
+	if m.Instrs == 0 || m.ShadowReads == 0 || m.ShadowWrites == 0 {
+		t.Errorf("handlers must meter their work: %+v", m)
+	}
+}
+
+// Property: taint is monotone along a copy chain — a mov/alu chain from a
+// tainted register never drops taint (no false negatives on straight moves).
+func TestCopyChainMonotoneProperty(t *testing.T) {
+	f := func(hops []uint8) bool {
+		tc := New(lifeguard.NopMeter{})
+		feed(tc, source(buf, 8), loadR(1, buf))
+		cur := uint8(1)
+		for _, h := range hops {
+			next := h%14 + 2 // registers 2..15
+			feed(tc, movR(next, cur))
+			cur = next
+		}
+		return tc.RegTainted(0, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameAndFinish(t *testing.T) {
+	tc := New(lifeguard.NopMeter{})
+	if tc.Name() != "TaintCheck" {
+		t.Error("name")
+	}
+	tc.Finish() // must not panic or report
+	if len(tc.Violations()) != 0 {
+		t.Error("Finish should not invent violations")
+	}
+}

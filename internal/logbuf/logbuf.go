@@ -1,0 +1,197 @@
+// Package logbuf models the LBA log transport: a bounded buffer in the
+// memory hierarchy that decouples the application core (producer) from the
+// lifeguard core (consumer).
+//
+// Per the paper (§2): "the application core and the lifeguard core are not
+// synchronized. They coordinate only through the log buffer, and hence log
+// entry consumption at the lifeguard core typically lags behind event
+// retirement on the application core." The only interlocks are:
+//
+//   - backpressure: a full buffer stalls the application core, and
+//   - containment: at a syscall the application stalls until the lifeguard
+//     has consumed every record produced before the syscall.
+//
+// The Channel implements an exact discrete-time model of this coupling: the
+// caller reports when each record is produced (application cycle), how big
+// it is (compressed bits), and how long the lifeguard takes to process it;
+// the Channel computes consumption times, stalls, and the resulting wall
+// clock.
+package logbuf
+
+// Config sizes the transport.
+type Config struct {
+	// CapacityBytes is the log buffer size. The paper's design places the
+	// buffer in the cache hierarchy; 64 KiB (one eighth of the shared L2)
+	// is the default design point.
+	CapacityBytes uint64
+	// TransportLatency is the pipeline delay, in cycles, between a record
+	// retiring on the application core and becoming visible to the
+	// lifeguard core (compression, L2 traversal, decompression). It adds
+	// lag, not throughput cost.
+	TransportLatency uint64
+}
+
+// DefaultConfig returns the evaluation's transport configuration.
+func DefaultConfig() Config {
+	return Config{CapacityBytes: 64 << 10, TransportLatency: 30}
+}
+
+// Stats describes transport behaviour over a run.
+type Stats struct {
+	Produced       uint64 // records pushed
+	TotalBits      uint64 // compressed bits moved
+	StallEvents    uint64 // producer stalls due to a full buffer
+	StallCycles    uint64 // cycles the producer lost to backpressure
+	DrainEvents    uint64 // containment drains (syscalls)
+	DrainCycles    uint64 // cycles the producer lost to drains
+	MaxOccupancyB  uint64 // high-water mark, bytes
+	FinalLagCycles uint64 // lifeguard lag at the end of the run
+}
+
+type entry struct {
+	bits   uint64
+	finish uint64 // cycle at which the lifeguard finishes this record
+}
+
+// Channel is the discrete-time producer/consumer model. It is not safe for
+// concurrent use; the simulation is single-threaded and deterministic.
+type Channel struct {
+	cfg          Config
+	capacityBits uint64
+
+	ring  []entry
+	head  int
+	count int
+
+	inflightBits uint64
+	lastFinish   uint64 // lifeguard-side completion time of the newest record
+
+	stats Stats
+}
+
+// New returns a channel with the given configuration.
+func New(cfg Config) *Channel {
+	if cfg.CapacityBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Channel{
+		cfg:          cfg,
+		capacityBits: cfg.CapacityBytes * 8,
+		ring:         make([]entry, 1024),
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (ch *Channel) Stats() Stats {
+	s := ch.stats
+	return s
+}
+
+// Occupancy returns the bytes currently in flight (produced, not consumed)
+// assuming the producer clock is at appCycle.
+func (ch *Channel) Occupancy(appCycle uint64) uint64 {
+	ch.drainConsumed(appCycle)
+	return ch.inflightBits / 8
+}
+
+// LifeguardFinish returns the lifeguard-side cycle at which every record
+// produced so far has been consumed.
+func (ch *Channel) LifeguardFinish() uint64 { return ch.lastFinish }
+
+func (ch *Channel) push(e entry) {
+	if ch.count == len(ch.ring) {
+		grown := make([]entry, len(ch.ring)*2)
+		for i := 0; i < ch.count; i++ {
+			grown[i] = ch.ring[(ch.head+i)%len(ch.ring)]
+		}
+		ch.ring = grown
+		ch.head = 0
+	}
+	ch.ring[(ch.head+ch.count)%len(ch.ring)] = e
+	ch.count++
+}
+
+func (ch *Channel) front() *entry { return &ch.ring[ch.head] }
+
+func (ch *Channel) pop() {
+	ch.inflightBits -= ch.front().bits
+	ch.head = (ch.head + 1) % len(ch.ring)
+	ch.count--
+}
+
+// drainConsumed removes records the lifeguard has finished by appCycle.
+func (ch *Channel) drainConsumed(appCycle uint64) {
+	for ch.count > 0 && ch.front().finish <= appCycle {
+		ch.pop()
+	}
+}
+
+// Produce records that the application emitted one record at appCycle with
+// the given compressed size and lifeguard processing cost (dispatch +
+// handler cycles). It returns the backpressure stall imposed on the
+// application core (0 in the common, decoupled case).
+func (ch *Channel) Produce(appCycle uint64, bits uint64, lgCost uint64) (stall uint64) {
+	ch.drainConsumed(appCycle)
+
+	// Backpressure: wait for the oldest records to be consumed until the
+	// new one fits. A record larger than the whole buffer degenerates to
+	// fully-synchronous operation (wait for empty, then accept).
+	stalledTo := appCycle
+	for ch.count > 0 && ch.inflightBits+bits > ch.capacityBits {
+		if f := ch.front().finish; f > stalledTo {
+			stalledTo = f
+		}
+		ch.pop()
+	}
+	if stalledTo > appCycle {
+		stall = stalledTo - appCycle
+		ch.stats.StallEvents++
+		ch.stats.StallCycles += stall
+	}
+
+	// The record becomes visible to the lifeguard after the transport
+	// pipeline delay; the lifeguard processes records in order.
+	ready := stalledTo + ch.cfg.TransportLatency
+	start := ready
+	if ch.lastFinish > start {
+		start = ch.lastFinish
+	}
+	finish := start + lgCost
+	ch.lastFinish = finish
+
+	ch.push(entry{bits: bits, finish: finish})
+	ch.inflightBits += bits
+	if b := ch.inflightBits / 8; b > ch.stats.MaxOccupancyB {
+		ch.stats.MaxOccupancyB = b
+	}
+	ch.stats.Produced++
+	ch.stats.TotalBits += bits
+	return stall
+}
+
+// Drain implements the syscall containment rule: the application, at
+// appCycle, must wait until the lifeguard has consumed every record
+// produced so far. Returns the stall imposed on the application core.
+func (ch *Channel) Drain(appCycle uint64) (stall uint64) {
+	if ch.lastFinish > appCycle {
+		stall = ch.lastFinish - appCycle
+		ch.stats.DrainCycles += stall
+	}
+	ch.stats.DrainEvents++
+	// Everything is consumed once the app resumes.
+	for ch.count > 0 {
+		ch.pop()
+	}
+	return stall
+}
+
+// Finish closes the run: given the application's final cycle, it returns
+// the wall-clock cycle at which the lifeguard finishes the remaining log.
+func (ch *Channel) Finish(appCycle uint64) (wall uint64) {
+	wall = appCycle
+	if ch.lastFinish > wall {
+		wall = ch.lastFinish
+		ch.stats.FinalLagCycles = ch.lastFinish - appCycle
+	}
+	return wall
+}

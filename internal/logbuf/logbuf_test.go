@@ -1,0 +1,217 @@
+package logbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// smallConfig is a tiny buffer so tests can hit backpressure quickly.
+func smallConfig() Config {
+	return Config{CapacityBytes: 16, TransportLatency: 10}
+}
+
+func TestDecoupledProductionNoStall(t *testing.T) {
+	ch := New(DefaultConfig())
+	var app uint64
+	for i := 0; i < 1000; i++ {
+		app += 2 // app emits a record every 2 cycles
+		if stall := ch.Produce(app, 8 /* 1 byte */, 1 /* fast handler */); stall != 0 {
+			t.Fatalf("record %d: unexpected stall %d", i, stall)
+		}
+	}
+	if ch.Stats().StallEvents != 0 {
+		t.Error("fast lifeguard must never backpressure")
+	}
+}
+
+func TestLifeguardLagAccumulates(t *testing.T) {
+	// Lifeguard is 5x slower than the app: lag grows until the buffer
+	// fills, then the producer stalls.
+	ch := New(smallConfig())
+	var app uint64
+	var stalls uint64
+	for i := 0; i < 200; i++ {
+		app++
+		stall := ch.Produce(app, 8, 5)
+		app += stall
+		stalls += stall
+	}
+	if stalls == 0 {
+		t.Error("slow lifeguard with a tiny buffer must stall the producer")
+	}
+	st := ch.Stats()
+	if st.StallEvents == 0 || st.StallCycles != stalls {
+		t.Errorf("stats mismatch: %+v vs stalls=%d", st, stalls)
+	}
+	if st.MaxOccupancyB > smallConfig().CapacityBytes {
+		t.Errorf("occupancy %d exceeded capacity", st.MaxOccupancyB)
+	}
+}
+
+func TestBiggerBufferReducesStalls(t *testing.T) {
+	run := func(capacity uint64) uint64 {
+		ch := New(Config{CapacityBytes: capacity, TransportLatency: 10})
+		var app uint64
+		var stalls uint64
+		for i := 0; i < 3000; i++ {
+			app++
+			// Bursty lifeguard: mostly fast, occasionally very slow.
+			cost := uint64(1)
+			if i%100 == 0 {
+				cost = 300
+			}
+			stall := ch.Produce(app, 8, cost)
+			app += stall
+			stalls += stall
+		}
+		return stalls
+	}
+	small, large := run(32), run(4096)
+	if large > small {
+		t.Errorf("larger buffer must not stall more: small=%d large=%d", small, large)
+	}
+	if small == 0 {
+		t.Error("test not exercising backpressure; tighten parameters")
+	}
+}
+
+func TestDrainWaitsForLifeguard(t *testing.T) {
+	ch := New(DefaultConfig())
+	app := uint64(100)
+	ch.Produce(app, 8, 1000) // lifeguard busy until ~100+30+1000
+	stall := ch.Drain(app)
+	if stall == 0 {
+		t.Fatal("drain must stall while the lifeguard is behind")
+	}
+	want := ch.LifeguardFinish() - app
+	if stall != want {
+		t.Errorf("drain stall = %d, want %d", stall, want)
+	}
+	// After a drain the buffer is empty.
+	if ch.Occupancy(app+stall) != 0 {
+		t.Error("buffer must be empty after a drain")
+	}
+	if ch.Stats().DrainEvents != 1 || ch.Stats().DrainCycles != stall {
+		t.Errorf("drain stats wrong: %+v", ch.Stats())
+	}
+}
+
+func TestDrainNoopWhenCaughtUp(t *testing.T) {
+	ch := New(DefaultConfig())
+	ch.Produce(10, 8, 1)
+	// Long after the lifeguard finished:
+	if stall := ch.Drain(10_000); stall != 0 {
+		t.Errorf("drain after catch-up should not stall, got %d", stall)
+	}
+}
+
+func TestFinishReportsWallClock(t *testing.T) {
+	ch := New(DefaultConfig())
+	ch.Produce(100, 8, 500)
+	wall := ch.Finish(200)
+	if wall <= 200 {
+		t.Errorf("wall = %d: lifeguard tail must extend the run", wall)
+	}
+	if wall != ch.LifeguardFinish() {
+		t.Errorf("wall = %d, want lifeguard finish %d", wall, ch.LifeguardFinish())
+	}
+	if ch.Stats().FinalLagCycles != wall-200 {
+		t.Errorf("final lag = %d", ch.Stats().FinalLagCycles)
+	}
+
+	ch2 := New(DefaultConfig())
+	ch2.Produce(100, 8, 1)
+	if wall := ch2.Finish(10_000); wall != 10_000 {
+		t.Errorf("app-bound run: wall = %d, want 10000", wall)
+	}
+}
+
+func TestRecordLargerThanBuffer(t *testing.T) {
+	ch := New(Config{CapacityBytes: 4, TransportLatency: 1})
+	// 64-bit record > 32-bit capacity: must still be accepted, and the
+	// producer degenerates to waiting for the previous record.
+	ch.Produce(10, 64, 500)
+	if stall := ch.Produce(20, 64, 5); stall == 0 {
+		t.Error("second oversized record should wait for the first")
+	}
+}
+
+func TestOrderingFIFO(t *testing.T) {
+	// Consumption times must be monotonically non-decreasing (FIFO).
+	ch := New(DefaultConfig())
+	var app, prev uint64
+	for i := 0; i < 500; i++ {
+		app += uint64(1 + i%3)
+		cost := uint64(1 + (i*7)%20)
+		ch.Produce(app, 8, cost)
+		if ch.LifeguardFinish() < prev {
+			t.Fatalf("record %d consumed before its predecessor", i)
+		}
+		prev = ch.LifeguardFinish()
+	}
+}
+
+func TestRingGrowth(t *testing.T) {
+	// Push far more in-flight records than the initial ring size without
+	// consuming (lifeguard very slow, buffer huge).
+	ch := New(Config{CapacityBytes: 1 << 30, TransportLatency: 1})
+	for i := 0; i < 5000; i++ {
+		ch.Produce(uint64(i), 8, 1_000_000)
+	}
+	if got := ch.Stats().Produced; got != 5000 {
+		t.Errorf("produced = %d", got)
+	}
+	if occ := ch.Occupancy(5000); occ != 5000 {
+		t.Errorf("occupancy = %d bytes, want 5000", occ)
+	}
+}
+
+// Property: occupancy never exceeds capacity (for records that fit), and
+// stall cycles only appear when the buffer is too small.
+func TestChannelInvariantsProperty(t *testing.T) {
+	f := func(costs []uint8) bool {
+		cfg := Config{CapacityBytes: 64, TransportLatency: 5}
+		ch := New(cfg)
+		var app uint64
+		for _, c := range costs {
+			app++
+			stall := ch.Produce(app, 8, uint64(c%40)+1)
+			app += stall
+			if ch.Occupancy(app) > cfg.CapacityBytes {
+				return false
+			}
+		}
+		st := ch.Stats()
+		return st.Produced == uint64(len(costs)) && st.MaxOccupancyB <= cfg.CapacityBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: wall clock is at least both the app time and the sum of
+// lifeguard costs (the lifeguard is a serial consumer).
+func TestWallClockLowerBoundProperty(t *testing.T) {
+	f := func(costs []uint8) bool {
+		ch := New(DefaultConfig())
+		var app, lgWork uint64
+		for _, c := range costs {
+			app += 2
+			cost := uint64(c%30) + 1
+			lgWork += cost
+			app += ch.Produce(app, 8, cost)
+		}
+		wall := ch.Finish(app)
+		return wall >= app && wall >= lgWork
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	ch := New(Config{})
+	if ch.cfg.CapacityBytes != DefaultConfig().CapacityBytes {
+		t.Error("zero config should fall back to defaults")
+	}
+}

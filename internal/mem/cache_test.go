@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCacheConfig() CacheConfig {
+	return CacheConfig{Name: "T", SizeB: 1024, Assoc: 2, LineB: 64, WriteBck: true}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := testCacheConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{Name: "z", SizeB: 0, Assoc: 1, LineB: 64},
+		{Name: "l", SizeB: 1024, Assoc: 2, LineB: 48},       // not power of two
+		{Name: "d", SizeB: 1000, Assoc: 2, LineB: 64},       // not divisible
+		{Name: "s", SizeB: 3 * 64 * 2, Assoc: 2, LineB: 64}, // 3 sets
+		{Name: "a", SizeB: 1024, Assoc: 0, LineB: 64},       // no ways
+		{Name: "n", SizeB: -64, Assoc: 1, LineB: 64},        // negative
+		{Name: "x", SizeB: 64, Assoc: 2, LineB: 64},         // size < assoc*line
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad[%d] (%+v) should be rejected", i, cfg)
+		}
+	}
+}
+
+func TestNewCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCache should panic on invalid config")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad", SizeB: 7, Assoc: 1, LineB: 64})
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	if res := c.Access(0x1000, false); res.Hit {
+		t.Error("first access must miss")
+	}
+	if res := c.Access(0x1000, false); !res.Hit {
+		t.Error("second access must hit")
+	}
+	if res := c.Access(0x1010, false); !res.Hit {
+		t.Error("same-line access must hit")
+	}
+	if res := c.Access(0x1040, false); res.Hit {
+		t.Error("next line must miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 1 KiB, 2-way, 64 B lines -> 8 sets. Addresses 64*8*k map to set 0.
+	c := NewCache(testCacheConfig())
+	setStride := uint64(64 * 8)
+	a, b, d := uint64(0), setStride, 2*setStride
+
+	c.Access(a, false) // miss, set0 = {a}
+	c.Access(b, false) // miss, set0 = {a,b}
+	c.Access(a, false) // hit, a is MRU
+	c.Access(d, false) // miss, evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should survive (was MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (was LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	setStride := uint64(64 * 8)
+	c.Access(0, true)                   // dirty
+	c.Access(setStride, false)          // clean
+	res := c.Access(2*setStride, false) // evicts LRU = line 0 (dirty)
+	if !res.Writeback {
+		t.Fatal("evicting a dirty line must report a writeback")
+	}
+	if res.VictimAddr != 0 {
+		t.Errorf("victim address = %#x, want 0", res.VictimAddr)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestCacheWriteThroughNeverDirty(t *testing.T) {
+	cfg := testCacheConfig()
+	cfg.WriteBck = false
+	c := NewCache(cfg)
+	setStride := uint64(64 * 8)
+	c.Access(0, true)
+	c.Access(setStride, true)
+	res := c.Access(2*setStride, true)
+	if res.Writeback {
+		t.Error("write-through cache must not report writebacks")
+	}
+}
+
+func TestCacheProbeDoesNotPerturb(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	c.Access(0x40, false)
+	before := c.Stats()
+	c.Probe(0x40)
+	c.Probe(0x9999)
+	if c.Stats() != before {
+		t.Error("Probe must not change statistics")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Flush()
+	if c.Probe(0) || c.Probe(64) {
+		t.Error("flush must invalidate all lines")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("flush should write back 1 dirty line, got %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCacheLineAddr(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	if got := c.LineAddr(0x1234); got != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x, want 0x1200", got)
+	}
+}
+
+// Property: hits + misses == accesses, and a miss for address A makes an
+// immediate re-access of A hit.
+func TestCacheInvariantsProperty(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	f := func(raw uint32, wr bool) bool {
+		addr := uint64(raw) % (1 << 20)
+		c.Access(addr, wr)
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Accesses {
+			return false
+		}
+		res := c.Access(addr, false)
+		return res.Hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of resident lines never exceeds capacity. We check
+// by counting distinct probe-hits over the touched set.
+func TestCacheCapacityProperty(t *testing.T) {
+	cfg := testCacheConfig()
+	c := NewCache(cfg)
+	touched := map[uint64]bool{}
+	f := func(raw uint32) bool {
+		addr := uint64(raw) % (1 << 16)
+		c.Access(addr, false)
+		touched[c.LineAddr(addr)] = true
+		resident := 0
+		for line := range touched {
+			if c.Probe(line) {
+				resident++
+			}
+		}
+		return resident <= cfg.SizeB/cfg.LineB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s CacheStats
+	if s.MissRate() != 0 {
+		t.Error("idle cache must report 0 miss rate")
+	}
+	s = CacheStats{Accesses: 4, Misses: 1}
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,108 @@
+package mem
+
+import "testing"
+
+func TestDefaultHierarchyMatchesPaper(t *testing.T) {
+	cfg := DefaultHierarchyConfig(2)
+	if cfg.L1I.SizeB != 16<<10 || cfg.L1D.SizeB != 16<<10 {
+		t.Error("paper models 16KB private split L1 caches")
+	}
+	if cfg.L2.SizeB != 512<<10 {
+		t.Error("paper models a 512KB shared L2")
+	}
+	if cfg.Cores != 2 {
+		t.Error("dual-core LBA system")
+	}
+}
+
+func TestHierarchyLatencyLevels(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(2))
+	p := h.Port(0)
+	lat := h.Config().Lat
+
+	// Cold access goes to DRAM.
+	if got := p.Data(0x1000, 8, false); got != lat.L1Hit+lat.L2Hit+lat.DRAM {
+		t.Errorf("cold access latency = %d, want %d", got, lat.L1Hit+lat.L2Hit+lat.DRAM)
+	}
+	// Second access hits in L1.
+	if got := p.Data(0x1000, 8, false); got != lat.L1Hit {
+		t.Errorf("warm access latency = %d, want %d", got, lat.L1Hit)
+	}
+}
+
+func TestHierarchyL2SharedBetweenCores(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(2))
+	lat := h.Config().Lat
+	h.Port(0).Data(0x4000, 8, false) // core 0 pulls the line into L2
+	// Core 1 misses its L1 but hits the shared L2.
+	if got := h.Port(1).Data(0x4000, 8, false); got != lat.L1Hit+lat.L2Hit {
+		t.Errorf("cross-core access latency = %d, want %d (L2 hit)", got, lat.L1Hit+lat.L2Hit)
+	}
+}
+
+func TestHierarchyL1Private(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(2))
+	h.Port(0).Data(0x8000, 8, false)
+	if h.Port(1).L1DStats().Accesses != 0 {
+		t.Error("core 1's L1 must be untouched by core 0's accesses")
+	}
+}
+
+func TestHierarchyInstVsDataSplit(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(1))
+	p := h.Port(0)
+	p.FetchInst(0x40_0000)
+	if p.L1IStats().Accesses != 1 || p.L1DStats().Accesses != 0 {
+		t.Error("instruction fetches must use the I-cache only")
+	}
+	p.Data(0x40_0000, 4, false)
+	if p.L1DStats().Accesses != 1 {
+		t.Error("data accesses must use the D-cache")
+	}
+}
+
+func TestHierarchyLineStraddleSplitsAccess(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(1))
+	p := h.Port(0)
+	// 8-byte access at 60 straddles the 64-byte line boundary: two lines.
+	p.Data(60, 8, false)
+	if got := p.L1DStats().Accesses; got != 2 {
+		t.Errorf("straddling access should count 2 line accesses, got %d", got)
+	}
+}
+
+func TestHierarchyLogTransportAccounting(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(2))
+	h.ChargeLogTransport(100)
+	h.ChargeLogTransport(28)
+	if got := h.LogTransportBytes(); got != 128 {
+		t.Errorf("LogTransportBytes = %d, want 128", got)
+	}
+}
+
+func TestHierarchyPanicsWithoutCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHierarchy should panic with 0 cores")
+		}
+	}()
+	NewHierarchy(HierarchyConfig{Cores: 0})
+}
+
+func TestPortCore(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(3))
+	for i := 0; i < 3; i++ {
+		if h.Port(i).Core() != i {
+			t.Errorf("port %d reports core %d", i, h.Port(i).Core())
+		}
+	}
+}
+
+func TestHierarchyZeroSizeDataAccess(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(1))
+	p := h.Port(0)
+	// A size-0 access is treated as 1 byte (defensive path).
+	if lat := p.Data(0x100, 0, false); lat == 0 {
+		t.Error("size-0 access should still be charged")
+	}
+}

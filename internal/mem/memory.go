@@ -1,0 +1,96 @@
+// Package mem provides the memory substrate of the simulated machine: a
+// sparse paged byte-addressable memory for functional state, and a
+// set-associative cache model (private split L1s plus a shared L2) for
+// timing, matching the configuration evaluated in the paper: "single-CPI
+// in-order cores with 16KB private split L1 caches and a 512KB shared L2
+// cache".
+package mem
+
+import "fmt"
+
+// pageBits selects the sparse-page granule (4 KiB, like a real page).
+const pageBits = 12
+
+const pageSize = 1 << pageBits
+
+type page [pageSize]byte
+
+// Memory is a sparse, byte-addressable 64-bit memory. Pages materialise on
+// first touch and read as zero before any write, like anonymous mappings.
+// Memory holds functional state only; timing lives in the cache model.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Byte reads one byte.
+func (m *Memory) Byte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte writes one byte.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	p := m.pageFor(addr, true)
+	p[addr&(pageSize-1)] = v
+}
+
+// Read reads size bytes (1, 2, 4 or 8) little-endian, zero-extended.
+// Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(m.Byte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes the low size bytes (1, 2, 4 or 8) of v little-endian.
+func (m *Memory) Write(addr uint64, size uint8, v uint64) {
+	for i := uint8(0); i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.Byte(addr + uint64(i))
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for i, b := range src {
+		m.SetByte(addr+uint64(i), b)
+	}
+}
+
+// PageCount reports how many 4 KiB pages have been materialised; used by
+// tests and by the workload generators to check working-set sizes.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Footprint returns the materialised memory footprint in bytes.
+func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * pageSize }
+
+// String summarises the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{pages: %d, footprint: %d KiB}", len(m.pages), m.Footprint()/1024)
+}

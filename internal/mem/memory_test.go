@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroOnFirstTouch(t *testing.T) {
+	m := NewMemory()
+	if v := m.Read(0x1000, 8); v != 0 {
+		t.Errorf("untouched memory should read 0, got %#x", v)
+	}
+	if m.PageCount() != 0 {
+		t.Error("reads must not materialise pages")
+	}
+}
+
+func TestMemoryReadWriteSizes(t *testing.T) {
+	m := NewMemory()
+	const addr = 0x2000_0000
+	for _, size := range []uint8{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & ((1 << (8 * uint(size))) - 1)
+		if size == 8 {
+			want = 0x1122334455667788
+		}
+		m.Write(addr, size, 0x1122334455667788)
+		if got := m.Read(addr, size); got != want {
+			t.Errorf("size %d: read %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x100, 4, 0x0A0B0C0D)
+	if b := m.Byte(0x100); b != 0x0D {
+		t.Errorf("low byte first: got %#x", b)
+	}
+	if b := m.Byte(0x103); b != 0x0A {
+		t.Errorf("high byte last: got %#x", b)
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 3) // straddles the first page boundary
+	m.Write(addr, 8, 0xDEADBEEFCAFEF00D)
+	if got := m.Read(addr, 8); got != 0xDEADBEEFCAFEF00D {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("cross-page write should touch 2 pages, got %d", m.PageCount())
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := NewMemory()
+	src := []byte("log-based architectures")
+	m.WriteBytes(0x5000, src)
+	dst := make([]byte, len(src))
+	m.ReadBytes(0x5000, dst)
+	if string(dst) != string(src) {
+		t.Errorf("ReadBytes = %q, want %q", dst, src)
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	m := NewMemory()
+	m.SetByte(0, 1)
+	m.SetByte(pageSize*10, 1)
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+	if m.Footprint() != 2*pageSize {
+		t.Errorf("Footprint = %d", m.Footprint())
+	}
+	if m.String() == "" {
+		t.Error("String should describe the memory")
+	}
+}
+
+// Property: a write followed by a read of the same size at the same address
+// returns the written value truncated to the size.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v uint64, szSel uint8) bool {
+		addr %= 1 << 30 // keep the page map small
+		size := []uint8{1, 2, 4, 8}[szSel%4]
+		m.Write(addr, size, v)
+		var want uint64
+		if size == 8 {
+			want = v
+		} else {
+			want = v & ((1 << (8 * uint(size))) - 1)
+		}
+		return m.Read(addr, size) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writes to disjoint byte ranges do not interfere.
+func TestMemoryDisjointWritesProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(a uint32, va, vb byte) bool {
+		addrA := uint64(a) % (1 << 28)
+		addrB := addrA + 1
+		m.SetByte(addrA, va)
+		m.SetByte(addrB, vb)
+		return m.Byte(addrA) == va && m.Byte(addrB) == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package metrics provides the small numeric and formatting utilities the
+// experiment harness uses: aligned text tables (the paper-style output of
+// cmd/lbabench) and summary statistics over run results.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row built from formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Fields(fmt.Sprintf(format, args...))...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 for empty or non-positive
+// input). Slowdown factors are conventionally summarised geometrically.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs (zeros for an empty slice).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

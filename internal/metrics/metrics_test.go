@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("benchmark", "slowdown")
+	tb.AddRow("bc", "3.9")
+	tb.AddRow("gnuplot-long-name", "10.2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header+rule+2 rows", len(lines))
+	}
+	// Every line must be equally wide (alignment).
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("line %d wider than header rule: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("second line should be a rule")
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("x")
+	if !strings.Contains(tb.String(), "x") {
+		t.Error("short row lost")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRowf("%s %0.1f", "pi", 3.14159)
+	if !strings.Contains(tb.String(), "3.1") {
+		t.Error("formatted row missing")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("geomean of empty should be 0")
+	}
+	if GeoMean([]float64{2, -1}) != 0 {
+		t.Error("geomean with non-positive input should be 0")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty MinMax should be zeros")
+	}
+	lo, hi = MinMax([]float64{3, 1, 4, 1, 5})
+	if lo != 1 || hi != 5 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+// Property: min <= mean <= max, and geomean <= mean (AM-GM).
+func TestStatsOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // strictly positive
+		}
+		lo, hi := MinMax(xs)
+		m, g := Mean(xs), GeoMean(xs)
+		return lo <= m+1e-9 && m <= hi+1e-9 && g <= m+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,413 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// KernelConfig tunes the OS model.
+type KernelConfig struct {
+	// TaintFileInput marks SysRead data as tainted (SysRecv always is).
+	// TaintCheck-style lifeguards typically want both.
+	TaintFileInput bool
+	// InputSeed seeds the deterministic input generator.
+	InputSeed uint64
+	// SyscallBaseCycles is the kernel time charged to the app core per
+	// syscall; per-byte costs are added for data-moving calls.
+	SyscallBaseCycles uint64
+}
+
+// DefaultKernelConfig returns the configuration used by the evaluation.
+func DefaultKernelConfig() KernelConfig {
+	return KernelConfig{
+		TaintFileInput:    true,
+		InputSeed:         0x1BA0_5EED,
+		SyscallBaseCycles: 200,
+	}
+}
+
+// allocation tracks one live heap block.
+type allocation struct {
+	size uint64
+}
+
+type mutexState struct {
+	holder  int   // thread id, -1 when free
+	waiters []int // FIFO of blocked thread ids
+}
+
+// barrierState tracks one barrier. Because blocked syscalls re-execute when
+// their thread wakes, a released thread re-enters SysBarrier once more; the
+// released set lets it pass through instead of re-arriving.
+type barrierState struct {
+	arrived  []int // blocked thread ids waiting for the barrier to fill
+	released map[int]bool
+}
+
+// Kernel is the simulated operating system. It implements
+// cpu.SyscallHandler and owns the thread table.
+type Kernel struct {
+	cfg KernelConfig
+	mem *mem.Memory
+
+	// Emit, when non-nil, receives kernel-synthesised log records. The
+	// LBA capture unit wires itself here.
+	Emit func(event.Record)
+
+	// OnSyscallEnter, when non-nil, runs before each syscall is serviced.
+	// The LBA system uses it to implement the paper's containment stall
+	// (drain the log before the syscall proceeds).
+	OnSyscallEnter func(ctx *cpu.Context, num int64)
+
+	threads   []*cpu.Context
+	exited    []bool
+	joiners   map[int][]int // tid -> threads blocked joining it
+	mutexes   map[uint64]*mutexState
+	barriers  map[uint64]*barrierState
+	allocs    map[uint64]allocation
+	freeLists map[uint64][]uint64 // size -> reusable block addresses
+	heapBrk   uint64
+	rng       uint64
+
+	// Statistics.
+	Stats KernelStats
+
+	programDone bool
+	exitCode    uint64
+}
+
+// KernelStats counts kernel activity for the experiment reports.
+type KernelStats struct {
+	Syscalls     uint64
+	Allocs       uint64
+	Frees        uint64
+	DoubleFrees  uint64
+	BytesIn      uint64
+	BytesOut     uint64
+	LocksTaken   uint64
+	LockBlocks   uint64
+	ThreadsMade  uint64
+	HeapLiveMax  uint64
+	heapLiveSize uint64
+}
+
+// NewKernel builds a kernel over the machine memory.
+func NewKernel(cfg KernelConfig, m *mem.Memory) *Kernel {
+	return &Kernel{
+		cfg:       cfg,
+		mem:       m,
+		joiners:   make(map[int][]int),
+		mutexes:   make(map[uint64]*mutexState),
+		barriers:  make(map[uint64]*barrierState),
+		allocs:    make(map[uint64]allocation),
+		freeLists: make(map[uint64][]uint64),
+		heapBrk:   isa.HeapBase,
+		rng:       cfg.InputSeed | 1,
+	}
+}
+
+// Boot creates the main thread (tid 0) at entryPC and returns its context.
+func (k *Kernel) Boot(entryPC uint64) *cpu.Context {
+	ctx := cpu.NewContext(0, entryPC)
+	k.threads = append(k.threads, ctx)
+	k.exited = append(k.exited, false)
+	return ctx
+}
+
+// Threads returns the thread table (including exited threads).
+func (k *Kernel) Threads() []*cpu.Context { return k.threads }
+
+// Done reports whether the program has terminated (main thread exited or
+// every thread halted).
+func (k *Kernel) Done() bool { return k.programDone }
+
+// ExitCode returns the program's exit code once Done.
+func (k *Kernel) ExitCode() uint64 { return k.exitCode }
+
+func (k *Kernel) emit(r event.Record) {
+	if k.Emit != nil {
+		k.Emit(r)
+	}
+}
+
+// nextRand is a xorshift64* deterministic generator for input data.
+func (k *Kernel) nextRand() uint64 {
+	x := k.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	k.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Syscall implements cpu.SyscallHandler.
+func (k *Kernel) Syscall(ctx *cpu.Context, num int64) cpu.SyscallResult {
+	if k.OnSyscallEnter != nil {
+		k.OnSyscallEnter(ctx, num)
+	}
+	k.Stats.Syscalls++
+	cycles := k.cfg.SyscallBaseCycles
+
+	switch num {
+	case SysExit:
+		return k.sysExit(ctx, cycles)
+
+	case SysWrite:
+		buf, n := ctx.Regs[isa.R0], ctx.Regs[isa.R1]
+		// Touch the buffer so output data is genuinely read.
+		var sum byte
+		for i := uint64(0); i < n; i++ {
+			sum ^= k.mem.Byte(buf + i)
+		}
+		_ = sum
+		k.Stats.BytesOut += n
+		return cpu.SyscallResult{Ret: n, ExtraCycles: cycles + n/16}
+
+	case SysRead, SysRecv:
+		buf, n := ctx.Regs[isa.R0], ctx.Regs[isa.R1]
+		for i := uint64(0); i < n; i++ {
+			k.mem.SetByte(buf+i, byte(k.nextRand()))
+		}
+		k.Stats.BytesIn += n
+		if num == SysRecv || k.cfg.TaintFileInput {
+			k.emit(event.Record{
+				Type: event.TTaintSource,
+				TID:  uint8(ctx.TID),
+				PC:   ctx.PC,
+				Addr: buf,
+				Aux:  n,
+			})
+		}
+		return cpu.SyscallResult{Ret: n, ExtraCycles: cycles + n/16}
+
+	case SysMalloc:
+		size := ctx.Regs[isa.R0]
+		addr := k.malloc(size)
+		if addr != 0 {
+			k.emit(event.Record{
+				Type: event.TAlloc,
+				TID:  uint8(ctx.TID),
+				PC:   ctx.PC,
+				Addr: addr,
+				Aux:  size,
+			})
+		}
+		return cpu.SyscallResult{Ret: addr, ExtraCycles: cycles}
+
+	case SysFree:
+		addr := ctx.Regs[isa.R0]
+		k.free(addr)
+		k.emit(event.Record{
+			Type: event.TFree,
+			TID:  uint8(ctx.TID),
+			PC:   ctx.PC,
+			Addr: addr,
+		})
+		return cpu.SyscallResult{ExtraCycles: cycles}
+
+	case SysThreadCreate:
+		entry, arg := ctx.Regs[isa.R0], ctx.Regs[isa.R1]
+		tid := len(k.threads)
+		nctx := cpu.NewContext(tid, entry)
+		nctx.Regs[isa.R0] = arg
+		k.threads = append(k.threads, nctx)
+		k.exited = append(k.exited, false)
+		k.Stats.ThreadsMade++
+		k.emit(event.Record{
+			Type: event.TThreadStart,
+			TID:  uint8(ctx.TID),
+			PC:   ctx.PC,
+			Aux:  uint64(tid),
+		})
+		return cpu.SyscallResult{Ret: uint64(tid), ExtraCycles: cycles}
+
+	case SysThreadJoin:
+		tid := int(ctx.Regs[isa.R0])
+		if tid < 0 || tid >= len(k.threads) || k.exited[tid] {
+			return cpu.SyscallResult{ExtraCycles: cycles}
+		}
+		k.joiners[tid] = append(k.joiners[tid], ctx.TID)
+		ctx.Blocked = true
+		return cpu.SyscallResult{Action: cpu.SysBlock, ExtraCycles: cycles}
+
+	case SysMutexLock:
+		addr := ctx.Regs[isa.R0]
+		mu := k.mutexes[addr]
+		if mu == nil {
+			mu = &mutexState{holder: -1}
+			k.mutexes[addr] = mu
+		}
+		if mu.holder == -1 {
+			mu.holder = ctx.TID
+			k.Stats.LocksTaken++
+			k.emit(event.Record{
+				Type: event.TLock,
+				TID:  uint8(ctx.TID),
+				PC:   ctx.PC,
+				Addr: addr,
+			})
+			return cpu.SyscallResult{ExtraCycles: cycles}
+		}
+		if mu.holder == ctx.TID {
+			// Non-recursive mutex: relocking is a workload bug; treat as
+			// a no-op acquire so the simulation stays live.
+			return cpu.SyscallResult{ExtraCycles: cycles}
+		}
+		mu.waiters = append(mu.waiters, ctx.TID)
+		ctx.Blocked = true
+		k.Stats.LockBlocks++
+		return cpu.SyscallResult{Action: cpu.SysBlock, ExtraCycles: cycles}
+
+	case SysMutexUnlock:
+		addr := ctx.Regs[isa.R0]
+		mu := k.mutexes[addr]
+		if mu != nil && mu.holder == ctx.TID {
+			mu.holder = -1
+			if len(mu.waiters) > 0 {
+				// Wake the first waiter; it re-executes its lock syscall.
+				next := mu.waiters[0]
+				mu.waiters = mu.waiters[1:]
+				k.threads[next].Blocked = false
+			}
+		}
+		k.emit(event.Record{
+			Type: event.TUnlock,
+			TID:  uint8(ctx.TID),
+			PC:   ctx.PC,
+			Addr: addr,
+		})
+		return cpu.SyscallResult{ExtraCycles: cycles}
+
+	case SysYield:
+		// The machine's scheduler observes the yield through this result.
+		return cpu.SyscallResult{ExtraCycles: cycles}
+
+	case SysBarrier:
+		addr, want := ctx.Regs[isa.R0], ctx.Regs[isa.R1]
+		bar := k.barriers[addr]
+		if bar == nil {
+			bar = &barrierState{released: make(map[int]bool)}
+			k.barriers[addr] = bar
+		}
+		if bar.released[ctx.TID] {
+			// Woken thread re-executing the syscall: pass through.
+			delete(bar.released, ctx.TID)
+			return cpu.SyscallResult{ExtraCycles: cycles}
+		}
+		if uint64(len(bar.arrived))+1 >= want {
+			// Last arrival releases everyone.
+			for _, tid := range bar.arrived {
+				bar.released[tid] = true
+				k.threads[tid].Blocked = false
+			}
+			bar.arrived = bar.arrived[:0]
+			return cpu.SyscallResult{ExtraCycles: cycles}
+		}
+		bar.arrived = append(bar.arrived, ctx.TID)
+		ctx.Blocked = true
+		return cpu.SyscallResult{Action: cpu.SysBlock, ExtraCycles: cycles}
+	}
+
+	// Unknown syscall: return -1 like a real kernel.
+	return cpu.SyscallResult{Ret: ^uint64(0), ExtraCycles: cycles}
+}
+
+func (k *Kernel) sysExit(ctx *cpu.Context, cycles uint64) cpu.SyscallResult {
+	k.exited[ctx.TID] = true
+	for _, waiter := range k.joiners[ctx.TID] {
+		k.threads[waiter].Blocked = false
+	}
+	delete(k.joiners, ctx.TID)
+	k.emit(event.Record{Type: event.TThreadExit, TID: uint8(ctx.TID), PC: ctx.PC})
+	if ctx.TID == 0 {
+		k.exitCode = ctx.Regs[isa.R0]
+		k.finish()
+	} else if k.allExited() {
+		k.finish()
+	}
+	return cpu.SyscallResult{Action: cpu.SysHalt, ExtraCycles: cycles}
+}
+
+func (k *Kernel) allExited() bool {
+	for i := range k.threads {
+		if !k.exited[i] && !k.threads[i].Halted {
+			return false
+		}
+	}
+	return true
+}
+
+func (k *Kernel) finish() {
+	if k.programDone {
+		return
+	}
+	k.programDone = true
+	k.emit(event.Record{Type: event.TExit, Aux: k.exitCode})
+}
+
+// malloc carves a block from the bump region or recycles an exact-size
+// freed block (recycling makes use-after-free bugs corrupt real data, the
+// behaviour AddrCheck exists to catch).
+func (k *Kernel) malloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + 15) &^ 15 // 16-byte granularity
+	if list := k.freeLists[size]; len(list) > 0 {
+		addr := list[len(list)-1]
+		k.freeLists[size] = list[:len(list)-1]
+		k.allocs[addr] = allocation{size: size}
+		k.accountAlloc(size)
+		return addr
+	}
+	if k.heapBrk+size > isa.HeapLimit {
+		return 0
+	}
+	addr := k.heapBrk
+	k.heapBrk += size
+	k.allocs[addr] = allocation{size: size}
+	k.accountAlloc(size)
+	return addr
+}
+
+func (k *Kernel) accountAlloc(size uint64) {
+	k.Stats.Allocs++
+	k.Stats.heapLiveSize += size
+	if k.Stats.heapLiveSize > k.Stats.HeapLiveMax {
+		k.Stats.HeapLiveMax = k.Stats.heapLiveSize
+	}
+}
+
+func (k *Kernel) free(addr uint64) {
+	a, ok := k.allocs[addr]
+	if !ok {
+		// Double free or wild free: the kernel tolerates it (the lifeguard
+		// is the component whose job is to complain).
+		k.Stats.DoubleFrees++
+		return
+	}
+	delete(k.allocs, addr)
+	k.freeLists[a.size] = append(k.freeLists[a.size], addr)
+	k.Stats.Frees++
+	k.Stats.heapLiveSize -= a.size
+}
+
+// LiveAllocations returns the number of outstanding heap blocks; used by
+// leak tests.
+func (k *Kernel) LiveAllocations() int { return len(k.allocs) }
+
+// BlockSize returns the size of the live allocation at addr, if any.
+func (k *Kernel) BlockSize(addr uint64) (uint64, bool) {
+	a, ok := k.allocs[addr]
+	return a.size, ok
+}
+
+// String summarises kernel state for debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel{threads: %d, live allocs: %d, syscalls: %d}",
+		len(k.threads), len(k.allocs), k.Stats.Syscalls)
+}

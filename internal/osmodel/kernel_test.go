@@ -1,0 +1,555 @@
+package osmodel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// harness bundles a machine plus captured kernel events.
+type harness struct {
+	m      *Machine
+	kernel *Kernel
+	events []event.Record
+}
+
+func newHarness(t *testing.T, p *prog.Program) *harness {
+	t.Helper()
+	memory := mem.NewMemory()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	k := NewKernel(DefaultKernelConfig(), memory)
+	h := &harness{kernel: k}
+	k.Emit = func(r event.Record) { h.events = append(h.events, r) }
+	h.m = NewMachine(DefaultMachineConfig(), p, memory, hier.Port(0), k)
+	return h
+}
+
+func (h *harness) eventsOf(ty event.Type) []event.Record {
+	var out []event.Record
+	for _, r := range h.events {
+		if r.Type == ty {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestExitTerminatesProgram(t *testing.T) {
+	p := prog.NewBuilder("exit").
+		Li(isa.R0, 7).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.kernel.Done() {
+		t.Fatal("program should be done")
+	}
+	if h.kernel.ExitCode() != 7 {
+		t.Errorf("exit code = %d, want 7", h.kernel.ExitCode())
+	}
+	if len(h.eventsOf(event.TExit)) != 1 {
+		t.Error("kernel must emit exactly one TExit")
+	}
+}
+
+func TestMallocFreeEvents(t *testing.T) {
+	p := prog.NewBuilder("heap").
+		Li(isa.R0, 64).
+		Syscall(SysMalloc).
+		Mov(isa.R5, isa.R0). // save pointer
+		Syscall(SysFree).    // free(R0): R0 still holds the pointer
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := h.eventsOf(event.TAlloc)
+	frees := h.eventsOf(event.TFree)
+	if len(allocs) != 1 || len(frees) != 1 {
+		t.Fatalf("events: %d allocs, %d frees", len(allocs), len(frees))
+	}
+	if allocs[0].Addr != isa.HeapBase {
+		t.Errorf("first block at %#x, want heap base %#x", allocs[0].Addr, isa.HeapBase)
+	}
+	if allocs[0].Aux != 64 {
+		t.Errorf("alloc size = %d, want 64", allocs[0].Aux)
+	}
+	if frees[0].Addr != allocs[0].Addr {
+		t.Error("free must reference the allocated block")
+	}
+	if h.kernel.LiveAllocations() != 0 {
+		t.Error("no allocations should remain live")
+	}
+}
+
+func TestMallocRecyclesFreedBlocks(t *testing.T) {
+	p := prog.NewBuilder("recycle").
+		Li(isa.R0, 32).
+		Syscall(SysMalloc).
+		Mov(isa.R5, isa.R0).
+		Syscall(SysFree).
+		Li(isa.R0, 32).
+		Syscall(SysMalloc).
+		Mov(isa.R6, isa.R0).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := h.eventsOf(event.TAlloc)
+	if len(allocs) != 2 {
+		t.Fatalf("want 2 allocs, got %d", len(allocs))
+	}
+	if allocs[0].Addr != allocs[1].Addr {
+		t.Error("same-size realloc should recycle the freed block")
+	}
+}
+
+func TestDoubleFreeTolerated(t *testing.T) {
+	p := prog.NewBuilder("dfree").
+		Li(isa.R0, 16).
+		Syscall(SysMalloc).
+		Syscall(SysFree).
+		Syscall(SysFree). // double free: kernel tolerates, stats record it
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.kernel.Stats.DoubleFrees != 1 {
+		t.Errorf("double frees = %d, want 1", h.kernel.Stats.DoubleFrees)
+	}
+	// Both frees emit records: the lifeguard needs to see the second one.
+	if got := len(h.eventsOf(event.TFree)); got != 2 {
+		t.Errorf("TFree records = %d, want 2", got)
+	}
+}
+
+func TestMallocZeroAndExhaustion(t *testing.T) {
+	k := NewKernel(DefaultKernelConfig(), mem.NewMemory())
+	if addr := k.malloc(0); addr == 0 {
+		t.Error("malloc(0) should return a usable block")
+	}
+	if addr := k.malloc(isa.HeapLimit); addr != 0 {
+		t.Error("over-sized malloc must fail with 0")
+	}
+}
+
+func TestReadTaintsBuffer(t *testing.T) {
+	buf := int64(isa.DataBase)
+	p := prog.NewBuilder("read").
+		Li(isa.R0, buf).
+		Li(isa.R1, 128).
+		Syscall(SysRead).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sources := h.eventsOf(event.TTaintSource)
+	if len(sources) != 1 {
+		t.Fatalf("taint sources = %d, want 1", len(sources))
+	}
+	if sources[0].Addr != uint64(buf) || sources[0].Aux != 128 {
+		t.Errorf("taint source = %+v", sources[0])
+	}
+	// Input data must actually land in memory (deterministically).
+	var nonzero bool
+	for i := uint64(0); i < 128; i++ {
+		if h.m.Core.Mem.Byte(uint64(buf)+i) != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Error("SysRead should fill the buffer")
+	}
+}
+
+func TestReadUntaintedWhenDisabled(t *testing.T) {
+	cfg := DefaultKernelConfig()
+	cfg.TaintFileInput = false
+	memory := mem.NewMemory()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	k := NewKernel(cfg, memory)
+	var events []event.Record
+	k.Emit = func(r event.Record) { events = append(events, r) }
+	p := prog.NewBuilder("r").
+		Li(isa.R0, int64(isa.DataBase)).Li(isa.R1, 8).Syscall(SysRead).
+		Li(isa.R0, int64(isa.DataBase)).Li(isa.R1, 8).Syscall(SysRecv).
+		Li(isa.R0, 0).Syscall(SysExit).
+		MustBuild()
+	m := NewMachine(DefaultMachineConfig(), p, memory, hier.Port(0), k)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sources int
+	for _, r := range events {
+		if r.Type == event.TTaintSource {
+			sources++
+		}
+	}
+	if sources != 1 {
+		t.Errorf("only SysRecv should taint when file taint disabled; got %d sources", sources)
+	}
+}
+
+func TestWriteCountsBytes(t *testing.T) {
+	p := prog.NewBuilder("w").
+		Li(isa.R0, int64(isa.DataBase)).
+		Li(isa.R1, 256).
+		Syscall(SysWrite).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.kernel.Stats.BytesOut != 256 {
+		t.Errorf("BytesOut = %d, want 256", h.kernel.Stats.BytesOut)
+	}
+}
+
+func TestThreadCreateJoin(t *testing.T) {
+	data := int64(isa.DataBase)
+	p := prog.NewBuilder("threads").
+		// main: spawn worker(arg=data), join, check flag, exit.
+		Li(isa.R0, 0). // patched below to worker's PC via Lea-like trick
+		Lea(isa.R0, isa.RegNone, 0).
+		Jmp("main").
+		Label("worker").
+		// R0 = arg (pointer). Store 42 there and exit.
+		Li(isa.R1, 42).
+		Store(isa.R0, 0, isa.R1, 8).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		Label("main").
+		Li(isa.R0, int64(isa.PCForIndex(3))). // worker entry index = 3
+		Li(isa.R1, data).
+		Syscall(SysThreadCreate).
+		Mov(isa.R4, isa.R0). // tid
+		Mov(isa.R0, isa.R4).
+		Syscall(SysThreadJoin).
+		Li(isa.R2, data).
+		Load(isa.R3, isa.R2, 0, 8).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		SetEntry("main").
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.m.Core.Mem.Read(uint64(data), 8); got != 42 {
+		t.Errorf("worker result = %d, want 42", got)
+	}
+	if len(h.eventsOf(event.TThreadStart)) != 1 {
+		t.Error("one TThreadStart expected")
+	}
+	if len(h.eventsOf(event.TThreadExit)) != 2 {
+		t.Error("both threads should emit TThreadExit")
+	}
+	if h.kernel.Stats.ThreadsMade != 1 {
+		t.Errorf("ThreadsMade = %d", h.kernel.Stats.ThreadsMade)
+	}
+}
+
+func buildMutexProgram(locked bool, perThread int64) *prog.Program {
+	lock := int64(isa.DataBase)
+	counter := int64(isa.DataBase + 64)
+
+	b := prog.NewBuilder("mutex").
+		Jmp("main").
+		Label("worker"). // entry index 1
+		Li(isa.R8, 0).
+		Label("loop")
+	if locked {
+		b.Li(isa.R0, lock).Syscall(SysMutexLock)
+	}
+	b.Li(isa.R1, counter).
+		Load(isa.R2, isa.R1, 0, 8).
+		AddI(isa.R2, isa.R2, 1).
+		// A yield between load and store widens the race window when
+		// unlocked: the quantum otherwise hides the interleaving.
+		Syscall(SysYield).
+		Store(isa.R1, 0, isa.R2, 8)
+	if locked {
+		b.Li(isa.R0, lock).Syscall(SysMutexUnlock)
+	}
+	b.AddI(isa.R8, isa.R8, 1).
+		BrI(isa.CondLT, isa.R8, perThread, "loop").
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		Label("main").
+		Li(isa.R0, int64(isa.PCForIndex(1))).
+		Li(isa.R1, 0).
+		Syscall(SysThreadCreate).
+		Mov(isa.R9, isa.R0).
+		Li(isa.R0, int64(isa.PCForIndex(1))).
+		Li(isa.R1, 0).
+		Syscall(SysThreadCreate).
+		Mov(isa.R10, isa.R0).
+		Mov(isa.R0, isa.R9).
+		Syscall(SysThreadJoin).
+		Mov(isa.R0, isa.R10).
+		Syscall(SysThreadJoin).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		SetEntry("main")
+	return b.MustBuild()
+}
+
+func TestMutexMutualExclusionFull(t *testing.T) {
+	const perThread = 50
+	counter := isa.DataBase + 64
+
+	// With locks: exactly 2*perThread increments survive.
+	h := newHarness(t, buildMutexProgram(true, perThread))
+	// Tighten the quantum to force interleaving inside critical work.
+	h.m.cfg.Quantum = 3
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.m.Core.Mem.Read(counter, 8); got != 2*perThread {
+		t.Errorf("locked counter = %d, want %d", got, 2*perThread)
+	}
+	if h.kernel.Stats.LocksTaken == 0 {
+		t.Error("locks should have been taken")
+	}
+
+	// Without locks: the yield in the middle guarantees lost updates.
+	h2 := newHarness(t, buildMutexProgram(false, perThread))
+	h2.m.cfg.Quantum = 3
+	if err := h2.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.m.Core.Mem.Read(counter, 8); got >= 2*perThread {
+		t.Errorf("unlocked counter = %d, expected lost updates (< %d)", got, 2*perThread)
+	}
+}
+
+func TestBarrierReleasesAllThreads(t *testing.T) {
+	bar := int64(isa.DataBase)
+	flag := int64(isa.DataBase + 128)
+	p := prog.NewBuilder("barrier").
+		Jmp("main").
+		Label("worker"). // index 1
+		Li(isa.R0, bar).
+		Li(isa.R1, 3). // three participants: main + 2 workers
+		Syscall(SysBarrier).
+		Li(isa.R2, flag).
+		Load(isa.R3, isa.R2, 0, 8).
+		AddI(isa.R3, isa.R3, 1).
+		Store(isa.R2, 0, isa.R3, 8).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		Label("main").
+		Li(isa.R0, int64(isa.PCForIndex(1))).
+		Li(isa.R1, 0).
+		Syscall(SysThreadCreate).
+		Li(isa.R0, int64(isa.PCForIndex(1))).
+		Li(isa.R1, 0).
+		Syscall(SysThreadCreate).
+		Li(isa.R0, bar).
+		Li(isa.R1, 3).
+		Syscall(SysBarrier).
+		Li(isa.R0, 1).
+		Syscall(SysThreadJoin).
+		Li(isa.R0, 2).
+		Syscall(SysThreadJoin).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		SetEntry("main").
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.m.Core.Mem.Read(uint64(flag), 8); got != 2 {
+		t.Errorf("post-barrier increments = %d, want 2", got)
+	}
+}
+
+func TestJoinAlreadyExitedThread(t *testing.T) {
+	p := prog.NewBuilder("join-done").
+		Jmp("main").
+		Label("worker").
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		Label("main").
+		Li(isa.R0, int64(isa.PCForIndex(1))).
+		Li(isa.R1, 0).
+		Syscall(SysThreadCreate).
+		Mov(isa.R9, isa.R0).
+		// Let the worker run to completion first.
+		Li(isa.R8, 0).
+		Label("spin").
+		AddI(isa.R8, isa.R8, 1).
+		BrI(isa.CondLT, isa.R8, 1000, "spin").
+		Mov(isa.R0, isa.R9).
+		Syscall(SysThreadJoin). // must not block forever
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		SetEntry("main").
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownSyscallReturnsError(t *testing.T) {
+	p := prog.NewBuilder("unk").
+		Syscall(999).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	lock := int64(isa.DataBase)
+	// Main locks twice... second acquire by another thread never happens;
+	// instead: thread A holds lock and joins B; B waits on the lock.
+	p := prog.NewBuilder("dead").
+		Jmp("main").
+		Label("worker").
+		Li(isa.R0, lock).
+		Syscall(SysMutexLock). // blocks forever: main holds the lock
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		Label("main").
+		Li(isa.R0, lock).
+		Syscall(SysMutexLock).
+		Li(isa.R0, int64(isa.PCForIndex(1))).
+		Li(isa.R1, 0).
+		Syscall(SysThreadCreate).
+		Mov(isa.R0, isa.R0). // tid in R0 already
+		Syscall(SysThreadJoin).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		SetEntry("main").
+		MustBuild()
+	h := newHarness(t, p)
+	err := h.m.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("want ErrDeadlock, got %v", err)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	p := prog.NewBuilder("forever").
+		Label("spin").
+		Jmp("spin").
+		MustBuild()
+	memory := mem.NewMemory()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	k := NewKernel(DefaultKernelConfig(), memory)
+	cfg := DefaultMachineConfig()
+	cfg.MaxInstructions = 5000
+	m := NewMachine(cfg, p, memory, hier.Port(0), k)
+	if err := m.Run(); !errors.Is(err, ErrBudget) {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestSyscallEnterHook(t *testing.T) {
+	p := prog.NewBuilder("hook").
+		Li(isa.R0, 16).
+		Syscall(SysMalloc).
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		MustBuild()
+	h := newHarness(t, p)
+	var nums []int64
+	h.kernel.OnSyscallEnter = func(_ *cpu.Context, num int64) { nums = append(nums, num) }
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) != 2 || nums[0] != SysMalloc || nums[1] != SysExit {
+		t.Errorf("hook saw %v, want [malloc exit]", nums)
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if SyscallName(SysMalloc) != "malloc" || SyscallName(SysExit) != "exit" {
+		t.Error("syscall names wrong")
+	}
+	if SyscallName(999) != "sys?" {
+		t.Error("unknown syscall should be sys?")
+	}
+	if int(NumSyscalls) != len(syscallNames) {
+		t.Error("syscallNames table out of sync")
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	k := NewKernel(DefaultKernelConfig(), mem.NewMemory())
+	if k.String() == "" {
+		t.Error("String should describe the kernel")
+	}
+}
+
+func TestSchedulerFairness(t *testing.T) {
+	// Two spinning workers must both make progress under round-robin:
+	// each increments its own counter; after the budget expires, both
+	// counters are substantial and comparable.
+	slotA := int64(isa.DataBase + 0x500)
+	slotB := int64(isa.DataBase + 0x540)
+	p := prog.NewBuilder("fair").
+		Jmp("main").
+		Label("worker"). // R0 = own counter address
+		Mov(isa.R10, isa.R0).
+		Label("spin").
+		Load(isa.R1, isa.R10, 0, 8).
+		AddI(isa.R1, isa.R1, 1).
+		Store(isa.R10, 0, isa.R1, 8).
+		Jmp("spin").
+		Label("main").
+		LiLabel(isa.R0, "worker").
+		Li(isa.R1, slotA).
+		Syscall(SysThreadCreate).
+		LiLabel(isa.R0, "worker").
+		Li(isa.R1, slotB).
+		Syscall(SysThreadCreate).
+		Li(isa.R8, 0).
+		Label("wait").
+		AddI(isa.R8, isa.R8, 1).
+		BrI(isa.CondLT, isa.R8, 100000, "wait").
+		Li(isa.R0, 0).
+		Syscall(SysExit).
+		SetEntry("main").
+		MustBuild()
+	h := newHarness(t, p)
+	if err := h.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := h.m.Core.Mem.Read(uint64(slotA), 8)
+	b := h.m.Core.Mem.Read(uint64(slotB), 8)
+	if a == 0 || b == 0 {
+		t.Fatalf("both workers must progress: a=%d b=%d", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("round-robin should be roughly fair: a=%d b=%d", a, b)
+	}
+}

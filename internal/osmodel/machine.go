@@ -1,0 +1,111 @@
+package osmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// ErrDeadlock is returned when no context is runnable but the program has
+// not terminated.
+var ErrDeadlock = errors.New("osmodel: all threads blocked (deadlock)")
+
+// ErrBudget is returned when the instruction budget expires before the
+// program completes.
+var ErrBudget = errors.New("osmodel: instruction budget exhausted")
+
+// MachineConfig tunes the scheduler.
+type MachineConfig struct {
+	// Quantum is the scheduling timeslice in retired instructions.
+	Quantum int
+	// MaxInstructions bounds a run; 0 means unbounded.
+	MaxInstructions uint64
+}
+
+// DefaultMachineConfig returns the scheduler configuration used by the
+// evaluation.
+func DefaultMachineConfig() MachineConfig {
+	return MachineConfig{Quantum: 200}
+}
+
+// Machine owns the application core and multiplexes kernel threads onto it
+// round-robin. It is the "application side" of the LBA system; package
+// core builds the full dual-core system around it.
+type Machine struct {
+	cfg    MachineConfig
+	Core   *cpu.Core
+	Kernel *Kernel
+	cur    int
+}
+
+// NewMachine wires a program, memory, cache port and kernel into a runnable
+// machine and boots the main thread.
+func NewMachine(cfg MachineConfig, p *prog.Program, m *mem.Memory, port *mem.Port, k *Kernel) *Machine {
+	core := cpu.New(p, m, port, k)
+	core.LoadImage()
+	k.Boot(p.EntryPC())
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = DefaultMachineConfig().Quantum
+	}
+	return &Machine{cfg: cfg, Core: core, Kernel: k}
+}
+
+// pickNext advances m.cur to the next runnable context, returning nil when
+// none is runnable.
+func (m *Machine) pickNext() *cpu.Context {
+	threads := m.Kernel.Threads()
+	n := len(threads)
+	for i := 0; i < n; i++ {
+		ctx := threads[(m.cur+i)%n]
+		if ctx.Runnable() {
+			m.cur = (m.cur + i) % n
+			return ctx
+		}
+	}
+	return nil
+}
+
+// Step runs one scheduling quantum. It returns false when the program has
+// terminated.
+func (m *Machine) Step() (bool, error) {
+	if m.Kernel.Done() {
+		return false, nil
+	}
+	ctx := m.pickNext()
+	if ctx == nil {
+		return false, ErrDeadlock
+	}
+	for i := 0; i < m.cfg.Quantum; i++ {
+		if _, err := m.Core.Step(ctx); err != nil {
+			return false, fmt.Errorf("osmodel: thread %d: %w", ctx.TID, err)
+		}
+		if m.Kernel.Done() {
+			return false, nil
+		}
+		if !ctx.Runnable() {
+			break
+		}
+		if m.cfg.MaxInstructions > 0 && m.Core.Retired >= m.cfg.MaxInstructions {
+			return false, ErrBudget
+		}
+	}
+	// Rotate even if the thread could continue: round-robin fairness.
+	m.cur = (m.cur + 1) % len(m.Kernel.Threads())
+	return true, nil
+}
+
+// Run executes the program to completion (or budget exhaustion).
+func (m *Machine) Run() error {
+	for {
+		more, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package osmodel simulates the operating-system layer of the LBA machine:
+// system calls, the heap allocator, threads, mutexes, barriers, and the
+// round-robin scheduler that multiplexes thread contexts onto the
+// application core.
+//
+// The kernel is also an event source: the paper's lifeguards learn about
+// allocation, locking, thread lifecycle, and untrusted input from
+// instrumented library wrappers; our kernel synthesises the equivalent log
+// records (event.TAlloc, TFree, TLock, TUnlock, TTaintSource, ...) at the
+// corresponding syscalls.
+//
+// Finally, the kernel implements the paper's containment rule: "the OS
+// stalls each application syscall until the lifeguard finishes checking the
+// remaining log entries that executed prior to the syscall" (§2). The
+// OnSyscallEnter hook is where the LBA system imposes that stall.
+package osmodel
+
+// Syscall numbers. Arguments are passed in R0..R5 and the result returns in
+// R0, mirroring a conventional register ABI.
+const (
+	// SysExit terminates the calling thread; when the main thread exits,
+	// the whole program ends. R0 = exit code.
+	SysExit int64 = iota
+	// SysWrite outputs R1=len bytes from buffer R0. Returns len.
+	SysWrite
+	// SysRead fills buffer R0 with R1 bytes of file input. Input data is
+	// deterministic pseudo-random. Returns bytes read. Emits TTaintSource
+	// when the kernel's TaintInputs option is set.
+	SysRead
+	// SysRecv fills buffer R0 with R1 bytes of *network* input. Always a
+	// taint source. Returns bytes read.
+	SysRecv
+	// SysMalloc allocates R0 bytes; returns the block address or 0.
+	SysMalloc
+	// SysFree releases the block at R0. Double frees and frees of unknown
+	// addresses are tolerated by the kernel (recorded for lifeguards to
+	// flag, like a real allocator exploited by a buggy program).
+	SysFree
+	// SysThreadCreate starts a thread at PC=R0 with argument R1 (delivered
+	// in the new thread's R0). Returns the new thread id.
+	SysThreadCreate
+	// SysThreadJoin blocks until thread R0 exits. Returns 0.
+	SysThreadJoin
+	// SysMutexLock acquires the mutex identified by address R0, blocking
+	// while it is held by another thread.
+	SysMutexLock
+	// SysMutexUnlock releases the mutex identified by address R0.
+	SysMutexUnlock
+	// SysYield surrenders the rest of the scheduling quantum.
+	SysYield
+	// SysBarrier blocks until R1 threads have arrived at the barrier
+	// identified by address R0.
+	SysBarrier
+
+	// NumSyscalls bounds the syscall table.
+	NumSyscalls
+)
+
+// syscallNames is indexed by syscall number.
+var syscallNames = [...]string{
+	"exit", "write", "read", "recv", "malloc", "free",
+	"thread_create", "thread_join", "mutex_lock", "mutex_unlock",
+	"yield", "barrier",
+}
+
+// SyscallName returns the name of syscall num.
+func SyscallName(num int64) string {
+	if num >= 0 && int(num) < len(syscallNames) {
+		return syscallNames[num]
+	}
+	return "sys?"
+}

@@ -1,0 +1,275 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder assembles a Program instruction by instruction, resolving labels
+// in a single backpatching pass at Build time. The emit methods mirror the
+// ISA closely and return the builder for chaining inside generators.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	data   []DataSegment
+	labels map[string]int
+	// fixups maps instruction index -> unresolved label reference.
+	fixups map[int]fixup
+	errs   []error
+	entry  string
+}
+
+// fixup describes a backpatch: a control-flow target or a label's PC
+// materialised as an immediate (for thread entry points and jump tables).
+type fixup struct {
+	label string
+	asImm bool
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]fixup),
+	}
+}
+
+// errorf records a build error; Build reports the first one.
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("prog %q: %s", b.name, fmt.Sprintf(format, args...)))
+}
+
+// Len returns the number of instructions emitted so far (the index of the
+// next instruction).
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label defines name at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errorf("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// SetEntry selects the entry label (default: instruction 0).
+func (b *Builder) SetEntry(label string) *Builder {
+	b.entry = label
+	return b
+}
+
+// Data places bytes at addr before execution begins.
+func (b *Builder) Data(addr uint64, bytes []byte) *Builder {
+	cp := make([]byte, len(bytes))
+	copy(cp, bytes)
+	b.data = append(b.data, DataSegment{Addr: addr, Bytes: cp})
+	return b
+}
+
+// DataWords places 64-bit little-endian words at addr.
+func (b *Builder) DataWords(addr uint64, words []uint64) *Builder {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			buf[8*i+j] = byte(w >> (8 * j))
+		}
+	}
+	b.data = append(b.data, DataSegment{Addr: addr, Bytes: buf})
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emitTo(in isa.Inst, label string) *Builder {
+	b.fixups[len(b.insts)] = fixup{label: label}
+	return b.emit(in)
+}
+
+// LiLabel loads the program counter of label into dst, for indirect calls,
+// jump tables, and thread entry points.
+func (b *Builder) LiLabel(dst isa.Reg, label string) *Builder {
+	b.fixups[len(b.insts)] = fixup{label: label, asImm: true}
+	return b.emit(isa.Inst{Op: isa.OpMovImm, Dst: dst})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Inst{Op: isa.OpNop}) }
+
+// ALU emits dst = a <op> c.
+func (b *Builder) ALU(op isa.Opcode, dst, a, c isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: op, Dst: dst, Src1: a, Src2: c})
+}
+
+// ALUI emits dst = a <op> imm.
+func (b *Builder) ALUI(op isa.Opcode, dst, a isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Dst: dst, Src1: a, Src2: isa.RegNone, Imm: imm})
+}
+
+// Add, Sub, Mul, Xor, And, Or, Shl, Shr are common-case ALU shorthands.
+func (b *Builder) Add(dst, a, c isa.Reg) *Builder { return b.ALU(isa.OpAdd, dst, a, c) }
+
+// Sub emits dst = a - c.
+func (b *Builder) Sub(dst, a, c isa.Reg) *Builder { return b.ALU(isa.OpSub, dst, a, c) }
+
+// Mul emits dst = a * c.
+func (b *Builder) Mul(dst, a, c isa.Reg) *Builder { return b.ALU(isa.OpMul, dst, a, c) }
+
+// Xor emits dst = a ^ c.
+func (b *Builder) Xor(dst, a, c isa.Reg) *Builder { return b.ALU(isa.OpXor, dst, a, c) }
+
+// Or emits dst = a | c.
+func (b *Builder) Or(dst, a, c isa.Reg) *Builder { return b.ALU(isa.OpOr, dst, a, c) }
+
+// And emits dst = a & c.
+func (b *Builder) And(dst, a, c isa.Reg) *Builder { return b.ALU(isa.OpAnd, dst, a, c) }
+
+// AddI emits dst = a + imm.
+func (b *Builder) AddI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpAdd, dst, a, imm) }
+
+// SubI emits dst = a - imm.
+func (b *Builder) SubI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpSub, dst, a, imm) }
+
+// MulI emits dst = a * imm.
+func (b *Builder) MulI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpMul, dst, a, imm) }
+
+// AndI emits dst = a & imm.
+func (b *Builder) AndI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpAnd, dst, a, imm) }
+
+// XorI emits dst = a ^ imm.
+func (b *Builder) XorI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpXor, dst, a, imm) }
+
+// ShlI emits dst = a << imm.
+func (b *Builder) ShlI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpShl, dst, a, imm) }
+
+// ShrI emits dst = a >> imm.
+func (b *Builder) ShrI(dst, a isa.Reg, imm int64) *Builder { return b.ALUI(isa.OpShr, dst, a, imm) }
+
+// Li loads an immediate: dst = imm.
+func (b *Builder) Li(dst isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMovImm, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpMovReg, Dst: dst, Src1: src})
+}
+
+// Lea emits dst = base + imm.
+func (b *Builder) Lea(dst, base isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLea, Dst: dst, Src1: base, Idx: isa.RegNone, Imm: imm})
+}
+
+// Load emits dst = Mem[base+imm] of size bytes.
+func (b *Builder) Load(dst, base isa.Reg, imm int64, size uint8) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: base, Idx: isa.RegNone, Imm: imm, Size: size})
+}
+
+// LoadIdx emits dst = Mem[base + (idx<<scale) + imm].
+func (b *Builder) LoadIdx(dst, base, idx isa.Reg, scale uint8, imm int64, size uint8) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: base, Idx: idx, Scale: scale, Imm: imm, Size: size})
+}
+
+// Store emits Mem[base+imm] = src of size bytes.
+func (b *Builder) Store(base isa.Reg, imm int64, src isa.Reg, size uint8) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpStore, Src1: base, Src2: src, Idx: isa.RegNone, Imm: imm, Size: size})
+}
+
+// StoreIdx emits Mem[base + (idx<<scale) + imm] = src.
+func (b *Builder) StoreIdx(base, idx isa.Reg, scale uint8, imm int64, src isa.Reg, size uint8) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpStore, Src1: base, Src2: src, Idx: idx, Scale: scale, Imm: imm, Size: size})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitTo(isa.Inst{Op: isa.OpJmp}, label)
+}
+
+// JmpInd emits an indirect jump through reg.
+func (b *Builder) JmpInd(reg isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpJmpInd, Src1: reg})
+}
+
+// Br emits a conditional branch comparing two registers.
+func (b *Builder) Br(cond isa.Cond, a, c isa.Reg, label string) *Builder {
+	return b.emitTo(isa.Inst{Op: isa.OpBr, Cond: cond, Src1: a, Src2: c}, label)
+}
+
+// BrI emits a conditional branch comparing a register against an immediate.
+func (b *Builder) BrI(cond isa.Cond, a isa.Reg, imm int64, label string) *Builder {
+	return b.emitTo(isa.Inst{Op: isa.OpBr, Cond: cond, Src1: a, Src2: isa.RegNone, Imm: imm}, label)
+}
+
+// Call emits a direct call to label.
+func (b *Builder) Call(label string) *Builder {
+	return b.emitTo(isa.Inst{Op: isa.OpCall}, label)
+}
+
+// CallInd emits an indirect call through reg.
+func (b *Builder) CallInd(reg isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpCallInd, Src1: reg})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() *Builder { return b.emit(isa.Inst{Op: isa.OpRet}) }
+
+// Syscall emits a system call with the given number; arguments are placed
+// in R0..R5 by preceding instructions and the result arrives in R0.
+func (b *Builder) Syscall(num int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpSyscall, Imm: num})
+}
+
+// Halt terminates the current thread.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for idx, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("prog %q: inst %d references undefined label %q", b.name, idx, fx.label)
+		}
+		if fx.asImm {
+			b.insts[idx].Imm = int64(isa.PCForIndex(target))
+		} else {
+			b.insts[idx].Target = int32(target)
+		}
+	}
+	entry := 0
+	if b.entry != "" {
+		e, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("prog %q: undefined entry label %q", b.name, b.entry)
+		}
+		entry = e
+	}
+	p := &Program{
+		Name:   b.name,
+		Insts:  b.insts,
+		Data:   b.data,
+		Labels: b.labels,
+		Entry:  entry,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for statically-known-good programs; it panics on error.
+// Generators use it because their programs are constructed, not parsed.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,63 @@
+// Package prog defines the program container loaded into the simulated
+// machine: an instruction sequence with resolved control-flow targets plus
+// initial data segments. Workload generators construct programs through the
+// Builder, which handles label resolution and structural validation.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DataSegment is a chunk of initialised memory loaded before execution.
+type DataSegment struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// Program is an executable image for the simulated machine.
+type Program struct {
+	Name   string
+	Insts  []isa.Inst
+	Data   []DataSegment
+	Labels map[string]int // label -> instruction index (for tooling/tests)
+	// Entry is the instruction index where execution begins.
+	Entry int
+}
+
+// EntryPC returns the program counter of the entry point.
+func (p *Program) EntryPC() uint64 { return isa.PCForIndex(p.Entry) }
+
+// InstAt returns the instruction at pc, or nil when pc is outside the image.
+func (p *Program) InstAt(pc uint64) *isa.Inst {
+	idx := isa.IndexForPC(pc)
+	if idx < 0 || idx >= len(p.Insts) {
+		return nil
+	}
+	return &p.Insts[idx]
+}
+
+// Validate checks every instruction and every direct branch target.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("prog %q: empty program", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Insts) {
+		return fmt.Errorf("prog %q: entry %d out of range", p.Name, p.Entry)
+	}
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("prog %q: inst %d: %w", p.Name, i, err)
+		}
+		switch in.Op {
+		case isa.OpJmp, isa.OpBr, isa.OpCall:
+			if in.Target < 0 || int(in.Target) >= len(p.Insts) {
+				return fmt.Errorf("prog %q: inst %d (%s): target %d out of range",
+					p.Name, i, in.Op, in.Target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderBasicProgram(t *testing.T) {
+	p, err := NewBuilder("t").
+		Li(isa.R0, 0).
+		Label("loop").
+		AddI(isa.R0, isa.R0, 1).
+		BrI(isa.CondLT, isa.R0, 10, "loop").
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("len = %d, want 4", len(p.Insts))
+	}
+	br := p.Insts[2]
+	if br.Op != isa.OpBr || br.Target != 1 {
+		t.Errorf("branch should target index 1, got %+v", br)
+	}
+	if p.Entry != 0 {
+		t.Errorf("default entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	p, err := NewBuilder("fwd").
+		Jmp("end").
+		Nop().
+		Label("end").
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Target != 2 {
+		t.Errorf("forward jump target = %d, want 2", p.Insts[0].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder("bad").Jmp("nowhere").Halt().Build()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder("dup").Label("a").Nop().Label("a").Halt().Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuilderEntryLabel(t *testing.T) {
+	p, err := NewBuilder("e").
+		Nop().
+		Label("main").
+		Halt().
+		SetEntry("main").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+	if p.EntryPC() != isa.PCForIndex(1) {
+		t.Errorf("EntryPC = %#x", p.EntryPC())
+	}
+}
+
+func TestBuilderUndefinedEntry(t *testing.T) {
+	_, err := NewBuilder("e").Halt().SetEntry("main").Build()
+	if err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Errorf("want entry error, got %v", err)
+	}
+}
+
+func TestBuilderDataSegments(t *testing.T) {
+	src := []byte{1, 2, 3}
+	b := NewBuilder("d").Data(0x1000_0000, src).Halt()
+	src[0] = 99 // builder must have copied
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[0].Bytes[0] != 1 {
+		t.Error("Data must copy the input slice")
+	}
+}
+
+func TestBuilderDataWords(t *testing.T) {
+	p, err := NewBuilder("w").DataWords(0x1000_0000, []uint64{0x0102030405060708}).Halt().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := p.Data[0]
+	if len(seg.Bytes) != 8 || seg.Bytes[0] != 0x08 || seg.Bytes[7] != 0x01 {
+		t.Errorf("DataWords little-endian layout wrong: %v", seg.Bytes)
+	}
+}
+
+func TestProgramValidateCatchesBadTarget(t *testing.T) {
+	p := &Program{
+		Name:  "bad",
+		Insts: []isa.Inst{{Op: isa.OpJmp, Target: 99}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range target must fail validation")
+	}
+}
+
+func TestProgramValidateEmpty(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if err := p.Validate(); err == nil {
+		t.Error("empty program must fail validation")
+	}
+}
+
+func TestProgramValidateBadEntry(t *testing.T) {
+	p := &Program{Name: "e", Insts: []isa.Inst{{Op: isa.OpHalt}}, Entry: 5}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range entry must fail validation")
+	}
+}
+
+func TestProgramValidateBadInst(t *testing.T) {
+	p := &Program{Name: "i", Insts: []isa.Inst{{Op: isa.OpLoad, Dst: isa.RegNone, Size: 8}}}
+	if err := p.Validate(); err == nil {
+		t.Error("invalid instruction must fail validation")
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	p, err := NewBuilder("at").Li(isa.R1, 42).Halt().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := p.InstAt(isa.PCForIndex(0)); in == nil || in.Op != isa.OpMovImm {
+		t.Errorf("InstAt(entry) = %v", in)
+	}
+	if in := p.InstAt(isa.PCForIndex(2)); in != nil {
+		t.Error("InstAt past end should be nil")
+	}
+	if in := p.InstAt(0); in != nil {
+		t.Error("InstAt outside code region should be nil")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on bad program")
+		}
+	}()
+	NewBuilder("p").Jmp("missing").MustBuild()
+}
+
+func TestBuilderEmitsAllShorthands(t *testing.T) {
+	// Exercise every emit helper once and validate the whole program.
+	p, err := NewBuilder("all").
+		Nop().
+		Add(isa.R0, isa.R1, isa.R2).
+		Sub(isa.R0, isa.R1, isa.R2).
+		Mul(isa.R0, isa.R1, isa.R2).
+		Xor(isa.R0, isa.R1, isa.R2).
+		AddI(isa.R0, isa.R1, 1).
+		SubI(isa.R0, isa.R1, 1).
+		MulI(isa.R0, isa.R1, 3).
+		AndI(isa.R0, isa.R1, 0xFF).
+		XorI(isa.R0, isa.R1, 0xAA).
+		ShlI(isa.R0, isa.R1, 2).
+		ShrI(isa.R0, isa.R1, 2).
+		Li(isa.R3, -7).
+		Mov(isa.R4, isa.R3).
+		Lea(isa.R5, isa.R4, 16).
+		Load(isa.R6, isa.R5, 0, 8).
+		LoadIdx(isa.R6, isa.R5, isa.R7, 3, 8, 4).
+		Store(isa.R5, 0, isa.R6, 8).
+		StoreIdx(isa.R5, isa.R7, 2, 4, isa.R6, 2).
+		JmpInd(isa.R8).
+		CallInd(isa.R8).
+		Ret().
+		Syscall(3).
+		Label("end").
+		Br(isa.CondEQ, isa.R0, isa.R1, "end").
+		Call("end").
+		Jmp("end").
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Labels["end"]; got != 23 {
+		t.Errorf("label end at %d, want 23", got)
+	}
+	if p.Insts[23].Target != 23 || p.Insts[24].Target != 23 || p.Insts[25].Target != 23 {
+		t.Error("all three control transfers should target the end label")
+	}
+}
+
+func TestBuilderLen(t *testing.T) {
+	b := NewBuilder("len")
+	if b.Len() != 0 {
+		t.Error("new builder should be empty")
+	}
+	b.Nop().Nop()
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestLiLabelMaterialisesPC(t *testing.T) {
+	p, err := NewBuilder("lil").
+		LiLabel(isa.R1, "fn").
+		Halt().
+		Label("fn").
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(p.Insts[0].Imm); got != isa.PCForIndex(2) {
+		t.Errorf("LiLabel imm = %#x, want %#x", got, isa.PCForIndex(2))
+	}
+}
+
+func TestLiLabelUndefined(t *testing.T) {
+	if _, err := NewBuilder("lil").LiLabel(isa.R1, "missing").Halt().Build(); err == nil {
+		t.Error("undefined LiLabel target must fail")
+	}
+}

@@ -1,0 +1,59 @@
+package replay_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+	"repro/internal/replay"
+)
+
+// TestEndToEndRewind drives the full LBA system in rewind mode and undoes
+// the program's writes — the paper's "selectively rewind the monitored
+// program" scenario.
+func TestEndToEndRewind(t *testing.T) {
+	target := int64(isa.DataBase + 0x100)
+	p := prog.NewBuilder("rewindable").
+		Li(isa.R1, target).
+		Li(isa.R2, 1111).
+		Store(isa.R1, 0, isa.R2, 8). // first write
+		Li(isa.R2, 2222).
+		Store(isa.R1, 0, isa.R2, 8). // second write (to undo)
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		MustBuild()
+
+	cfg := core.DefaultConfig()
+	cfg.RewindMode = true
+	res, err := core.RunLBA(p, "AddrCheck", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replay == nil {
+		t.Fatal("rewind mode must retain a replay window")
+	}
+	if got := res.Memory.Read(uint64(target), 8); got != 2222 {
+		t.Fatalf("final memory = %d, want 2222", got)
+	}
+
+	// Find the second store in the history and rewind past it.
+	writer, ok := res.Replay.LastWriter(uint64(target))
+	if !ok {
+		t.Fatal("history should know the last writer")
+	}
+	r := replay.NewRewinder(res.Replay, res.Memory)
+	if _, err := r.RewindMemory(writer.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Memory.Read(uint64(target), 8); got != 1111 {
+		t.Errorf("after rewind memory = %d, want 1111", got)
+	}
+
+	// The history of the target names both stores.
+	hist := res.Replay.HistoryOf(uint64(target), 8, 0)
+	if len(hist) != 2 {
+		t.Errorf("history = %d entries, want the two stores", len(hist))
+	}
+}

@@ -1,0 +1,194 @@
+// Package replay implements the paper's log-history extension: "A key
+// advantage of a log-based approach is that the log captures the dynamic
+// history of a monitored program. Thus it enables lifeguards to use this
+// history to detect sophisticated bugs or answer 'how did I get here'
+// analysis questions, as well as providing a means, when a problem is
+// detected, to (selectively) rewind the monitored program and possibly
+// perform on-the-fly bug repair" (§1).
+//
+// The Window retains the most recent log records uncompressed; HistoryOf
+// answers provenance queries about an address, and Rewinder undoes memory
+// state back to an earlier log position. Memory rewind requires the capture
+// hardware's rewind mode (core.Config.RewindMode), which logs the value
+// each store overwrites — the paper's footnote that "additional fields
+// would be needed to enable rewind".
+package replay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// Rewind errors.
+var (
+	// ErrOutOfWindow is returned when the requested log position has
+	// already been evicted from the history window.
+	ErrOutOfWindow = errors.New("replay: sequence number outside the retained window")
+	// ErrNoUndoData is returned when store records carry no overwritten
+	// values (capture ran without rewind mode).
+	ErrNoUndoData = errors.New("replay: log was captured without rewind mode")
+)
+
+// Entry is one retained log record with its global sequence number.
+type Entry struct {
+	Seq uint64
+	Rec event.Record
+}
+
+// Window is a fixed-capacity ring of the most recent log records.
+type Window struct {
+	entries []Entry
+	head    int // index of the oldest entry
+	count   int
+	rewind  bool // records carry overwritten store values
+}
+
+// NewWindow returns a window retaining up to capacity records.
+func NewWindow(capacity int, rewindMode bool) *Window {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Window{entries: make([]Entry, capacity), rewind: rewindMode}
+}
+
+// Observe appends a record; the oldest record is evicted when full. Wire it
+// as a tee on the dispatch path.
+func (w *Window) Observe(seq uint64, rec event.Record) {
+	idx := (w.head + w.count) % len(w.entries)
+	if w.count == len(w.entries) {
+		w.head = (w.head + 1) % len(w.entries)
+		w.count--
+	}
+	w.entries[idx] = Entry{Seq: seq, Rec: rec}
+	w.count++
+}
+
+// Len reports the number of retained records.
+func (w *Window) Len() int { return w.count }
+
+// SeqRange returns the inclusive sequence range retained; ok is false when
+// the window is empty.
+func (w *Window) SeqRange() (lo, hi uint64, ok bool) {
+	if w.count == 0 {
+		return 0, 0, false
+	}
+	return w.entries[w.head].Seq,
+		w.entries[(w.head+w.count-1)%len(w.entries)].Seq, true
+}
+
+// at returns the i-th oldest retained entry.
+func (w *Window) at(i int) Entry {
+	return w.entries[(w.head+i)%len(w.entries)]
+}
+
+// overlaps reports whether a memory record touches [addr, addr+size).
+func overlaps(rec *event.Record, addr uint64, size uint64) bool {
+	if !rec.Type.IsMem() {
+		return false
+	}
+	end := rec.Addr + uint64(rec.Size)
+	return rec.Addr < addr+size && addr < end
+}
+
+// HistoryOf answers "how did I get here" for an address range: the most
+// recent retained records that touched [addr, addr+size), newest first,
+// up to limit entries (0 = unlimited). Allocation events covering the
+// range are included — the typical question after a use-after-free is
+// "who freed this and who allocated it".
+func (w *Window) HistoryOf(addr uint64, size uint64, limit int) []Entry {
+	if size == 0 {
+		size = 1
+	}
+	var out []Entry
+	for i := w.count - 1; i >= 0; i-- {
+		e := w.at(i)
+		touch := overlaps(&e.Rec, addr, size)
+		switch e.Rec.Type {
+		case event.TAlloc:
+			touch = e.Rec.Addr < addr+size && addr < e.Rec.Addr+e.Rec.Aux
+		case event.TFree:
+			touch = e.Rec.Addr <= addr // free of the containing block (approximate)
+		}
+		if !touch {
+			continue
+		}
+		out = append(out, e)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// LastWriter returns the most recent retained store covering addr.
+func (w *Window) LastWriter(addr uint64) (Entry, bool) {
+	for i := w.count - 1; i >= 0; i-- {
+		e := w.at(i)
+		if e.Rec.Type == event.TStore && overlaps(&e.Rec, addr, 1) {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ControlTrace returns the retained control-flow records (branches, jumps,
+// calls, returns) of thread tid, newest first, up to limit — the dynamic
+// path that led to the current point.
+func (w *Window) ControlTrace(tid uint8, limit int) []Entry {
+	var out []Entry
+	for i := w.count - 1; i >= 0; i-- {
+		e := w.at(i)
+		if e.Rec.TID != tid {
+			continue
+		}
+		switch e.Rec.Type {
+		case event.TBranch, event.TJump, event.TJumpInd,
+			event.TCall, event.TCallInd, event.TRet:
+			out = append(out, e)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Rewinder undoes memory effects using the window's undo log.
+type Rewinder struct {
+	window *Window
+	mem    *mem.Memory
+}
+
+// NewRewinder rewinds mem using the history in window.
+func NewRewinder(window *Window, m *mem.Memory) *Rewinder {
+	return &Rewinder{window: window, mem: m}
+}
+
+// RewindMemory restores memory to its state just before the record with
+// sequence number toSeq executed, by undoing retained stores newest-first.
+// Register state and kernel state (allocations, locks) are not restored;
+// the paper frames rewind as selective.
+func (r *Rewinder) RewindMemory(toSeq uint64) (undone int, err error) {
+	if !r.window.rewind {
+		return 0, ErrNoUndoData
+	}
+	lo, hi, ok := r.window.SeqRange()
+	if !ok || toSeq < lo || toSeq > hi+1 {
+		return 0, fmt.Errorf("%w: want %d, retained [%d, %d]", ErrOutOfWindow, toSeq, lo, hi)
+	}
+	for i := r.window.count - 1; i >= 0; i-- {
+		e := r.window.at(i)
+		if e.Seq < toSeq {
+			break
+		}
+		if e.Rec.Type != event.TStore {
+			continue
+		}
+		r.mem.Write(e.Rec.Addr, e.Rec.Size, e.Rec.Aux) // Aux = overwritten value
+		undone++
+	}
+	return undone, nil
+}

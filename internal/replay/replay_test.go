@@ -1,0 +1,135 @@
+package replay
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func store(seq uint64, addr uint64, size uint8, old uint64) Entry {
+	return Entry{Seq: seq, Rec: event.Record{Type: event.TStore, Addr: addr, Size: size, Aux: old}}
+}
+
+func TestWindowRetention(t *testing.T) {
+	w := NewWindow(4, true)
+	if _, _, ok := w.SeqRange(); ok {
+		t.Error("empty window should report no range")
+	}
+	for i := uint64(0); i < 6; i++ {
+		w.Observe(i, event.Record{Type: event.TALU, PC: isa.PCForIndex(int(i))})
+	}
+	if w.Len() != 4 {
+		t.Errorf("Len = %d, want capacity 4", w.Len())
+	}
+	lo, hi, ok := w.SeqRange()
+	if !ok || lo != 2 || hi != 5 {
+		t.Errorf("SeqRange = [%d, %d], want [2, 5]", lo, hi)
+	}
+}
+
+func TestHistoryOfAddress(t *testing.T) {
+	w := NewWindow(16, true)
+	w.Observe(0, event.Record{Type: event.TAlloc, Addr: 0x1000, Aux: 64})
+	w.Observe(1, event.Record{Type: event.TStore, Addr: 0x1008, Size: 8})
+	w.Observe(2, event.Record{Type: event.TLoad, Addr: 0x2000, Size: 8}) // unrelated
+	w.Observe(3, event.Record{Type: event.TLoad, Addr: 0x1008, Size: 4})
+	w.Observe(4, event.Record{Type: event.TFree, Addr: 0x1000})
+
+	hist := w.HistoryOf(0x1008, 8, 0)
+	if len(hist) != 4 {
+		t.Fatalf("history has %d entries, want 4 (alloc, store, load, free): %v", len(hist), hist)
+	}
+	// Newest first.
+	if hist[0].Rec.Type != event.TFree || hist[1].Rec.Type != event.TLoad ||
+		hist[2].Rec.Type != event.TStore || hist[3].Rec.Type != event.TAlloc {
+		t.Errorf("history order wrong: %v", hist)
+	}
+
+	if got := w.HistoryOf(0x1008, 8, 2); len(got) != 2 {
+		t.Errorf("limit not honoured: %d entries", len(got))
+	}
+}
+
+func TestLastWriter(t *testing.T) {
+	w := NewWindow(16, true)
+	w.Observe(1, event.Record{Type: event.TStore, Addr: 0x100, Size: 8, PC: 11})
+	w.Observe(2, event.Record{Type: event.TStore, Addr: 0x100, Size: 8, PC: 22})
+	w.Observe(3, event.Record{Type: event.TStore, Addr: 0x200, Size: 8, PC: 33})
+	e, ok := w.LastWriter(0x104)
+	if !ok || e.Rec.PC != 22 {
+		t.Errorf("LastWriter = %+v, want the seq-2 store", e)
+	}
+	if _, ok := w.LastWriter(0x999); ok {
+		t.Error("no writer should be found for an untouched address")
+	}
+}
+
+func TestControlTrace(t *testing.T) {
+	w := NewWindow(16, true)
+	w.Observe(0, event.Record{Type: event.TCall, TID: 0, PC: 1})
+	w.Observe(1, event.Record{Type: event.TALU, TID: 0, PC: 2})
+	w.Observe(2, event.Record{Type: event.TBranch, TID: 0, PC: 3, Aux: 1})
+	w.Observe(3, event.Record{Type: event.TRet, TID: 1, PC: 4}) // other thread
+	trace := w.ControlTrace(0, 0)
+	if len(trace) != 2 || trace[0].Rec.Type != event.TBranch || trace[1].Rec.Type != event.TCall {
+		t.Errorf("control trace = %v", trace)
+	}
+	if got := w.ControlTrace(0, 1); len(got) != 1 {
+		t.Error("limit not honoured")
+	}
+}
+
+func TestRewindMemoryUndoesStores(t *testing.T) {
+	m := mem.NewMemory()
+	w := NewWindow(16, true)
+
+	// Simulate: mem[100] goes 0 -> 7 -> 9; mem[200] goes 0 -> 5.
+	m.Write(100, 8, 7)
+	w.Observe(10, store(10, 100, 8, 0).Rec)
+	m.Write(100, 8, 9)
+	w.Observe(11, store(11, 100, 8, 7).Rec)
+	m.Write(200, 8, 5)
+	w.Observe(12, store(12, 200, 8, 0).Rec)
+
+	r := NewRewinder(w, m)
+	undone, err := r.RewindMemory(11) // state just before seq 11
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undone != 2 {
+		t.Errorf("undone = %d, want 2", undone)
+	}
+	if got := m.Read(100, 8); got != 7 {
+		t.Errorf("mem[100] = %d, want 7 (value before seq 11)", got)
+	}
+	if got := m.Read(200, 8); got != 0 {
+		t.Errorf("mem[200] = %d, want 0", got)
+	}
+}
+
+func TestRewindErrors(t *testing.T) {
+	m := mem.NewMemory()
+	noUndo := NewRewinder(NewWindow(8, false), m)
+	if _, err := noUndo.RewindMemory(0); !errors.Is(err, ErrNoUndoData) {
+		t.Errorf("want ErrNoUndoData, got %v", err)
+	}
+
+	w := NewWindow(2, true)
+	for i := uint64(0); i < 5; i++ {
+		w.Observe(i, store(i, 100, 8, i).Rec)
+	}
+	r := NewRewinder(w, m)
+	if _, err := r.RewindMemory(0); !errors.Is(err, ErrOutOfWindow) {
+		t.Errorf("want ErrOutOfWindow for evicted seq, got %v", err)
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	w := NewWindow(0, true)
+	if len(w.entries) == 0 {
+		t.Error("zero capacity should fall back to a default")
+	}
+}

@@ -1,0 +1,143 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lifeguard"
+)
+
+func TestGetSetByteGranularity(t *testing.T) {
+	s := New(0, lifeguard.NopMeter{})
+	s.Set(0x2000_0000, 1)
+	if got := s.Get(0x2000_0000); got != 1 {
+		t.Errorf("Get = %d, want 1", got)
+	}
+	if got := s.Get(0x2000_0001); got != 0 {
+		t.Errorf("neighbour byte should be clean, got %d", got)
+	}
+}
+
+func TestWordGranularityAliasing(t *testing.T) {
+	s := New(3, lifeguard.NopMeter{}) // one shadow byte per 8 app bytes
+	s.Set(0x1000, 7)
+	for off := uint64(0); off < 8; off++ {
+		if got := s.Get(0x1000 + off); got != 7 {
+			t.Errorf("offset %d: got %d, want 7 (same word)", off, got)
+		}
+	}
+	if got := s.Get(0x1008); got != 0 {
+		t.Error("next word must be independent")
+	}
+}
+
+func TestSetRangeAndAllInRange(t *testing.T) {
+	s := New(0, lifeguard.NopMeter{})
+	s.SetRange(0x3000, 64, 1)
+	if !s.AllInRange(0x3000, 8, 1) {
+		t.Error("range start should be marked")
+	}
+	if !s.AllInRange(0x3038, 8, 1) {
+		t.Error("range end should be marked")
+	}
+	if s.AllInRange(0x3040, 1, 1) {
+		t.Error("byte past the range must be clean")
+	}
+	if s.AllInRange(0x2FFF, 2, 1) {
+		t.Error("span straddling the range start must not be uniformly set")
+	}
+}
+
+func TestSetRangeZeroLength(t *testing.T) {
+	s := New(0, lifeguard.NopMeter{})
+	s.SetRange(0x1000, 0, 9)
+	if s.Get(0x1000) != 0 {
+		t.Error("zero-length fill must not touch shadow")
+	}
+}
+
+func TestGetSpan(t *testing.T) {
+	s := New(0, lifeguard.NopMeter{})
+	s.Set(0x100, 1)
+	s.Set(0x101, 2)
+	s.Set(0x102, 3)
+	var span [8]byte
+	n := s.GetSpan(0x100, 3, &span)
+	if n != 3 || span[0] != 1 || span[1] != 2 || span[2] != 3 {
+		t.Errorf("GetSpan = %v (n=%d)", span[:n], n)
+	}
+}
+
+func TestGetSpanWordGranularity(t *testing.T) {
+	s := New(3, lifeguard.NopMeter{})
+	s.Set(0x1000, 5)
+	var span [8]byte
+	// An 8-byte access aligned to the word covers exactly one shadow byte.
+	if n := s.GetSpan(0x1000, 8, &span); n != 1 || span[0] != 5 {
+		t.Errorf("aligned span = %v (n=%d)", span[:n], n)
+	}
+	// A straddling access covers two.
+	if n := s.GetSpan(0x1004, 8, &span); n != 2 {
+		t.Errorf("straddling span covers %d words, want 2", n)
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	m := &lifeguard.CountingMeter{}
+	s := New(0, m)
+	s.Get(0x100)
+	s.Set(0x100, 1)
+	var span [8]byte
+	s.GetSpan(0x200, 8, &span)
+	if m.ShadowReads != 2 {
+		t.Errorf("shadow reads = %d, want 2 (Get + GetSpan)", m.ShadowReads)
+	}
+	if m.ShadowWrites != 1 {
+		t.Errorf("shadow writes = %d, want 1", m.ShadowWrites)
+	}
+
+	before := m.ShadowWrites
+	s.SetRange(0x1000, 256, 1) // 256 bytes = 4 shadow lines
+	if got := m.ShadowWrites - before; got != 4 {
+		t.Errorf("SetRange charged %d line accesses, want 4", got)
+	}
+}
+
+func TestAddrOfDisjointFromAppSpace(t *testing.T) {
+	if AddrOf(0x7F00_0000) <= 0x7F00_0000 {
+		t.Error("shadow region must sit above application space")
+	}
+}
+
+// Property: after SetRange(a, n, v), every byte in [a, a+n) reads v and
+// AllInRange agrees.
+func TestSetRangeProperty(t *testing.T) {
+	s := New(0, lifeguard.NopMeter{})
+	f := func(a32 uint32, n16 uint16, v byte) bool {
+		a := uint64(a32) % (1 << 24)
+		n := uint64(n16)%512 + 1
+		s.SetRange(a, n, v)
+		if s.Get(a) != v || s.Get(a+n-1) != v {
+			return false
+		}
+		size := uint8(8)
+		if n < 8 {
+			size = uint8(n)
+		}
+		return s.AllInRange(a, size, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	s := New(0, lifeguard.NopMeter{})
+	if s.Footprint() != 0 {
+		t.Error("fresh shadow should be empty")
+	}
+	s.Set(0x1000, 1)
+	if s.Footprint() == 0 {
+		t.Error("shadow writes should materialise pages")
+	}
+}

@@ -1,0 +1,147 @@
+// Package vpc implements the value-prediction-based log compressor of the
+// LBA design. The paper adapts Burtscher's VPC trace compression
+// (SIGMETRICS/PERFORMANCE 2004) "to achieve less than one byte per
+// instruction with moderate chip area requirements" (§2).
+//
+// The scheme: compressor and decompressor maintain identical banks of value
+// predictors for each record field (program counter, the static operand
+// tuple, effective address, auxiliary value). For each field the compressor
+// emits a short prefix code saying which predictor was right, or a literal
+// when all predictors miss; the decompressor replays the same predictions.
+// Because loops make consecutive records highly predictable, the common
+// case costs a handful of bits.
+package vpc
+
+// BitWriter accumulates a bitstream least-significant-bit first within each
+// byte. The zero value is an empty writer ready for use.
+type BitWriter struct {
+	buf  []byte
+	nbit uint // bits used in the final byte (0..7); 0 means byte-aligned
+}
+
+// WriteBits appends the low n bits of v (n <= 64).
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for n > 0 {
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbit
+		take := n
+		if take > free {
+			take = free
+		}
+		w.buf[len(w.buf)-1] |= byte(v&((1<<take)-1)) << w.nbit
+		w.nbit = (w.nbit + take) & 7
+		v >>= take
+		n -= take
+	}
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b uint64) { w.WriteBits(b&1, 1) }
+
+// WriteUvarint appends v in LEB128 groups (7 data bits + continuation bit),
+// keeping the stream decodable without byte alignment.
+func (w *BitWriter) WriteUvarint(v uint64) {
+	for {
+		g := v & 0x7F
+		v >>= 7
+		if v != 0 {
+			w.WriteBits(g|0x80, 8)
+		} else {
+			w.WriteBits(g, 8)
+			return
+		}
+	}
+}
+
+// WriteVarint appends a signed value with zigzag encoding.
+func (w *BitWriter) WriteVarint(v int64) {
+	w.WriteUvarint(uint64((v << 1) ^ (v >> 63)))
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	if w.nbit == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.nbit)
+}
+
+// Bytes returns the backing buffer (final byte zero-padded).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, keeping the allocation.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// BitReader consumes a bitstream produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bit position within buf[pos]
+}
+
+// NewBitReader reads from buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits extracts n bits (n <= 64). Reading past the end yields zero bits;
+// callers detect truncation through record counts, not stream length.
+func (r *BitReader) ReadBits(n uint) uint64 {
+	var v uint64
+	var got uint
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return v
+		}
+		avail := 8 - r.bit
+		take := n
+		if take > avail {
+			take = avail
+		}
+		bits := uint64(r.buf[r.pos]>>r.bit) & ((1 << take) - 1)
+		v |= bits << got
+		got += take
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		n -= take
+	}
+	return v
+}
+
+// ReadBit reads one bit.
+func (r *BitReader) ReadBit() uint64 { return r.ReadBits(1) }
+
+// ReadUvarint reads a LEB128 value written by WriteUvarint.
+func (r *BitReader) ReadUvarint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		g := r.ReadBits(8)
+		v |= (g & 0x7F) << shift
+		if g&0x80 == 0 {
+			return v
+		}
+		shift += 7
+		if shift >= 64 {
+			return v
+		}
+	}
+}
+
+// ReadVarint reads a zigzag value written by WriteVarint.
+func (r *BitReader) ReadVarint() int64 {
+	u := r.ReadUvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// BitPos returns the current read position in bits.
+func (r *BitReader) BitPos() int { return r.pos*8 + int(r.bit) }

@@ -1,0 +1,152 @@
+package vpc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReadBack(t *testing.T) {
+	var w BitWriter
+	w.WriteBit(1)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBit(0)
+	w.WriteBits(0x12345678, 32)
+
+	r := NewBitReader(w.Bytes())
+	if got := r.ReadBit(); got != 1 {
+		t.Errorf("bit 1: got %d", got)
+	}
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Errorf("3 bits: got %#b", got)
+	}
+	if got := r.ReadBits(16); got != 0xFFFF {
+		t.Errorf("16 bits: got %#x", got)
+	}
+	if got := r.ReadBit(); got != 0 {
+		t.Errorf("bit 0: got %d", got)
+	}
+	if got := r.ReadBits(32); got != 0x12345678 {
+		t.Errorf("32 bits: got %#x", got)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	var w BitWriter
+	if w.BitLen() != 0 {
+		t.Error("empty writer should have 0 bits")
+	}
+	w.WriteBit(1)
+	if w.BitLen() != 1 {
+		t.Errorf("BitLen = %d, want 1", w.BitLen())
+	}
+	w.WriteBits(0, 7)
+	if w.BitLen() != 8 {
+		t.Errorf("BitLen = %d, want 8", w.BitLen())
+	}
+	w.WriteBits(0, 3)
+	if w.BitLen() != 11 {
+		t.Errorf("BitLen = %d, want 11", w.BitLen())
+	}
+}
+
+func TestBitWriterReset(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.BitLen() != 0 || len(w.Bytes()) != 0 {
+		t.Error("Reset should empty the writer")
+	}
+	w.WriteBit(1)
+	if w.Bytes()[0] != 1 {
+		t.Error("writer must be reusable after Reset")
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, ^uint64(0)}
+	var w BitWriter
+	for _, v := range vals {
+		w.WriteUvarint(v)
+	}
+	r := NewBitReader(w.Bytes())
+	for _, v := range vals {
+		if got := r.ReadUvarint(); got != v {
+			t.Errorf("uvarint roundtrip: got %d, want %d", got, v)
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 63, -64, 1 << 30, -(1 << 30), 1<<62 - 1, -(1 << 62)}
+	var w BitWriter
+	for _, v := range vals {
+		w.WriteVarint(v)
+	}
+	r := NewBitReader(w.Bytes())
+	for _, v := range vals {
+		if got := r.ReadVarint(); got != v {
+			t.Errorf("varint roundtrip: got %d, want %d", got, v)
+		}
+	}
+}
+
+func TestReadPastEndYieldsZero(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	r.ReadBits(8)
+	if got := r.ReadBits(16); got != 0 {
+		t.Errorf("reading past end should yield zero, got %#x", got)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestBitIORoundTripProperty(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		var w BitWriter
+		want := make([]uint64, n)
+		ws := make([]uint, n)
+		for i := 0; i < n; i++ {
+			width := uint(widths[i]%64) + 1
+			ws[i] = width
+			want[i] = vals[i] & ((1 << width) - 1)
+			if width == 64 {
+				want[i] = vals[i]
+			}
+			w.WriteBits(vals[i], width)
+		}
+		r := NewBitReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			if r.ReadBits(ws[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unsigned and signed varints roundtrip for all values.
+func TestVarintProperty(t *testing.T) {
+	fu := func(v uint64) bool {
+		var w BitWriter
+		w.WriteUvarint(v)
+		return NewBitReader(w.Bytes()).ReadUvarint() == v
+	}
+	if err := quick.Check(fu, nil); err != nil {
+		t.Error(err)
+	}
+	fs := func(v int64) bool {
+		var w BitWriter
+		w.WriteVarint(v)
+		return NewBitReader(w.Bytes()).ReadVarint() == v
+	}
+	if err := quick.Check(fs, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package vpc_test
+
+// End-to-end codec validation on real benchmark record streams: every
+// record the capture hardware produces for every benchmark of the suite
+// must decompress bit-exactly. This complements the synthetic-stream
+// property tests inside the package.
+
+import (
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+	"repro/internal/vpc"
+	"repro/internal/workloads"
+)
+
+// captureStream runs one benchmark and returns its full record stream.
+func captureStream(t *testing.T, spec workloads.Spec, scale int) []event.Record {
+	t.Helper()
+	p := spec.Build(workloads.Config{Scale: scale, Threads: 2})
+	memory := mem.NewMemory()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	kernel := osmodel.NewKernel(osmodel.DefaultKernelConfig(), memory)
+	machine := osmodel.NewMachine(osmodel.DefaultMachineConfig(), p, memory, hier.Port(0), kernel)
+
+	var records []event.Record
+	unit := capture.New(func(r event.Record) { records = append(records, r) })
+	machine.Core.OnRetire = unit.OnRetire
+	kernel.Emit = unit.OnKernelEvent
+	if err := machine.Run(); err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
+	}
+	return records
+}
+
+func TestRoundTripRealBenchmarkStreams(t *testing.T) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			records := captureStream(t, spec, 60_000)
+			c := vpc.NewCompressor()
+			for _, r := range records {
+				c.Append(r)
+			}
+			d := vpc.NewDecompressor(c.Bytes())
+			for i, want := range records {
+				got, err := d.Next()
+				if err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if got != want {
+					t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+				}
+			}
+			t.Logf("%s: %d records at %.3f B/record", spec.Name, len(records), c.BytesPerRecord())
+		})
+	}
+}
+
+func TestMultithreadedStreamCompresses(t *testing.T) {
+	// Thread interleaving must not destroy compressibility (the TID is a
+	// separate prediction stream; see internal/vpc/predict.go).
+	spec, err := workloads.ByName("water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := captureStream(t, spec, 120_000)
+	c := vpc.NewCompressor()
+	for _, r := range records {
+		c.Append(r)
+	}
+	if bpr := c.BytesPerRecord(); bpr >= 1.0 {
+		t.Errorf("multithreaded stream at %.3f B/record; interleaving should stay sub-byte", bpr)
+	}
+}

@@ -1,0 +1,82 @@
+package vpc
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Trace-file container: a small header (magic, version, record count)
+// followed by the compressed bitstream. Used by cmd/lbatrace, the paper's
+// "trace generation tool".
+
+const (
+	traceMagic   = 0x4C424154 // "LBAT"
+	traceVersion = 1
+)
+
+// CompressTrace encodes records into a self-describing byte container.
+func CompressTrace(records []event.Record) []byte {
+	c := NewCompressor()
+	for _, r := range records {
+		c.Append(r)
+	}
+	body := c.Bytes()
+	hdr := make([]byte, 16)
+	putU32(hdr[0:], traceMagic)
+	putU32(hdr[4:], traceVersion)
+	putU64(hdr[8:], uint64(len(records)))
+	return append(hdr, body...)
+}
+
+// DecompressTrace decodes a container produced by CompressTrace.
+func DecompressTrace(buf []byte) ([]event.Record, error) {
+	if len(buf) < 16 {
+		return nil, fmt.Errorf("vpc: trace too short (%d bytes)", len(buf))
+	}
+	if getU32(buf[0:]) != traceMagic {
+		return nil, fmt.Errorf("vpc: bad trace magic %#x", getU32(buf[0:]))
+	}
+	if v := getU32(buf[4:]); v != traceVersion {
+		return nil, fmt.Errorf("vpc: unsupported trace version %d", v)
+	}
+	n := getU64(buf[8:])
+	d := NewDecompressor(buf[16:])
+	out := make([]event.Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("vpc: record %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func putU32(dst []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU32(src []byte) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(src[i]) << (8 * i)
+	}
+	return v
+}
+
+func putU64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(src []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(src[i]) << (8 * i)
+	}
+	return v
+}

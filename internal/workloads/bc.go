@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildBC synthesises the bc benchmark: an arbitrary-precision calculator.
+//
+// Shape reproduced: bc spends its time in multi-word digit loops (add with
+// carry, multiply by a digit, compare), working over small heap-resident
+// number buffers, with occasional temporary-number allocation and a little
+// console I/O. The working set is tiny (fits in L1), the instruction mix is
+// ALU-heavy with ~45% memory references (digit loads/stores plus the carry
+// spill a compiler would emit).
+//
+// Injectable bugs: BugUseAfterFree, BugDoubleFree, BugLeak on the temporary
+// number object.
+func BuildBC(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	const digits = 32
+	// Per outer iteration: add loop 32*11 + mul loop 32*10 + compare loop
+	// 32*6 + ~40 overhead ≈ 905 instructions.
+	iters := int64(cfg.Scale / 905)
+	if iters < 1 {
+		iters = 1
+	}
+
+	var (
+		numA = int64(isa.DataBase)          // number A, 32 words
+		numB = int64(isa.DataBase + 0x200)  // number B
+		numC = int64(isa.DataBase + 0x400)  // result C
+		out  = int64(isa.DataBase + 0x1000) // output text buffer
+	)
+
+	// Seed the operand digits deterministically (30-bit "digits" in
+	// 64-bit words, so sums and carries stay well-formed).
+	r := newRNG(cfg.Seed)
+	wordsA := make([]uint64, digits)
+	wordsB := make([]uint64, digits)
+	for i := 0; i < digits; i++ {
+		wordsA[i] = r.next() & 0x3FFF_FFFF
+		wordsB[i] = r.next() & 0x3FFF_FFFF
+	}
+
+	b := prog.NewBuilder("bc").
+		DataWords(uint64(numA), wordsA).
+		DataWords(uint64(numB), wordsB)
+
+	// Read the "expression" from stdin once, like bc parsing its input.
+	b.Li(isa.R0, out).
+		Li(isa.R1, 64).
+		Syscall(osmodel.SysRead)
+
+	// R13 = outer counter; R11 = temp-number pointer (heap).
+	b.Li(isa.R13, 0).
+		// Allocate the temporary number bc keeps for intermediate results.
+		Li(isa.R0, digits*8).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R11, isa.R0)
+
+	b.Label("outer")
+
+	// --- Addition with carry: C = A + B -------------------------------
+	// Registers: R1=&A R2=&B R3=&C R4=j R5=carry R6,R7,R8 scratch.
+	b.Li(isa.R1, numA).
+		Li(isa.R2, numB).
+		Li(isa.R3, numC).
+		Li(isa.R4, 0).
+		Li(isa.R5, 0).
+		Label("bc_add")
+	b.LoadIdx(isa.R6, isa.R1, isa.R4, 3, 0, 8). // a[j]
+							LoadIdx(isa.R7, isa.R2, isa.R4, 3, 0, 8). // b[j]
+							Add(isa.R8, isa.R6, isa.R7).
+							Add(isa.R8, isa.R8, isa.R5). // + carry
+							ShrI(isa.R5, isa.R8, 32).    // carry out
+							AndI(isa.R8, isa.R8, 0xFFFF_FFFF).
+							StoreIdx(isa.R3, isa.R4, 3, 0, isa.R8, 8). // c[j]
+							Store(isa.SP, -8, isa.R5, 8).              // spill carry (compiler idiom)
+							Load(isa.R5, isa.SP, -8, 8).
+							AddI(isa.R4, isa.R4, 1).
+							BrI(isa.CondLT, isa.R4, digits, "bc_add")
+
+	// --- Multiply by a digit: T = C * d (into the heap temp) ----------
+	// R10 = multiplier digit, R11 = &T.
+	b.Li(isa.R10, 9377).
+		Li(isa.R4, 0).
+		Li(isa.R5, 0).
+		Label("bc_mul")
+	b.LoadIdx(isa.R6, isa.R3, isa.R4, 3, 0, 8). // c[j]
+							Mul(isa.R8, isa.R6, isa.R10).
+							Add(isa.R8, isa.R8, isa.R5).
+							ShrI(isa.R5, isa.R8, 32).
+							AndI(isa.R8, isa.R8, 0xFFFF_FFFF).
+							StoreIdx(isa.R11, isa.R4, 3, 0, isa.R8, 8). // t[j]
+							Store(isa.SP, -16, isa.R5, 8).              // carry spill
+							Load(isa.R5, isa.SP, -16, 8).
+							AddI(isa.R4, isa.R4, 1).
+							BrI(isa.CondLT, isa.R4, digits, "bc_mul")
+
+	// --- Compare: scan T against C (never equal, full scan) -----------
+	b.Li(isa.R4, 0).
+		Label("bc_cmp")
+	b.LoadIdx(isa.R6, isa.R3, isa.R4, 3, 0, 8).
+		LoadIdx(isa.R7, isa.R11, isa.R4, 3, 0, 8).
+		Sub(isa.R8, isa.R6, isa.R7).
+		AddI(isa.R4, isa.R4, 1).
+		BrI(isa.CondLT, isa.R4, digits, "bc_cmp")
+
+	// Outer loop control.
+	b.AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, iters, "outer")
+
+	// Print the result once, then release the temporary.
+	b.Li(isa.R0, numC).
+		Li(isa.R1, digits*8).
+		Syscall(osmodel.SysWrite)
+
+	emitHeapBugEpilogue(b, isa.R11, cfg.Bug)
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}
+
+// emitHeapBugEpilogue frees the heap block in ptr according to the
+// requested allocation bug:
+//
+//	BugNone:         free(ptr)                       (clean)
+//	BugLeak:         no free                         (leak at exit)
+//	BugDoubleFree:   free(ptr); free(ptr)
+//	BugUseAfterFree: free(ptr); load ptr[8]
+//
+// Shared by every single-threaded generator that owns a heap temporary.
+func emitHeapBugEpilogue(b *prog.Builder, ptr isa.Reg, bug BugKind) {
+	switch bug {
+	case BugLeak:
+		// drop the block
+	case BugDoubleFree:
+		b.Mov(isa.R0, ptr).
+			Syscall(osmodel.SysFree).
+			Mov(isa.R0, ptr).
+			Syscall(osmodel.SysFree)
+	case BugUseAfterFree:
+		b.Mov(isa.R0, ptr).
+			Syscall(osmodel.SysFree).
+			Load(isa.R1, ptr, 8, 8)
+	default:
+		b.Mov(isa.R0, ptr).
+			Syscall(osmodel.SysFree)
+	}
+}

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildGnuplot synthesises the gnuplot benchmark: function plotting.
+//
+// Shape reproduced: gnuplot evaluates a function per sample point
+// (polynomial arithmetic over a small coefficient table), interpolates
+// against neighbouring samples, writes points into a plot buffer, and
+// flushes batches to the terminal. Compute-leaning mix (~40% memory
+// references), small working set, periodic write() syscalls.
+//
+// Injectable bugs: the allocation bugs on the plot buffer.
+func BuildGnuplot(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	// Per point ≈ 30 instructions (see loop body); batch flush adds ~8
+	// per 128 points.
+	points := int64(cfg.Scale / 30)
+	if points < 1 {
+		points = 1
+	}
+
+	var (
+		coeffs  = int64(isa.DataBase)          // 4 polynomial coefficients
+		samples = int64(isa.DataBase + 0x100)  // 64-entry interpolation table
+		plot    = int64(isa.DataBase + 0x1000) // rendered points (ring of 128)
+	)
+
+	r := newRNG(cfg.Seed)
+	coefWords := make([]uint64, 4)
+	for i := range coefWords {
+		coefWords[i] = r.next() & 0xFFFF
+	}
+	sampleWords := make([]uint64, 64)
+	for i := range sampleWords {
+		sampleWords[i] = r.next() & 0xFFFF_FFFF
+	}
+
+	b := prog.NewBuilder("gnuplot").
+		DataWords(uint64(coeffs), coefWords).
+		DataWords(uint64(samples), sampleWords)
+
+	// Read the data file header.
+	b.Li(isa.R0, plot).
+		Li(isa.R1, 128).
+		Syscall(osmodel.SysRead)
+
+	// Heap buffer for the rendered page (bug-injection target).
+	b.Li(isa.R0, 4096).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R11, isa.R0)
+
+	// R13 = point index; R1 = &coeffs; R2 = &samples; R12 = &plot ring.
+	b.Li(isa.R13, 0).
+		Li(isa.R1, coeffs).
+		Li(isa.R2, samples).
+		Li(isa.R12, plot)
+
+	b.Label("point")
+
+	// x = i scaled; y = Horner over 4 coefficients:
+	// y = ((c3*x + c2)*x + c1)*x + c0, one coefficient load per step.
+	b.MulI(isa.R4, isa.R13, 17). // x
+					Load(isa.R5, isa.R1, 24, 8). // c3
+					Mul(isa.R5, isa.R5, isa.R4).
+					Load(isa.R6, isa.R1, 16, 8). // c2
+					Add(isa.R5, isa.R5, isa.R6).
+					Mul(isa.R5, isa.R5, isa.R4).
+					Load(isa.R6, isa.R1, 8, 8). // c1
+					Add(isa.R5, isa.R5, isa.R6).
+					Mul(isa.R5, isa.R5, isa.R4).
+					Load(isa.R6, isa.R1, 0, 8). // c0
+					Add(isa.R5, isa.R5, isa.R6)
+
+	// Interpolate against the sample table (two neighbouring entries).
+	b.AndI(isa.R7, isa.R13, 62). // even slot in 0..62
+					LoadIdx(isa.R8, isa.R2, isa.R7, 3, 0, 8).
+					LoadIdx(isa.R9, isa.R2, isa.R7, 3, 8, 8).
+					Add(isa.R8, isa.R8, isa.R9).
+					ShrI(isa.R8, isa.R8, 1).
+					Add(isa.R5, isa.R5, isa.R8)
+
+	// Spill y (compiler idiom), then plot: ring store plus heap-page echo.
+	b.Store(isa.SP, -8, isa.R5, 8).
+		Load(isa.R5, isa.SP, -8, 8).
+		AndI(isa.R7, isa.R13, 127). // ring slot
+		StoreIdx(isa.R12, isa.R7, 3, 0, isa.R5, 8).
+		AndI(isa.R7, isa.R13, 511).
+		StoreIdx(isa.R11, isa.R7, 3, 0, isa.R4, 8)
+
+	// Flush a batch of 128 points to the terminal.
+	b.AndI(isa.R7, isa.R13, 127).
+		BrI(isa.CondNE, isa.R7, 127, "no_flush").
+		Li(isa.R0, plot).
+		Li(isa.R1, 1024).
+		Syscall(osmodel.SysWrite).
+		Li(isa.R1, coeffs). // restore the coefficient base after the syscall
+		Label("no_flush")
+
+	b.AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, points, "point")
+
+	emitHeapBugEpilogue(b, isa.R11, cfg.Bug)
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}

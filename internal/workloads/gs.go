@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildGS synthesises the gs (ghostscript) benchmark: page rasterisation.
+//
+// Shape reproduced: ghostscript streams over a framebuffer much larger than
+// the L2 cache, alternating band fills (store-dominated) with tile blits
+// (balanced load/store copies), then ships each finished page. The memory-
+// reference fraction is the highest of the single-threaded suite (~55-60%)
+// and the large working set makes it the most cache-hostile store stream.
+//
+// Injectable bugs: the allocation bugs on a band buffer.
+func BuildGS(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	const (
+		fbSize   = 1 << 20 // 1 MiB framebuffer, 2x the shared L2
+		bandSize = 4096    // one band: 512 words
+		tileSize = 1 << 15 // 32 KiB source tile
+	)
+	// Per band: fill 128 iterations * 6 + blit 128 * 14 ≈ 2560 instructions.
+	bands := int64(cfg.Scale / 2560)
+	if bands < 1 {
+		bands = 1
+	}
+
+	var (
+		fb   = int64(isa.DataBase + 0x10_0000) // framebuffer
+		tile = int64(isa.DataBase)             // source tile
+	)
+
+	b := prog.NewBuilder("gs")
+
+	// Load the page description.
+	b.Li(isa.R0, tile).
+		Li(isa.R1, 2048).
+		Syscall(osmodel.SysRead)
+
+	// Band buffer on the heap (bug-injection target).
+	b.Li(isa.R0, bandSize).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R11, isa.R0)
+
+	// R13 = band counter; R12 = framebuffer cursor; R10 = tile cursor.
+	b.Li(isa.R13, 0).
+		Li(isa.R12, fb).
+		Li(isa.R10, tile)
+
+	b.Label("band")
+
+	// --- Fill: write the band pattern, 4 stores per iteration ----------
+	// R4 = word index, R5 = pattern.
+	b.Li(isa.R4, 0).
+		MulI(isa.R5, isa.R13, 0x0101).
+		Label("gs_fill")
+	b.StoreIdx(isa.R12, isa.R4, 3, 0, isa.R5, 8).
+		StoreIdx(isa.R12, isa.R4, 3, 8, isa.R5, 8).
+		StoreIdx(isa.R12, isa.R4, 3, 16, isa.R5, 8).
+		StoreIdx(isa.R12, isa.R4, 3, 24, isa.R5, 8).
+		AddI(isa.R4, isa.R4, 4).
+		BrI(isa.CondLT, isa.R4, bandSize/8, "gs_fill")
+
+	// --- Blit: composite the tile into the band, 4 load/store pairs ----
+	b.Li(isa.R4, 0).
+		Label("gs_blit")
+	b.LoadIdx(isa.R5, isa.R10, isa.R4, 3, 0, 8).
+		LoadIdx(isa.R6, isa.R12, isa.R4, 3, 0, 8).
+		Or(isa.R5, isa.R5, isa.R6).
+		StoreIdx(isa.R12, isa.R4, 3, 0, isa.R5, 8).
+		LoadIdx(isa.R5, isa.R10, isa.R4, 3, 8, 8).
+		LoadIdx(isa.R6, isa.R12, isa.R4, 3, 8, 8).
+		Xor(isa.R5, isa.R5, isa.R6).
+		StoreIdx(isa.R12, isa.R4, 3, 8, isa.R5, 8).
+		StoreIdx(isa.R11, isa.R4, 3, 0, isa.R5, 8). // band-buffer echo
+		AddI(isa.R4, isa.R4, 4).
+		BrI(isa.CondLT, isa.R4, bandSize/8, "gs_blit")
+
+	// Advance cursors: framebuffer wraps at 2 MiB, tile at 32 KiB.
+	b.AddI(isa.R12, isa.R12, bandSize).
+		Li(isa.R6, fb+fbSize).
+		Br(isa.CondLT, isa.R12, isa.R6, "fb_ok").
+		Li(isa.R12, fb).
+		Label("fb_ok").
+		AddI(isa.R10, isa.R10, bandSize).
+		Li(isa.R6, tile+tileSize).
+		Br(isa.CondLT, isa.R10, isa.R6, "tile_ok").
+		Li(isa.R10, tile).
+		Label("tile_ok")
+
+	// Ship a page every 64 bands.
+	b.AndI(isa.R6, isa.R13, 63).
+		BrI(isa.CondNE, isa.R6, 63, "no_ship").
+		Li(isa.R0, fb).
+		Li(isa.R1, 4096).
+		Syscall(osmodel.SysWrite).
+		Label("no_ship")
+
+	b.AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, bands, "band")
+
+	emitHeapBugEpilogue(b, isa.R11, cfg.Bug)
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildGzip synthesises the gzip benchmark: stream compression.
+//
+// Shape reproduced: gzip's deflate loop reads input bytes, maintains a
+// rolling hash, probes a hash table for earlier occurrences, extends
+// matches byte by byte, and appends to the output window — a byte-granular
+// load/store mix (~45-50% memory references) over a table that partially
+// misses the L1, punctuated by read()/write() chunk syscalls that make the
+// input a taint source under TaintCheck.
+//
+// Injectable bugs: the allocation bugs on the output window.
+func BuildGzip(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	const (
+		chunk     = 4096
+		tableSize = 1 << 12 // 4096-entry hash table of 8-byte slots
+	)
+	// Per input byte ≈ 12 instructions including the amortised match path.
+	bytesTotal := int64(cfg.Scale / 12)
+	if bytesTotal < chunk {
+		bytesTotal = chunk
+	}
+
+	var (
+		inBuf  = int64(isa.DataBase)           // input chunk
+		table  = int64(isa.DataBase + 0x1_000) // hash table
+		window = int64(isa.DataBase + 0xA_000) // output window (64 KiB ring)
+	)
+
+	// Preset dictionary: the hash table starts seeded (gzip --fast with a
+	// preset dictionary), which also makes runs input-seed dependent.
+	r := newRNG(cfg.Seed)
+	dict := make([]uint64, tableSize)
+	for i := range dict {
+		dict[i] = r.next() % 4096
+	}
+
+	b := prog.NewBuilder("gzip").
+		DataWords(uint64(table), dict)
+
+	// Output block on the heap (bug-injection target).
+	b.Li(isa.R0, 8192).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R11, isa.R0)
+
+	// R13 = absolute byte position, R12 = bytes remaining in chunk,
+	// R10 = rolling hash, R1 = &in, R2 = &table, R3 = &window.
+	b.Li(isa.R13, 0).
+		Li(isa.R12, 0).
+		Li(isa.R10, 0).
+		Li(isa.R1, inBuf).
+		Li(isa.R2, table).
+		Li(isa.R3, window)
+
+	b.Label("byte")
+
+	// Refill the input chunk when exhausted (read(): taint source).
+	b.BrI(isa.CondGT, isa.R12, 0, "have_input").
+		Li(isa.R0, inBuf).
+		Li(isa.R1, chunk).
+		Syscall(osmodel.SysRead).
+		Li(isa.R12, chunk).
+		Li(isa.R1, inBuf).
+		Label("have_input")
+
+	// Load the next byte; update the rolling hash.
+	b.AndI(isa.R4, isa.R13, chunk-1).
+		LoadIdx(isa.R5, isa.R1, isa.R4, 0, 0, 1). // input byte
+		ShlI(isa.R6, isa.R10, 5).
+		Xor(isa.R10, isa.R6, isa.R5).
+		AndI(isa.R10, isa.R10, tableSize-1)
+
+	// Probe the hash table: load the previous position, store ours.
+	b.LoadIdx(isa.R6, isa.R2, isa.R10, 3, 0, 8). // candidate position
+							StoreIdx(isa.R2, isa.R10, 3, 0, isa.R13, 8)
+
+	// Copy the byte into the window ring; emit the literal; spill the
+	// rolling state the way a register-starved compile would.
+	b.AndI(isa.R7, isa.R13, 0xFFFF).
+		StoreIdx(isa.R3, isa.R7, 0, 0, isa.R5, 1).
+		AndI(isa.R7, isa.R13, 0x1FFF).
+		StoreIdx(isa.R11, isa.R7, 0, 0, isa.R5, 1).
+		Store(isa.SP, -8, isa.R10, 8).
+		Load(isa.R10, isa.SP, -8, 8).
+		Store(isa.SP, -16, isa.R13, 8).
+		Load(isa.R9, isa.SP, -16, 8)
+
+	// Match path: when the candidate is recent, extend the match by
+	// comparing window bytes (three probes).
+	b.Sub(isa.R8, isa.R13, isa.R6).
+		BrI(isa.CondGT, isa.R8, 4096, "no_match").
+		BrI(isa.CondLE, isa.R8, 0, "no_match").
+		AndI(isa.R8, isa.R6, 0xFFFF).
+		LoadIdx(isa.R9, isa.R3, isa.R8, 0, 0, 1).
+		LoadIdx(isa.R4, isa.R3, isa.R8, 0, 1, 1).
+		Add(isa.R9, isa.R9, isa.R4).
+		LoadIdx(isa.R4, isa.R3, isa.R8, 0, 2, 1).
+		Add(isa.R9, isa.R9, isa.R4).
+		AndI(isa.R9, isa.R9, 0xFF).
+		StoreIdx(isa.R11, isa.R10, 0, 0, isa.R9, 1). // emit literal/length
+		Label("no_match")
+
+	// Flush compressed output every 4096 bytes.
+	b.AndI(isa.R7, isa.R13, chunk-1).
+		BrI(isa.CondNE, isa.R7, chunk-1, "no_flush").
+		Mov(isa.R0, isa.R11).
+		Li(isa.R1, 2048).
+		Syscall(osmodel.SysWrite).
+		Li(isa.R1, inBuf). // restore the input base the syscall args clobbered
+		Label("no_flush")
+
+	b.SubI(isa.R12, isa.R12, 1).
+		AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, bytesTotal, "byte")
+
+	emitHeapBugEpilogue(b, isa.R11, cfg.Bug)
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}

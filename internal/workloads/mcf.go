@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildMCF synthesises the mcf benchmark: network-simplex optimisation.
+//
+// Shape reproduced: mcf is the classic cache-hostile pointer chaser — it
+// walks arc/node structures far larger than the L2 in data-dependent order,
+// reads several fields per node, and occasionally writes flow updates back.
+// The generator builds a 512 KiB ring of 64-byte nodes linked in a seeded
+// single-cycle permutation, so every hop lands on an unpredictable line and
+// the L2 thrashes exactly like the original.
+//
+// Injectable bugs: the allocation bugs on a scratch basis array.
+func BuildMCF(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	const (
+		nodeBytes = 64
+		nodeCount = 8192 // 8K nodes = 512 KiB, sized to the shared L2
+	)
+	// Per hop ≈ 11 instructions; pivot pass every 64 hops adds ~8*7/64.
+	hops := int64(cfg.Scale / 12)
+	if hops < 1 {
+		hops = 1
+	}
+
+	nodes := int64(isa.DataBase + 0x10_0000)
+
+	// Bake the node graph: next pointers form one big cycle; cost and
+	// capacity fields carry seeded values.
+	r := newRNG(cfg.Seed)
+	next := r.cycle(nodeCount)
+	words := make([]uint64, nodeCount*nodeBytes/8)
+	for i := 0; i < nodeCount; i++ {
+		base := i * nodeBytes / 8
+		words[base+0] = uint64(nodes) + uint64(next[i]*nodeBytes) // next
+		words[base+1] = r.next() & 0xFFFF                         // cost
+		words[base+2] = r.next() & 0xFF                           // capacity
+		words[base+3] = 0                                         // flow
+	}
+
+	b := prog.NewBuilder("mcf").
+		DataWords(uint64(nodes), words)
+
+	// Read the problem file into a staging area away from the baked graph.
+	b.Li(isa.R0, int64(isa.DataBase)).
+		Li(isa.R1, 1024).
+		Syscall(osmodel.SysRead)
+
+	// Scratch basis array (bug-injection target).
+	b.Li(isa.R0, 2048).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R11, isa.R0)
+
+	// R1 = current node, R13 = hop counter, R9 = cost accumulator.
+	b.Li(isa.R1, nodes).
+		Li(isa.R13, 0).
+		Li(isa.R9, 0)
+
+	b.Label("hop")
+
+	// Visit: follow next, read the node's fields (cost, capacity, supply,
+	// potential), update the running reduced cost, and write flow and
+	// potential back — mcf touches most of each 64-byte node it visits.
+	b.Load(isa.R2, isa.R1, 0, 8). // next pointer
+					Load(isa.R3, isa.R1, 8, 8).  // cost
+					Load(isa.R4, isa.R1, 16, 8). // capacity
+					Load(isa.R5, isa.R1, 32, 8). // supply
+					Load(isa.R7, isa.R1, 40, 8). // potential
+					Add(isa.R9, isa.R9, isa.R3).
+					Sub(isa.R9, isa.R9, isa.R4).
+					Add(isa.R7, isa.R7, isa.R5).
+					Store(isa.R1, 24, isa.R9, 8). // flow update
+					Store(isa.R1, 40, isa.R7, 8). // potential update
+					Mov(isa.R1, isa.R2)
+
+	// Pivot pass every 64 hops: touch the basis array (hot, heap).
+	b.AndI(isa.R5, isa.R13, 63).
+		BrI(isa.CondNE, isa.R5, 63, "no_pivot").
+		Li(isa.R6, 0).
+		Label("pivot")
+	b.LoadIdx(isa.R7, isa.R11, isa.R6, 3, 0, 8).
+		Add(isa.R7, isa.R7, isa.R9).
+		StoreIdx(isa.R11, isa.R6, 3, 0, isa.R7, 8).
+		AddI(isa.R6, isa.R6, 1).
+		BrI(isa.CondLT, isa.R6, 8, "pivot").
+		Label("no_pivot")
+
+	b.AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, hops, "hop")
+
+	// Report the objective value.
+	b.Li(isa.R0, nodes).
+		Li(isa.R1, 64).
+		Syscall(osmodel.SysWrite)
+
+	emitHeapBugEpilogue(b, isa.R11, cfg.Bug)
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}

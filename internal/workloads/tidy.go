@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildTidy synthesises the tidy benchmark: HTML cleanup.
+//
+// Shape reproduced: tidy tokenises a document byte by byte and builds a DOM
+// of small heap nodes — it is the allocation-heavy member of the suite (one
+// malloc per element plus attribute copies), with byte-granular loads,
+// classification branches, pointer stores linking the tree, and a final
+// walk that releases every node. The allocation bugs are injected into that
+// final walk, which is exactly where real tidy bugs of this family lived.
+func BuildTidy(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	const (
+		chunk    = 4096
+		nodeSize = 64
+		maxNodes = 1024
+	)
+	// Per input byte ≈ 10 instructions amortised (tag path ~22 on 1/16 of
+	// bytes, element allocation on 1/64).
+	bytesTotal := int64(cfg.Scale / 10)
+	if bytesTotal < chunk {
+		bytesTotal = chunk
+	}
+
+	var (
+		inBuf   = int64(isa.DataBase)          // input chunk
+		outBuf  = int64(isa.DataBase + 0x2000) // cleaned output
+		nodePtr = int64(isa.DataBase + 0x6000) // node pointer array
+	)
+
+	b := prog.NewBuilder("tidy")
+
+	// R13 = byte position, R12 = chunk remaining, R10 = node count,
+	// R1 = &in, R3 = &out, R2 = &nodePtrs, R9 = parent node.
+	b.Li(isa.R13, 0).
+		Li(isa.R12, 0).
+		Li(isa.R10, 0).
+		Li(isa.R1, inBuf).
+		Li(isa.R3, outBuf).
+		Li(isa.R2, nodePtr).
+		Li(isa.R9, 0)
+
+	b.Label("tok")
+
+	// Refill input as needed.
+	b.BrI(isa.CondGT, isa.R12, 0, "have").
+		Li(isa.R0, inBuf).
+		Li(isa.R1, chunk).
+		Syscall(osmodel.SysRead).
+		Li(isa.R12, chunk).
+		Li(isa.R1, inBuf).
+		Label("have")
+
+	// Load and classify the byte.
+	b.AndI(isa.R4, isa.R13, chunk-1).
+		LoadIdx(isa.R5, isa.R1, isa.R4, 0, 0, 1).
+		AndI(isa.R6, isa.R5, 0x3F)
+
+	// Copy to output (every byte).
+	b.AndI(isa.R7, isa.R13, 0x1FFF).
+		StoreIdx(isa.R3, isa.R7, 0, 0, isa.R5, 1)
+
+	// Tag path: bytes that classify as '<' (1/64 of values) open an
+	// element: allocate a node, fill its fields, link to the parent.
+	b.BrI(isa.CondNE, isa.R6, 0x3C&0x3F, "text").
+		BrI(isa.CondGE, isa.R10, maxNodes, "text"). // node budget
+		Li(isa.R0, nodeSize).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R8, isa.R0).
+		Store(isa.R8, 0, isa.R5, 8).  // node.tag
+		Store(isa.R8, 8, isa.R13, 8). // node.position
+		Store(isa.R8, 16, isa.R9, 8). // node.parent
+		Mov(isa.R9, isa.R8).
+		StoreIdx(isa.R2, isa.R10, 3, 0, isa.R8, 8). // remember for the free walk
+		AddI(isa.R10, isa.R10, 1).
+		Li(isa.R1, inBuf). // restore after syscall
+		Jmp("advance").
+		Label("text")
+
+	// Text path: attribute copy (load neighbour, store into out), update
+	// the rolling checksum held in memory, spill the tokenizer state.
+	b.AndI(isa.R7, isa.R13, chunk-2).
+		LoadIdx(isa.R8, isa.R1, isa.R7, 0, 1, 1).
+		Add(isa.R8, isa.R8, isa.R5).
+		AndI(isa.R7, isa.R13, 0x1FFF).
+		StoreIdx(isa.R3, isa.R7, 0, 1, isa.R8, 1).
+		Load(isa.R8, isa.SP, -8, 8). // checksum (memory-resident local)
+		Add(isa.R8, isa.R8, isa.R5).
+		Store(isa.SP, -8, isa.R8, 8).
+		Store(isa.SP, -16, isa.R6, 8). // spill the classifier state
+		Label("advance")
+
+	b.SubI(isa.R12, isa.R12, 1).
+		AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, bytesTotal, "tok")
+
+	// Emit the cleaned document.
+	b.Li(isa.R0, outBuf).
+		Li(isa.R1, 4096).
+		Syscall(osmodel.SysWrite)
+
+	// Free walk over the DOM. The injected allocation bugs live here:
+	//   BugLeak:         skip every other node
+	//   BugDoubleFree:   free node 0 again at the end
+	//   BugUseAfterFree: read node 0's tag after the walk
+	b.Li(isa.R6, 0).
+		Label("freewalk").
+		Br(isa.CondGE, isa.R6, isa.R10, "freedone").
+		LoadIdx(isa.R0, isa.R2, isa.R6, 3, 0, 8)
+	step := int64(1)
+	if cfg.Bug == BugLeak {
+		step = 2
+	}
+	b.Syscall(osmodel.SysFree).
+		AddI(isa.R6, isa.R6, step).
+		Jmp("freewalk").
+		Label("freedone")
+
+	switch cfg.Bug {
+	case BugDoubleFree:
+		b.BrI(isa.CondEQ, isa.R10, 0, "nobug").
+			Load(isa.R0, isa.R2, 0, 8).
+			Syscall(osmodel.SysFree).
+			Label("nobug")
+	case BugUseAfterFree:
+		b.BrI(isa.CondEQ, isa.R10, 0, "nobug").
+			Load(isa.R4, isa.R2, 0, 8).
+			Load(isa.R5, isa.R4, 0, 8). // touch freed node.tag
+			Label("nobug")
+	}
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}

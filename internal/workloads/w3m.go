@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildW3M synthesises the w3m benchmark: a text-mode web browser.
+//
+// Shape reproduced: w3m receives pages from the network (recv() — an
+// untrusted taint source), tokenises them through a handler jump table
+// (indirect jumps on every byte, the control-flow pattern TaintCheck
+// guards), renders text into an output buffer with a history side-buffer,
+// and allocates link nodes for anchors.
+//
+// BugTaintedJump injects the paper's motivating exploit: on a rare entity
+// path the dispatch target is *computed from received bytes*, giving the
+// network control over an indirect jump — a control-flow hijack that
+// TaintCheck must flag. The hijacked jump lands in a trampoline of
+// harmless jumps so the program itself survives (a stealthy exploit).
+// Other allocation bugs are injected on the link arena.
+func BuildW3M(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+
+	const chunk = 8192
+	// Per byte ≈ 13 instructions including dispatch and handler.
+	bytesTotal := int64(cfg.Scale / 13)
+	if bytesTotal < chunk {
+		bytesTotal = chunk
+	}
+	pages := bytesTotal / chunk
+	if pages < 1 {
+		pages = 1
+	}
+
+	var (
+		inBuf = int64(isa.DataBase)          // received page
+		jtab  = int64(isa.DataBase + 0x4000) // handler jump table (4 slots)
+		out   = int64(isa.DataBase + 0x5000) // rendered text (8 KiB ring)
+		hist  = int64(isa.DataBase + 0x8000) // history side buffer
+	)
+
+	b := prog.NewBuilder("w3m")
+
+	// Link arena on the heap (allocation-bug target).
+	b.Li(isa.R0, 4096).
+		Syscall(osmodel.SysMalloc).
+		Mov(isa.R11, isa.R0)
+
+	// Build the dispatch table from handler labels (static, untainted).
+	b.Li(isa.R2, jtab).
+		LiLabel(isa.R4, "h_text").
+		Store(isa.R2, 0, isa.R4, 8).
+		LiLabel(isa.R4, "h_tag").
+		Store(isa.R2, 8, isa.R4, 8).
+		LiLabel(isa.R4, "h_entity").
+		Store(isa.R2, 16, isa.R4, 8).
+		LiLabel(isa.R4, "h_link").
+		Store(isa.R2, 24, isa.R4, 8)
+
+	// R13 = global byte count, R14 = page counter, R1 = &in, R3 = &out,
+	// R9 = &hist, R10 = link cursor.
+	b.Li(isa.R13, 0).
+		Li(isa.R14, 0).
+		Li(isa.R1, inBuf).
+		Li(isa.R3, out).
+		Li(isa.R9, hist).
+		Li(isa.R10, 0)
+
+	b.Label("page")
+	// Receive the page: the taint source.
+	b.Li(isa.R0, inBuf).
+		Li(isa.R1, chunk).
+		Syscall(osmodel.SysRecv).
+		Li(isa.R1, inBuf).
+		Li(isa.R12, 0) // byte index within the page
+
+	b.Label("byte")
+
+	// Fetch and classify the byte, update the memory-resident parser
+	// state, then dispatch through the table.
+	b.LoadIdx(isa.R5, isa.R1, isa.R12, 0, 0, 1).
+		Load(isa.R4, isa.SP, -8, 8). // parser state (memory-resident)
+		Add(isa.R4, isa.R4, isa.R5).
+		Store(isa.SP, -8, isa.R4, 8).
+		AndI(isa.R6, isa.R5, 3).
+		LoadIdx(isa.R7, isa.R2, isa.R6, 3, 0, 8).
+		JmpInd(isa.R7)
+
+	// --- Text: render the glyph, update history -----------------------
+	b.Label("h_text").
+		AndI(isa.R8, isa.R13, 0x1FFF).
+		StoreIdx(isa.R3, isa.R8, 0, 0, isa.R5, 1).
+		AndI(isa.R8, isa.R13, 0xFFF).
+		LoadIdx(isa.R4, isa.R9, isa.R8, 0, 0, 1).
+		Add(isa.R4, isa.R4, isa.R5).
+		StoreIdx(isa.R9, isa.R8, 0, 0, isa.R4, 1).
+		Jmp("cont")
+
+	// --- Tag: track nesting and emit a marker --------------------------
+	b.Label("h_tag").
+		AndI(isa.R8, isa.R13, 0x1FFF).
+		StoreIdx(isa.R3, isa.R8, 0, 1, isa.R5, 1).
+		AndI(isa.R4, isa.R5, 0x1F).
+		AndI(isa.R8, isa.R13, 0xFFF).
+		StoreIdx(isa.R9, isa.R8, 0, 1, isa.R4, 1).
+		Jmp("cont")
+
+	// --- Entity: decode &...; sequences --------------------------------
+	b.Label("h_entity")
+	if cfg.Bug == BugTaintedJump {
+		// The exploit: every 256th entity byte re-dispatches through a
+		// target *derived from received data*. The attacker-controlled
+		// value selects a trampoline slot; taint flows load→alu→jump.
+		b.AndI(isa.R8, isa.R13, 0xFF).
+			BrI(isa.CondNE, isa.R8, 0x55, "ent_clean").
+			LoadIdx(isa.R8, isa.R1, isa.R12, 0, 1, 1). // tainted target selector
+			AndI(isa.R8, isa.R8, 3).
+			ShlI(isa.R8, isa.R8, 2). // 4 bytes per trampoline slot
+			LiLabel(isa.R4, "tramp").
+			Add(isa.R4, isa.R4, isa.R8).
+			JmpInd(isa.R4). // HIJACKED: target computed from network data
+			Label("ent_clean")
+	}
+	b.ShlI(isa.R4, isa.R5, 1).
+		XorI(isa.R4, isa.R4, 0x2F).
+		AndI(isa.R4, isa.R4, 0xFF).
+		Jmp("cont")
+
+	// --- Link: copy anchor bytes into the link arena -------------------
+	b.Label("h_link").
+		AndI(isa.R8, isa.R10, 0xFFF).
+		StoreIdx(isa.R11, isa.R8, 0, 0, isa.R5, 1).
+		AddI(isa.R10, isa.R10, 1).
+		Jmp("cont")
+
+	// Trampoline the hijacked jump lands in: four harmless jumps.
+	b.Label("tramp").
+		Jmp("cont").
+		Jmp("cont").
+		Jmp("cont").
+		Jmp("cont")
+
+	b.Label("cont").
+		AddI(isa.R12, isa.R12, 1).
+		AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R12, chunk, "byte")
+
+	// Render the page to the terminal.
+	b.Li(isa.R0, out).
+		Li(isa.R1, 2048).
+		Syscall(osmodel.SysWrite).
+		Li(isa.R1, inBuf)
+
+	b.AddI(isa.R14, isa.R14, 1).
+		BrI(isa.CondLT, isa.R14, pages, "page")
+
+	emitHeapBugEpilogue(b, isa.R11, cfg.Bug)
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+	return b.MustBuild()
+}

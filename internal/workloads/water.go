@@ -1,0 +1,214 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildWater synthesises the water benchmark (SPLASH-2): a barrier-phased
+// molecular-dynamics simulation.
+//
+// Shape reproduced: each thread owns a partition of the molecule array and
+// alternates a force phase (pair interactions within its partition, private
+// accumulation), an integration phase (velocity/position updates — the
+// store-heavy part), and a global-reduction phase where every thread folds
+// its partial centre-of-mass and potential-energy sums into shared words
+// under a global lock, followed by a barrier. Molecule state is strictly
+// owner-accessed, so the only cross-thread words are the lock-protected
+// global sums — giving LockSet a clean run.
+//
+// BugRace removes the lock around the *energy* accumulation only (the
+// centre-of-mass sum stays locked), the classic forgotten-lock defect
+// Eraser was built to catch.
+func BuildWater(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+	threads := normalizeThreads(cfg.Threads)
+
+	const (
+		molecules = 64
+		molBytes  = 64
+		partners  = 4
+	)
+	rangeLen := molecules / threads
+
+	// Per step ≈ molecules * 94 instructions across all threads.
+	steps := int64(cfg.Scale / (molecules*94 + 400))
+	if steps < 2 {
+		steps = 2
+	}
+
+	var (
+		mols    = int64(isa.DataBase + 0x8000) // molecule array
+		gLock   = int64(isa.DataBase + 0x10)   // global reduction lock
+		barrier = int64(isa.DataBase + 0x18)
+		com     = int64(isa.DataBase + 0x100) // centre of mass (shared)
+		energy  = int64(isa.DataBase + 0x108) // potential energy (shared)
+	)
+
+	// Seed molecule positions.
+	r := newRNG(cfg.Seed)
+	words := make([]uint64, molecules*molBytes/8)
+	for i := 0; i < molecules; i++ {
+		base := i * molBytes / 8
+		words[base+0] = r.next() & 0xFFFF // pos0
+		words[base+1] = r.next() & 0xFFFF // pos1
+		words[base+2] = 0                 // vel0
+		words[base+3] = 0                 // vel1
+		words[base+4] = 0                 // force0
+		words[base+5] = 0                 // force1
+	}
+
+	b := prog.NewBuilder("water").
+		DataWords(uint64(mols), words)
+
+	b.Jmp("main")
+
+	// ---------------- worker (R0 = thread slot 0..T-1) -----------------
+	// R10 = first owned molecule, R11 = one past last, R13 = step,
+	// R1 = &mols, R9 = local energy accumulator.
+	b.Label("worker").
+		MulI(isa.R10, isa.R0, int64(rangeLen)).
+		AddI(isa.R11, isa.R10, int64(rangeLen)).
+		Li(isa.R1, mols).
+		Li(isa.R13, 0)
+
+	b.Label("w_step").
+		Li(isa.R9, 0).
+		Mov(isa.R4, isa.R10) // i
+
+	// --- Force phase: 4 sampled partners within the owned range --------
+	b.Label("w_force").
+		Li(isa.R5, 0) // k
+	b.Label("w_pair")
+	// j = myStart + ((i - myStart + k + 1) & (rangeLen-1))
+	b.Sub(isa.R6, isa.R4, isa.R10).
+		Add(isa.R6, isa.R6, isa.R5).
+		AddI(isa.R6, isa.R6, 1).
+		AndI(isa.R6, isa.R6, int64(rangeLen-1)).
+		Add(isa.R6, isa.R6, isa.R10).
+		// addresses: R2 = &mol[i], R3 = &mol[j]
+		ShlI(isa.R2, isa.R4, 6).
+		Add(isa.R2, isa.R2, isa.R1).
+		ShlI(isa.R3, isa.R6, 6).
+		Add(isa.R3, isa.R3, isa.R1).
+		// dx, dy
+		Load(isa.R7, isa.R2, 0, 8).
+		Load(isa.R8, isa.R3, 0, 8).
+		Sub(isa.R7, isa.R7, isa.R8).
+		Load(isa.R8, isa.R2, 8, 8).
+		Load(isa.R12, isa.R3, 8, 8).
+		Sub(isa.R8, isa.R8, isa.R12).
+		// r² and force magnitude
+		Mul(isa.R7, isa.R7, isa.R7).
+		Mul(isa.R8, isa.R8, isa.R8).
+		Add(isa.R7, isa.R7, isa.R8).
+		ShrI(isa.R7, isa.R7, 3).
+		// accumulate force and local energy (energy lives in a stack
+		// slot, as the original's register pressure forces)
+		Load(isa.R8, isa.R2, 32, 8).
+		Add(isa.R8, isa.R8, isa.R7).
+		Store(isa.R2, 32, isa.R8, 8).
+		Add(isa.R9, isa.R9, isa.R7).
+		Store(isa.SP, -8, isa.R9, 8).
+		Load(isa.R9, isa.SP, -8, 8).
+		AddI(isa.R5, isa.R5, 1).
+		BrI(isa.CondLT, isa.R5, partners, "w_pair")
+	b.AddI(isa.R4, isa.R4, 1).
+		Br(isa.CondLT, isa.R4, isa.R11, "w_force")
+
+	// --- Integration phase: vel += force, pos += vel, force = 0 --------
+	b.Mov(isa.R4, isa.R10).
+		Label("w_update").
+		ShlI(isa.R2, isa.R4, 6).
+		Add(isa.R2, isa.R2, isa.R1)
+	for dim := int64(0); dim < 2; dim++ {
+		b.Load(isa.R7, isa.R2, 32+8*dim, 8). // force
+							Load(isa.R8, isa.R2, 16+8*dim, 8). // vel
+							Add(isa.R8, isa.R8, isa.R7).
+							Store(isa.R2, 16+8*dim, isa.R8, 8).
+							Load(isa.R7, isa.R2, 0+8*dim, 8). // pos
+							Add(isa.R7, isa.R7, isa.R8).
+							AndI(isa.R7, isa.R7, 0xFFFF). // periodic box
+							Store(isa.R2, 0+8*dim, isa.R7, 8)
+	}
+	b.Li(isa.R7, 0).
+		Store(isa.R2, 32, isa.R7, 8).
+		Store(isa.R2, 40, isa.R7, 8).
+		AddI(isa.R4, isa.R4, 1).
+		Br(isa.CondLT, isa.R4, isa.R11, "w_update")
+
+	// --- Global reduction: fold local sums into shared words -----------
+	// Centre of mass: always under the global lock.
+	b.Li(isa.R0, gLock).
+		Syscall(osmodel.SysMutexLock).
+		Li(isa.R2, com).
+		Load(isa.R7, isa.R2, 0, 8).
+		Add(isa.R7, isa.R7, isa.R9).
+		Store(isa.R2, 0, isa.R7, 8)
+	if cfg.Bug == BugRace {
+		// The defect: energy is updated OUTSIDE the critical section.
+		b.Li(isa.R0, gLock).
+			Syscall(osmodel.SysMutexUnlock).
+			Li(isa.R2, energy).
+			Load(isa.R7, isa.R2, 0, 8).
+			Add(isa.R7, isa.R7, isa.R9).
+			Store(isa.R2, 0, isa.R7, 8)
+	} else {
+		b.Li(isa.R2, energy).
+			Load(isa.R7, isa.R2, 0, 8).
+			Add(isa.R7, isa.R7, isa.R9).
+			Store(isa.R2, 0, isa.R7, 8).
+			Li(isa.R0, gLock).
+			Syscall(osmodel.SysMutexUnlock)
+	}
+
+	// --- Barrier, next step --------------------------------------------
+	b.Li(isa.R0, barrier).
+		Li(isa.R1, int64(threads)).
+		Syscall(osmodel.SysBarrier).
+		Li(isa.R1, mols). // restore the molecule base
+		AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, steps, "w_step")
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+
+	// ---------------- main: spawn, join, report ------------------------
+	tidArr := int64(isa.DataBase + 0x40) // spawned thread ids
+	b.Label("main").
+		Li(isa.R7, tidArr)
+	for t := 0; t < threads; t++ {
+		b.LiLabel(isa.R0, "worker").
+			Li(isa.R1, int64(t)).
+			Syscall(osmodel.SysThreadCreate).
+			Store(isa.R7, int64(t)*8, isa.R0, 8)
+	}
+	for t := 0; t < threads; t++ {
+		b.Load(isa.R0, isa.R7, int64(t)*8, 8).
+			Syscall(osmodel.SysThreadJoin)
+	}
+	b.Li(isa.R0, com).
+		Li(isa.R1, 16).
+		Syscall(osmodel.SysWrite).
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		SetEntry("main")
+
+	return b.MustBuild()
+}
+
+// normalizeThreads clamps to a power of two in [1, 8] so per-thread
+// partitions stay mask-addressable.
+func normalizeThreads(t int) int {
+	switch {
+	case t <= 1:
+		return 1
+	case t < 4:
+		return 2
+	case t < 8:
+		return 4
+	default:
+		return 8
+	}
+}

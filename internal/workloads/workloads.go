@@ -1,0 +1,191 @@
+// Package workloads synthesises the paper's benchmark suite.
+//
+// The evaluation (§3) runs seven single-threaded benchmarks — bc, gnuplot,
+// gs, gzip, mcf, tidy, w3m — and two multithreaded ones — water, zchaff —
+// to completion on Fedora Core 2 under Simics, averaging 209M retired x86
+// instructions of which 51% are memory references. We cannot run those
+// binaries; each generator here builds a deterministic program for the
+// simulated machine with the corresponding application's *shape*: its
+// instruction mix, memory-reference fraction, working-set size, allocation
+// behaviour, input/output activity, and (for water/zchaff) its sharing and
+// locking discipline. Figure 2's per-benchmark variation is driven by
+// exactly these properties, so preserving them preserves the comparison.
+//
+// Every generator accepts a Config selecting the dynamic instruction scale
+// (runs are length-scalable; slowdown ratios are length-invariant past
+// cache warm-up) and an optional injected bug, used by the examples and by
+// detection tests:
+//
+//	bc/gnuplot/gs/gzip/mcf/tidy: allocation bugs for AddrCheck
+//	w3m: a control-flow hijack for TaintCheck
+//	water/zchaff: a missing lock for LockSet
+package workloads
+
+import (
+	"fmt"
+	"repro/internal/prog"
+)
+
+// BugKind selects an injected defect.
+type BugKind uint8
+
+// Injectable bugs.
+const (
+	BugNone BugKind = iota
+	BugUseAfterFree
+	BugDoubleFree
+	BugLeak
+	BugTaintedJump
+	BugRace
+)
+
+var bugNames = [...]string{"none", "use-after-free", "double-free", "leak", "tainted-jump", "race"}
+
+// String returns the bug name.
+func (b BugKind) String() string {
+	if int(b) < len(bugNames) {
+		return bugNames[b]
+	}
+	return "bug?"
+}
+
+// Config parameterises a generator.
+type Config struct {
+	// Scale is the approximate dynamic instruction count of the generated
+	// run (default 200_000). Generators size their loop trip counts from
+	// it; the realised count stays within a small factor.
+	Scale int
+	// Seed drives every data-dependent choice (pointer shuffles, input
+	// classification) so runs are reproducible.
+	Seed uint64
+	// Threads is the worker count for multithreaded benchmarks
+	// (default 2, ignored elsewhere).
+	Threads int
+	// Bug optionally injects a defect (see BugKind).
+	Bug BugKind
+}
+
+// withDefaults normalises a config.
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 200_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xB5EED
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	return c
+}
+
+// Spec describes one benchmark of the suite.
+type Spec struct {
+	Name string
+	// Description summarises what the real application does and what
+	// shape the generator reproduces.
+	Description string
+	// MultiThreaded marks the water/zchaff pair evaluated under LockSet.
+	MultiThreaded bool
+	// Lifeguard is the lifeguard the paper evaluates on this benchmark
+	// ("AddrCheck"/"TaintCheck" panels use the single-threaded seven;
+	// "LockSet" uses the multithreaded two).
+	Build func(Config) *prog.Program
+}
+
+// All returns the nine-benchmark suite in the paper's order.
+func All() []Spec {
+	return []Spec{
+		{Name: "bc", Description: "arbitrary-precision calculator: multi-word digit arithmetic", Build: BuildBC},
+		{Name: "gnuplot", Description: "function plotting: polynomial evaluation and sample output", Build: BuildGnuplot},
+		{Name: "gs", Description: "ghostscript-style rasteriser: band fills and blits over a large framebuffer", Build: BuildGS},
+		{Name: "gzip", Description: "stream compressor: rolling hash, table probes, match copies", Build: BuildGzip},
+		{Name: "mcf", Description: "network simplex: pointer chasing over a cache-hostile node graph", Build: BuildMCF},
+		{Name: "tidy", Description: "HTML tidy: tokeniser plus allocation-heavy DOM construction", Build: BuildTidy},
+		{Name: "w3m", Description: "text browser: network input, jump-table dispatch, page rendering", Build: BuildW3M},
+		{Name: "water", Description: "SPLASH-2 water: barrier-phased N-body with lock-protected global sums", MultiThreaded: true, Build: BuildWater},
+		{Name: "zchaff", Description: "SAT solver: shared clause database, lock-protected assignments", MultiThreaded: true, Build: BuildZChaff},
+	}
+}
+
+// SingleThreaded returns the seven benchmarks of Figure 2(a)/(b).
+func SingleThreaded() []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if !s.MultiThreaded {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MultiThreaded returns the two benchmarks of Figure 2(c).
+func MultiThreaded() []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.MultiThreaded {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Names lists the suite in order.
+func Names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// rng is a deterministic xorshift64* generator for build-time choices.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed | 1} }
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// perm returns a random permutation of [0, n).
+func (r *rng) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// cycle returns a single-cycle permutation of [0, n): following it from any
+// start visits every element (a pointer-chase ring with no short cycles).
+func (r *rng) cycle(n int) []int {
+	order := r.perm(n)
+	next := make([]int, n)
+	for i := 0; i < n; i++ {
+		next[order[i]] = order[(i+1)%n]
+	}
+	return next
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// BuildZChaff synthesises the zchaff benchmark: a parallel SAT solver.
+//
+// Shape reproduced: workers sweep a shared clause database (read-mostly,
+// irregular strides), consult the shared assignment array, record
+// implications in thread-private queues, and occasionally publish work:
+// assignment flips under the assignment lock, learned clauses appended
+// under the learned-list lock, and a global conflict counter. Main
+// initialises the assignment single-threadedly (Eraser's exclusive phase),
+// then the workers share it under locks — a clean run for LockSet.
+//
+// BugRace drops the lock around the conflict counter, so concurrent
+// increments race (the canonical stat-counter race).
+func BuildZChaff(cfg Config) *prog.Program {
+	cfg = cfg.withDefaults()
+	threads := normalizeThreads(cfg.Threads)
+
+	const (
+		clauses     = 512
+		clauseBytes = 32 // 8 literals x 4 bytes
+		vars        = 1024
+	)
+	// Per clause visit ≈ 31 instructions.
+	visitsPerThread := int64(cfg.Scale / (31 * threads))
+	if visitsPerThread < 64 {
+		visitsPerThread = 64
+	}
+
+	var (
+		clauseDB = int64(isa.DataBase + 0x1_0000) // shared, read-only after bake
+		// The assignment lives in two arrays, as in two-phase solvers: a
+		// read-only snapshot consulted lock-free during clause sweeps, and
+		// a writable copy mutated only under assignLk. (A single array
+		// read without the lock would be flagged by LockSet — correctly,
+		// under Eraser's discipline.)
+		assignRO   = int64(isa.DataBase + 0x2_0000)
+		assignRW   = int64(isa.DataBase + 0x2_8000)
+		learned    = int64(isa.DataBase + 0x3_0000) // shared learned-clause buffer
+		conflicts  = int64(isa.DataBase + 0x3_8000) // shared conflict counter
+		locks      = int64(isa.DataBase + 0x20)
+		assignLk   = locks + 0
+		learnedLk  = locks + 8
+		conflictLk = locks + 16
+		tidArr     = int64(isa.DataBase + 0x40)
+		private    = int64(isa.DataBase + 0x4_0000) // per-thread queues (4 KiB each)
+	)
+
+	// Bake the clause database: literals reference seeded variables.
+	r := newRNG(cfg.Seed)
+	words := make([]uint64, clauses*clauseBytes/8)
+	for i := range words {
+		lo := uint64(r.intn(vars)) | uint64(r.intn(2))<<31
+		hi := uint64(r.intn(vars)) | uint64(r.intn(2))<<31
+		words[i] = lo | hi<<32
+	}
+
+	b := prog.NewBuilder("zchaff").
+		DataWords(uint64(clauseDB), words)
+
+	b.Jmp("main")
+
+	// ---------------- worker (R0 = thread slot) ------------------------
+	// R10 = slot, R11 = &private queue, R13 = visit counter,
+	// R1 = &clauseDB, R2 = &assignRO, R12 = &assignRW,
+	// R9 = local implication count.
+	b.Label("worker").
+		Mov(isa.R10, isa.R0).
+		MulI(isa.R11, isa.R10, 4096).
+		AddI(isa.R11, isa.R11, private).
+		Li(isa.R1, clauseDB).
+		Li(isa.R2, assignRO).
+		Li(isa.R12, assignRW).
+		Li(isa.R13, 0).
+		Li(isa.R9, 0)
+
+	b.Label("z_visit")
+
+	// Clause index: thread-interleaved irregular stride.
+	b.MulI(isa.R3, isa.R13, 17).
+		Add(isa.R3, isa.R3, isa.R10).
+		AndI(isa.R3, isa.R3, clauses-1).
+		ShlI(isa.R3, isa.R3, 5). // * clauseBytes
+		Add(isa.R3, isa.R3, isa.R1)
+
+	// Evaluate four literals: load literal, decode variable, load its
+	// assignment, fold into the clause value, update the thread-private
+	// watch byte.
+	b.Li(isa.R8, 0) // clause satisfied accumulator
+	for lit := int64(0); lit < 4; lit++ {
+		b.Load(isa.R4, isa.R3, lit*4, 4).
+			AndI(isa.R5, isa.R4, vars-1).
+			LoadIdx(isa.R6, isa.R2, isa.R5, 0, 0, 1).
+			ShrI(isa.R4, isa.R4, 31).
+			Xor(isa.R6, isa.R6, isa.R4).
+			Or(isa.R8, isa.R8, isa.R6).
+			AndI(isa.R4, isa.R5, 2047).
+			StoreIdx(isa.R11, isa.R4, 0, 2048, isa.R6, 1)
+	}
+
+	// Record the implication in the private queue (thread-owned words).
+	b.AndI(isa.R4, isa.R13, 511).
+		StoreIdx(isa.R11, isa.R4, 3, 0, isa.R8, 8).
+		AddI(isa.R9, isa.R9, 1)
+
+	// Every 16 visits: publish an assignment flip under the lock.
+	b.AndI(isa.R4, isa.R13, 15).
+		BrI(isa.CondNE, isa.R4, 15, "no_assign").
+		Li(isa.R0, assignLk).
+		Syscall(osmodel.SysMutexLock).
+		AndI(isa.R5, isa.R13, vars-1).
+		LoadIdx(isa.R6, isa.R12, isa.R5, 0, 0, 1).
+		XorI(isa.R6, isa.R6, 1).
+		StoreIdx(isa.R12, isa.R5, 0, 0, isa.R6, 1).
+		Li(isa.R0, assignLk).
+		Syscall(osmodel.SysMutexUnlock).
+		Label("no_assign")
+
+	// Every 64 visits: append a learned clause under the lock.
+	b.AndI(isa.R4, isa.R13, 63).
+		BrI(isa.CondNE, isa.R4, 63, "no_learn").
+		Li(isa.R0, learnedLk).
+		Syscall(osmodel.SysMutexLock).
+		Li(isa.R6, learned).
+		AndI(isa.R4, isa.R13, 255).
+		ShlI(isa.R4, isa.R4, 5).
+		Add(isa.R6, isa.R6, isa.R4).
+		Store(isa.R6, 0, isa.R8, 8).
+		Store(isa.R6, 8, isa.R13, 8).
+		Store(isa.R6, 16, isa.R9, 8).
+		Store(isa.R6, 24, isa.R10, 8).
+		Li(isa.R0, learnedLk).
+		Syscall(osmodel.SysMutexUnlock).
+		Label("no_learn")
+
+	// Every 32 visits: bump the global conflict counter.
+	b.AndI(isa.R4, isa.R13, 31).
+		BrI(isa.CondNE, isa.R4, 31, "no_conflict")
+	if cfg.Bug == BugRace {
+		// The defect: unlocked read-modify-write of a shared counter.
+		b.Li(isa.R6, conflicts).
+			Load(isa.R7, isa.R6, 0, 8).
+			AddI(isa.R7, isa.R7, 1).
+			Store(isa.R6, 0, isa.R7, 8)
+	} else {
+		b.Li(isa.R0, conflictLk).
+			Syscall(osmodel.SysMutexLock).
+			Li(isa.R6, conflicts).
+			Load(isa.R7, isa.R6, 0, 8).
+			AddI(isa.R7, isa.R7, 1).
+			Store(isa.R6, 0, isa.R7, 8).
+			Li(isa.R0, conflictLk).
+			Syscall(osmodel.SysMutexUnlock)
+	}
+	b.Label("no_conflict")
+
+	b.AddI(isa.R13, isa.R13, 1).
+		BrI(isa.CondLT, isa.R13, visitsPerThread, "z_visit")
+
+	b.Li(isa.R0, 0).
+		Syscall(osmodel.SysExit)
+
+	// ---------------- main --------------------------------------------
+	b.Label("main")
+
+	// Initialise both assignment arrays single-threadedly.
+	b.Li(isa.R2, assignRO).
+		Li(isa.R3, assignRW).
+		Li(isa.R4, 0).
+		Label("init").
+		AndI(isa.R5, isa.R4, 1).
+		StoreIdx(isa.R2, isa.R4, 0, 0, isa.R5, 1).
+		StoreIdx(isa.R3, isa.R4, 0, 0, isa.R5, 1).
+		AddI(isa.R4, isa.R4, 1).
+		BrI(isa.CondLT, isa.R4, vars, "init")
+
+	b.Li(isa.R7, tidArr)
+	for t := 0; t < threads; t++ {
+		b.LiLabel(isa.R0, "worker").
+			Li(isa.R1, int64(t)).
+			Syscall(osmodel.SysThreadCreate).
+			Store(isa.R7, int64(t)*8, isa.R0, 8)
+	}
+	for t := 0; t < threads; t++ {
+		b.Load(isa.R0, isa.R7, int64(t)*8, 8).
+			Syscall(osmodel.SysThreadJoin)
+	}
+
+	// Report the conflict count.
+	b.Li(isa.R0, conflicts).
+		Li(isa.R1, 8).
+		Syscall(osmodel.SysWrite).
+		Li(isa.R0, 0).
+		Syscall(osmodel.SysExit).
+		SetEntry("main")
+
+	return b.MustBuild()
+}
