@@ -1,0 +1,29 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	BENCH_JSON=BENCH_results.json $(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/lbabench -n 150000 -json BENCH_lbabench.json
+
+fmt:
+	@diff=$$(gofmt -l .); \
+	if [ -n "$$diff" ]; then \
+		echo "files need gofmt:" >&2; echo "$$diff" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test race bench

@@ -12,6 +12,9 @@
 package repro
 
 import (
+	"fmt"
+	"os"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/vpc"
 	"repro/internal/workloads"
 )
@@ -29,22 +33,99 @@ import (
 // full harness finishes in minutes.
 const benchScale = 400_000
 
+// benchReport collects every simulation the figure benchmarks execute,
+// deduplicated by job key, plus the headline metrics they report. When
+// BENCH_JSON names a file, TestMain writes the merged runner report there
+// so CI can upload it as a trajectory artifact.
+var benchReport = struct {
+	sync.Mutex
+	rows         map[string]runner.Row
+	metrics      map[string]float64
+	hits, misses uint64
+}{rows: map[string]runner.Row{}, metrics: map[string]float64{}}
+
+// recordEngine folds one engine's executed simulations into the report.
+func recordEngine(eng *runner.Engine) {
+	rep := eng.Report()
+	benchReport.Lock()
+	defer benchReport.Unlock()
+	for _, row := range rep.Rows {
+		benchReport.rows[row.Key] = row
+	}
+	benchReport.hits += rep.CacheHits
+	benchReport.misses += rep.CacheMisses
+}
+
+// recordMetric stores one headline number alongside b.ReportMetric.
+func recordMetric(b *testing.B, name string, v float64, unit string) {
+	b.ReportMetric(v, unit)
+	benchReport.Lock()
+	benchReport.metrics[name] = v
+	benchReport.Unlock()
+}
+
+// TestMain writes the merged BENCH_JSON artifact after the benchmarks run.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && code == 0 {
+		if err := writeBenchJSON(path); err != nil {
+			os.Stderr.WriteString("bench: " + err.Error() + "\n")
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchJSON(path string) error {
+	benchReport.Lock()
+	rows := make([]runner.Row, 0, len(benchReport.rows))
+	for _, row := range benchReport.rows {
+		rows = append(rows, row)
+	}
+	mets := make(map[string]float64, len(benchReport.metrics))
+	for k, v := range benchReport.metrics {
+		mets[k] = v
+	}
+	// Cache counters are summed across every per-iteration engine;
+	// Workers stays zero (omitted) since no single pool width applies.
+	rep := &runner.Report{
+		Schema:      runner.Schema,
+		CacheHits:   benchReport.hits,
+		CacheMisses: benchReport.misses,
+		Rows:        rows,
+		Metrics:     mets,
+	}
+	benchReport.Unlock()
+
+	runner.SortRows(rep.Rows)
+	return runner.WriteJSONFile(path, rep)
+}
+
+// benchEngine returns a fresh engine per iteration (memoization within an
+// iteration is part of the measured harness; across iterations it would
+// turn the benchmark into a cache-lookup loop).
+func benchEngine() *runner.Engine { return runner.New(0) }
+
 // benchOpts returns fresh experiment options per iteration.
-func benchOpts() figures.Options { return figures.Options{Scale: benchScale} }
+func benchOpts(eng *runner.Engine) figures.Options {
+	return figures.Options{Scale: benchScale, Runner: eng}
+}
 
 // reportPanel converts a Figure 2 panel into benchmark metrics.
 func reportPanel(b *testing.B, lifeguard string) {
 	b.Helper()
 	var summary figures.PanelSummary
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.Figure2Panel(lifeguard, benchOpts())
+		eng := benchEngine()
+		rows, err := figures.Figure2Panel(lifeguard, benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
 		summary = figures.Summarise(lifeguard, rows)
+		recordEngine(eng)
 	}
-	b.ReportMetric(summary.MeanLBA, "lba-slowdown-X")
-	b.ReportMetric(summary.MeanValgrind, "valgrind-slowdown-X")
+	recordMetric(b, "fig2_"+lifeguard+"_mean_lba_x", summary.MeanLBA, "lba-slowdown-X")
+	recordMetric(b, "fig2_"+lifeguard+"_mean_valgrind_x", summary.MeanValgrind, "valgrind-slowdown-X")
 	b.ReportMetric(summary.MinSpeedup, "min-speedup-x")
 	b.ReportMetric(summary.MaxSpeedup, "max-speedup-x")
 }
@@ -66,7 +147,8 @@ func BenchmarkFigure2cLockSet(b *testing.B) { reportPanel(b, "LockSet") }
 func BenchmarkTableCharacteristics(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.Characterisation(benchOpts())
+		eng := benchEngine()
+		rows, err := figures.Characterisation(benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,8 +157,9 @@ func BenchmarkTableCharacteristics(b *testing.B) {
 			fracs = append(fracs, r.MemRefFraction)
 		}
 		avg = metrics.Mean(fracs)
+		recordEngine(eng)
 	}
-	b.ReportMetric(100*avg, "mem-ref-%")
+	recordMetric(b, "chars_mean_mem_ref_pct", 100*avg, "mem-ref-%")
 }
 
 // BenchmarkTableCompression regenerates the VPC compression table (§2:
@@ -84,21 +167,16 @@ func BenchmarkTableCharacteristics(b *testing.B) {
 func BenchmarkTableCompression(b *testing.B) {
 	var worst, mean float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.Compression(figures.Options{Scale: 700_000})
+		eng := benchEngine()
+		rows, err := figures.Compression(figures.Options{Scale: 700_000, Runner: eng})
 		if err != nil {
 			b.Fatal(err)
 		}
-		worst, mean = 0, 0
-		for _, r := range rows {
-			if r.BytesPerRecord > worst {
-				worst = r.BytesPerRecord
-			}
-			mean += r.BytesPerRecord
-		}
-		mean /= float64(len(rows))
+		mean, worst = figures.CompressionSummary(rows)
+		recordEngine(eng)
 	}
-	b.ReportMetric(mean, "mean-B/record")
-	b.ReportMetric(worst, "worst-B/record")
+	recordMetric(b, "compress_mean_bytes_per_record", mean, "mean-B/record")
+	recordMetric(b, "compress_worst_bytes_per_record", worst, "worst-B/record")
 }
 
 // BenchmarkTableAverages regenerates the §3 headline text: per-lifeguard
@@ -106,8 +184,9 @@ func BenchmarkTableCompression(b *testing.B) {
 func BenchmarkTableAverages(b *testing.B) {
 	var addr, taint, lock float64
 	for i := 0; i < b.N; i++ {
+		eng := benchEngine()
 		for _, lifeguard := range []string{"AddrCheck", "TaintCheck", "LockSet"} {
-			rows, err := figures.Figure2Panel(lifeguard, benchOpts())
+			rows, err := figures.Figure2Panel(lifeguard, benchOpts(eng))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -121,10 +200,11 @@ func BenchmarkTableAverages(b *testing.B) {
 				lock = s.MeanLBA
 			}
 		}
+		recordEngine(eng)
 	}
-	b.ReportMetric(addr, "addrcheck-X")
-	b.ReportMetric(taint, "taintcheck-X")
-	b.ReportMetric(lock, "lockset-X")
+	recordMetric(b, "fig2_AddrCheck_mean_lba_x", addr, "addrcheck-X")
+	recordMetric(b, "fig2_TaintCheck_mean_lba_x", taint, "taintcheck-X")
+	recordMetric(b, "fig2_LockSet_mean_lba_x", lock, "lockset-X")
 }
 
 // BenchmarkAblationBufferSize sweeps the log-buffer capacity (experiment
@@ -133,27 +213,31 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 	sizes := []uint64{1 << 10, 64 << 10, 1 << 20}
 	var small, large float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.BufferSweep("gzip", sizes, benchOpts())
+		eng := benchEngine()
+		rows, err := figures.BufferSweep("gzip", sizes, benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
 		small, large = rows[0].Slowdown, rows[len(rows)-1].Slowdown
+		recordEngine(eng)
 	}
-	b.ReportMetric(small, "slowdown-1KiB-X")
-	b.ReportMetric(large, "slowdown-1MiB-X")
+	recordMetric(b, fmt.Sprintf("buffer_slowdown_%db_x", sizes[0]), small, "slowdown-1KiB-X")
+	recordMetric(b, fmt.Sprintf("buffer_slowdown_%db_x", sizes[len(sizes)-1]), large, "slowdown-1MiB-X")
 }
 
 // BenchmarkAblationCompression toggles the VPC engine (A-compress).
 func BenchmarkAblationCompression(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.CompressionAblation("gzip", benchOpts())
+		eng := benchEngine()
+		rows, err := figures.CompressionAblation("gzip", benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
 		ratio = float64(rows[1].LogBytes) / float64(rows[0].LogBytes)
+		recordEngine(eng)
 	}
-	b.ReportMetric(ratio, "log-volume-saving-x")
+	recordMetric(b, "vpc_log_volume_saving_x", ratio, "log-volume-saving-x")
 }
 
 // BenchmarkAblationFiltering measures heap-only address-range filtering
@@ -161,14 +245,16 @@ func BenchmarkAblationCompression(b *testing.B) {
 func BenchmarkAblationFiltering(b *testing.B) {
 	var before, after float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.FilterAblation("mcf", benchOpts())
+		eng := benchEngine()
+		rows, err := figures.FilterAblation("mcf", benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
 		before, after = rows[0].Slowdown, rows[1].Slowdown
+		recordEngine(eng)
 	}
-	b.ReportMetric(before, "unfiltered-X")
-	b.ReportMetric(after, "filtered-X")
+	recordMetric(b, "filter_unfiltered_x", before, "unfiltered-X")
+	recordMetric(b, "filter_filtered_x", after, "filtered-X")
 }
 
 // BenchmarkAblationParallelLifeguard measures the k-core lifeguard
@@ -176,14 +262,16 @@ func BenchmarkAblationFiltering(b *testing.B) {
 func BenchmarkAblationParallelLifeguard(b *testing.B) {
 	var one, four float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.ParallelSweep("tidy", []int{1, 4}, benchOpts())
+		eng := benchEngine()
+		rows, err := figures.ParallelSweep("tidy", []int{1, 4}, benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
 		one, four = rows[0].Slowdown, rows[1].Slowdown
+		recordEngine(eng)
 	}
-	b.ReportMetric(one, "1-core-X")
-	b.ReportMetric(four, "4-cores-X")
+	recordMetric(b, "parallel_lifeguard_1core_x", one, "1-core-X")
+	recordMetric(b, "parallel_lifeguard_4core_x", four, "4-cores-X")
 }
 
 // BenchmarkAblationSyscallStall measures the containment rule's cost
@@ -191,18 +279,15 @@ func BenchmarkAblationParallelLifeguard(b *testing.B) {
 func BenchmarkAblationSyscallStall(b *testing.B) {
 	var maxShare float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.SyscallStallTable(benchOpts())
+		eng := benchEngine()
+		rows, err := figures.SyscallStallTable(benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
-		maxShare = 0
-		for _, r := range rows {
-			if r.DrainShare > maxShare {
-				maxShare = r.DrainShare
-			}
-		}
+		maxShare = figures.WorstDrainShare(rows)
+		recordEngine(eng)
 	}
-	b.ReportMetric(100*maxShare, "worst-drain-%")
+	recordMetric(b, "stall_worst_drain_pct", 100*maxShare, "worst-drain-%")
 }
 
 // --- Substrate micro-benchmarks -----------------------------------------
@@ -262,12 +347,14 @@ func BenchmarkUnmonitoredPipeline(b *testing.B) {
 func BenchmarkAblationDispatchPipelining(b *testing.B) {
 	var on, off float64
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.PipelineAblation("bc", benchOpts())
+		eng := benchEngine()
+		rows, err := figures.PipelineAblation("bc", benchOpts(eng))
 		if err != nil {
 			b.Fatal(err)
 		}
 		on, off = rows[0].Slowdown, rows[1].Slowdown
+		recordEngine(eng)
 	}
-	b.ReportMetric(on, "pipelined-X")
-	b.ReportMetric(off, "serialised-X")
+	recordMetric(b, "dispatch_pipelined_x", on, "pipelined-X")
+	recordMetric(b, "dispatch_serialised_x", off, "serialised-X")
 }

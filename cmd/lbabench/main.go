@@ -18,6 +18,8 @@
 //	lbabench -ablation stall      # syscall-containment cost (§2)
 //	lbabench -ablation pipeline   # nlba dispatch pipelining (§2)
 //	lbabench -n 2000000           # instruction scale per run
+//	lbabench -workers 8           # experiment-matrix worker pool width
+//	lbabench -json out.json       # structured results for trajectory tracking
 package main
 
 import (
@@ -27,7 +29,11 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 )
+
+// jsonMetrics accumulates headline numbers for the -json report.
+var jsonMetrics = map[string]float64{}
 
 func main() {
 	var (
@@ -36,10 +42,13 @@ func main() {
 		ablation = flag.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
 		scale    = flag.Int("n", 1_000_000, "approximate dynamic instructions per run")
 		threads  = flag.Int("threads", 2, "threads for multithreaded benchmarks")
+		workers  = flag.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
+		jsonPath = flag.String("json", "", "write structured runner results to this file")
 	)
 	flag.Parse()
 
-	opts := figures.Options{Scale: *scale, Threads: *threads}
+	eng := runner.New(*workers)
+	opts := figures.Options{Scale: *scale, Threads: *threads, Runner: eng}
 
 	runAll := *fig == "" && *table == "" && *ablation == ""
 	var err error
@@ -53,10 +62,23 @@ func main() {
 	case *ablation != "":
 		err = ablations(*ablation, opts)
 	}
+	if err == nil && *jsonPath != "" {
+		err = writeJSON(*jsonPath, eng)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbabench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits every simulation the engine executed plus the collected
+// headline metrics, in deterministic order.
+func writeJSON(path string, eng *runner.Engine) error {
+	rep := eng.Report()
+	if len(jsonMetrics) > 0 {
+		rep.Metrics = jsonMetrics
+	}
+	return runner.WriteJSONFile(path, rep)
 }
 
 func everything(opts figures.Options) error {
@@ -106,6 +128,8 @@ func figure2(fig string, opts figures.Options) error {
 	fmt.Println()
 	fmt.Print(figures.RenderFigure2(lifeguard, rows))
 	s := figures.Summarise(lifeguard, rows)
+	jsonMetrics["fig2_"+lifeguard+"_mean_lba_x"] = s.MeanLBA
+	jsonMetrics["fig2_"+lifeguard+"_mean_valgrind_x"] = s.MeanValgrind
 	fmt.Printf("mean LBA slowdown: %.1fX   (paper: %s)\n", s.MeanLBA, paperMean(lifeguard))
 	fmt.Printf("valgrind range: %.1f-%.1fX (paper band: 10-85X); LBA %.1f-%.1fx faster (paper: 4-19x)\n\n",
 		s.MinValgrind, s.MaxValgrind, s.MinSpeedup, s.MaxSpeedup)
@@ -143,6 +167,7 @@ func tables(name string, opts figures.Options) error {
 			sum += r.MemRefFraction
 		}
 		fmt.Print(tb.String())
+		jsonMetrics["chars_mean_mem_ref_pct"] = 100 * sum / float64(len(rows))
 		fmt.Printf("suite average mem refs: %.1f%% (paper: 51%%; see EXPERIMENTS.md on the RISC/x86 gap)\n\n",
 			100*sum/float64(len(rows)))
 
@@ -159,6 +184,9 @@ func tables(name string, opts figures.Options) error {
 				fmt.Sprintf("%.3f", r.BytesPerRecord),
 				fmt.Sprintf("%.1fx", r.Ratio))
 		}
+		mean, worst := figures.CompressionSummary(rows)
+		jsonMetrics["compress_mean_bytes_per_record"] = mean
+		jsonMetrics["compress_worst_bytes_per_record"] = worst
 		fmt.Print(tb.String())
 		fmt.Println()
 
@@ -171,6 +199,8 @@ func tables(name string, opts figures.Options) error {
 				return err
 			}
 			s := figures.Summarise(lifeguard, rows)
+			jsonMetrics["fig2_"+lifeguard+"_mean_lba_x"] = s.MeanLBA
+			jsonMetrics["fig2_"+lifeguard+"_mean_valgrind_x"] = s.MeanValgrind
 			tb.AddRow(lifeguard,
 				fmt.Sprintf("%.1fX", s.MeanLBA),
 				paperMean(lifeguard),
@@ -194,6 +224,9 @@ func ablations(name string, opts figures.Options) error {
 		if err != nil {
 			return err
 		}
+		for _, r := range rows {
+			jsonMetrics[fmt.Sprintf("buffer_slowdown_%db_x", r.CapacityBytes)] = r.Slowdown
+		}
 		fmt.Println("Ablation: log-buffer capacity vs application stalls (gzip, AddrCheck)")
 		tb := metrics.NewTable("capacity", "slowdown", "stall-cycles")
 		for _, r := range rows {
@@ -208,6 +241,9 @@ func ablations(name string, opts figures.Options) error {
 		rows, err := figures.CompressionAblation("gzip", opts)
 		if err != nil {
 			return err
+		}
+		if rows[0].LogBytes > 0 {
+			jsonMetrics["vpc_log_volume_saving_x"] = float64(rows[1].LogBytes) / float64(rows[0].LogBytes)
 		}
 		fmt.Println("Ablation: VPC compression on/off (gzip, AddrCheck)")
 		tb := metrics.NewTable("compression", "log-bytes", "slowdown", "stall-cycles")
@@ -225,6 +261,8 @@ func ablations(name string, opts figures.Options) error {
 		if err != nil {
 			return err
 		}
+		jsonMetrics["filter_unfiltered_x"] = rows[0].Slowdown
+		jsonMetrics["filter_filtered_x"] = rows[1].Slowdown
 		fmt.Println("Ablation: heap-only address-range filtering (mcf, AddrCheck; paper §3)")
 		tb := metrics.NewTable("filtered", "slowdown", "records-dropped", "lifeguard-cycles")
 		for _, r := range rows {
@@ -241,6 +279,9 @@ func ablations(name string, opts figures.Options) error {
 		if err != nil {
 			return err
 		}
+		for _, r := range rows {
+			jsonMetrics[fmt.Sprintf("parallel_lifeguard_%dcore_x", r.Cores)] = r.Slowdown
+		}
 		fmt.Println("Ablation: parallel lifeguard cores (tidy, AddrCheck; paper §3)")
 		tb := metrics.NewTable("lifeguard-cores", "slowdown")
 		for _, r := range rows {
@@ -254,6 +295,8 @@ func ablations(name string, opts figures.Options) error {
 		if err != nil {
 			return err
 		}
+		jsonMetrics["dispatch_pipelined_x"] = rows[0].Slowdown
+		jsonMetrics["dispatch_serialised_x"] = rows[1].Slowdown
 		fmt.Println("Ablation: pipelined nlba dispatch (bc, AddrCheck; paper §2 early-index)")
 		tb := metrics.NewTable("pipelined", "slowdown", "lifeguard-cycles")
 		for _, r := range rows {
@@ -269,6 +312,7 @@ func ablations(name string, opts figures.Options) error {
 		if err != nil {
 			return err
 		}
+		jsonMetrics["stall_worst_drain_pct"] = 100 * figures.WorstDrainShare(rows)
 		fmt.Println("Ablation: syscall-containment stalls (paper §2 error containment)")
 		tb := metrics.NewTable("benchmark", "drains", "drain-cycles", "share-of-app")
 		for _, r := range rows {
@@ -281,7 +325,7 @@ func ablations(name string, opts figures.Options) error {
 		fmt.Println()
 
 	default:
-		return fmt.Errorf("unknown ablation %q (have buffer, compress, filter, parallel, stall)", name)
+		return fmt.Errorf("unknown ablation %q (have buffer, compress, filter, parallel, stall, pipeline)", name)
 	}
 	return nil
 }

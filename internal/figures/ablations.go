@@ -1,16 +1,50 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
 // Ablation experiments: design-point sweeps for the LBA mechanisms the
 // paper proposes (DESIGN.md experiment ids A-buffer, A-compress, A-filter,
-// A-parallel, A-stall).
+// A-parallel, A-stall). Each sweep is expressed as one runner matrix — the
+// unmonitored baseline plus every design point — so the points run
+// concurrently under a multi-worker engine and the baseline is memoized
+// across sweeps that share it.
+
+// sweep runs an unmonitored baseline for bench plus one LBA job per
+// supplied config, and returns the results in (base, points...) order.
+func sweep(bench string, opts Options, configs []core.Config) (*core.Result, []*core.Result, error) {
+	if _, err := workloads.ByName(bench); err != nil {
+		return nil, nil, err
+	}
+	wcfg := opts.workloadConfig()
+	jobs := make([]runner.Job, 0, 1+len(configs))
+	jobs = append(jobs, runner.Job{
+		Benchmark: bench, Mode: core.ModeUnmonitored,
+		Workload: wcfg, Config: opts.coreConfig(),
+	})
+	for _, cfg := range configs {
+		jobs = append(jobs, runner.Job{
+			Benchmark: bench, Mode: core.ModeLBA, Lifeguard: "AddrCheck",
+			Workload: wcfg, Config: cfg,
+		})
+	}
+	outs, err := opts.engine().RunMatrix(context.Background(), jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("figures: %w", err)
+	}
+	points := make([]*core.Result, len(configs))
+	for i := range configs {
+		points[i] = outs[1+i].Result
+	}
+	return outs[0].Result, points, nil
+}
 
 // BufferRow is one point of the log-buffer size sweep.
 type BufferRow struct {
@@ -24,29 +58,23 @@ type BufferRow struct {
 // monotonically reduce backpressure.
 func BufferSweep(bench string, sizes []uint64, opts Options) ([]BufferRow, error) {
 	opts = opts.withDefaults()
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
-	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []BufferRow
-	for _, size := range sizes {
+	configs := make([]core.Config, len(sizes))
+	for i, size := range sizes {
 		cfg := opts.coreConfig()
 		cfg.Channel.CapacityBytes = size
-		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figures: buffer %d: %w", size, err)
-		}
-		rows = append(rows, BufferRow{
-			CapacityBytes: size,
+		configs[i] = cfg
+	}
+	base, points, err := sweep(bench, opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BufferRow, len(sizes))
+	for i, res := range points {
+		rows[i] = BufferRow{
+			CapacityBytes: sizes[i],
 			Slowdown:      res.SlowdownVs(base),
 			StallCycles:   res.BufferStallCycles,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -63,30 +91,25 @@ type CompressionAblationRow struct {
 // the stalls a small buffer suffers without it.
 func CompressionAblation(bench string, opts Options) ([]CompressionAblationRow, error) {
 	opts = opts.withDefaults()
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
-	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []CompressionAblationRow
-	for _, compressed := range []bool{true, false} {
+	states := []bool{true, false}
+	configs := make([]core.Config, len(states))
+	for i, compressed := range states {
 		cfg := opts.coreConfig()
 		cfg.CompressionOff = !compressed
-		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, CompressionAblationRow{
-			Compression: compressed,
+		configs[i] = cfg
+	}
+	base, points, err := sweep(bench, opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CompressionAblationRow, len(states))
+	for i, res := range points {
+		rows[i] = CompressionAblationRow{
+			Compression: states[i],
 			LogBytes:    res.LogBits / 8,
 			Slowdown:    res.SlowdownVs(base),
 			StallCycles: res.BufferStallCycles,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -104,32 +127,27 @@ type FilterRow struct {
 // without losing heap coverage.
 func FilterAblation(bench string, opts Options) ([]FilterRow, error) {
 	opts = opts.withDefaults()
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
-	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []FilterRow
-	for _, filtered := range []bool{false, true} {
+	states := []bool{false, true}
+	configs := make([]core.Config, len(states))
+	for i, filtered := range states {
 		cfg := opts.coreConfig()
 		if filtered {
 			cfg.FilterRanges = []core.AddrRange{{Lo: isa.HeapBase, Hi: isa.HeapLimit}}
 		}
-		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, FilterRow{
-			Filtered: filtered,
+		configs[i] = cfg
+	}
+	base, points, err := sweep(bench, opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FilterRow, len(states))
+	for i, res := range points {
+		rows[i] = FilterRow{
+			Filtered: states[i],
 			Slowdown: res.SlowdownVs(base),
 			Dropped:  res.FilteredOut,
 			LgCycles: res.LgCycles,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -144,25 +162,19 @@ type ParallelRow struct {
 // consuming the log on k address-interleaved cores.
 func ParallelSweep(bench string, cores []int, opts Options) ([]ParallelRow, error) {
 	opts = opts.withDefaults()
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
-	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []ParallelRow
-	for _, k := range cores {
+	configs := make([]core.Config, len(cores))
+	for i, k := range cores {
 		cfg := opts.coreConfig()
 		cfg.ParallelLifeguards = k
-		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ParallelRow{Cores: k, Slowdown: res.SlowdownVs(base)})
+		configs[i] = cfg
+	}
+	base, points, err := sweep(bench, opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ParallelRow, len(cores))
+	for i, res := range points {
+		rows[i] = ParallelRow{Cores: cores[i], Slowdown: res.SlowdownVs(base)}
 	}
 	return rows, nil
 }
@@ -181,29 +193,24 @@ type PipelineRow struct {
 // record.
 func PipelineAblation(bench string, opts Options) ([]PipelineRow, error) {
 	opts = opts.withDefaults()
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed}
-	base, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []PipelineRow
-	for _, pipelined := range []bool{true, false} {
+	states := []bool{true, false}
+	configs := make([]core.Config, len(states))
+	for i, pipelined := range states {
 		cfg := opts.coreConfig()
 		cfg.Dispatch.Pipelined = pipelined
-		res, err := core.RunLBA(spec.Build(wcfg), "AddrCheck", cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, PipelineRow{
-			Pipelined: pipelined,
+		configs[i] = cfg
+	}
+	base, points, err := sweep(bench, opts, configs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PipelineRow, len(states))
+	for i, res := range points {
+		rows[i] = PipelineRow{
+			Pipelined: states[i],
 			Slowdown:  res.SlowdownVs(base),
 			LgCycles:  res.LgCycles,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -221,19 +228,28 @@ type StallRow struct {
 // suite: syscall-heavy benchmarks pay more.
 func SyscallStallTable(opts Options) ([]StallRow, error) {
 	opts = opts.withDefaults()
-	var rows []StallRow
-	for _, spec := range workloads.All() {
+	specs := workloads.All()
+	jobs := make([]runner.Job, 0, len(specs))
+	for _, spec := range specs {
 		lifeguard := "AddrCheck"
 		if spec.MultiThreaded {
 			lifeguard = "LockSet"
 		}
-		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
-		res, err := core.RunLBA(spec.Build(wcfg), lifeguard, opts.coreConfig())
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, runner.Job{
+			Benchmark: spec.Name, Mode: core.ModeLBA, Lifeguard: lifeguard,
+			Workload: opts.workloadConfig(), Config: opts.coreConfig(),
+		})
+	}
+	outs, err := opts.engine().RunMatrix(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+
+	var rows []StallRow
+	for _, out := range outs {
+		res := out.Result
 		row := StallRow{
-			Benchmark:   spec.Name,
+			Benchmark:   out.Job.Benchmark,
 			DrainEvents: res.DrainEvents,
 			DrainCycles: res.DrainStallCycles,
 		}

@@ -6,9 +6,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -25,6 +27,11 @@ type Options struct {
 	Threads int
 	// Config overrides the system design point (zero value = paper's).
 	Config *core.Config
+	// Runner executes the experiment matrix. nil means a private serial
+	// engine per call; sharing one engine across generators shares their
+	// memoized baselines, and a multi-worker engine runs each matrix
+	// concurrently with results identical to the serial path.
+	Runner *runner.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +54,23 @@ func (o Options) coreConfig() core.Config {
 	return core.DefaultConfig()
 }
 
+// engine returns the engine experiments run on.
+func (o Options) engine() *runner.Engine {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return runner.New(1)
+}
+
+// workloadConfig is the workload generator config shared by every
+// generator, figures and ablations alike. Passing Threads everywhere is
+// harmless for the single-threaded ablation benchmarks (their generators
+// ignore it) and keeps job hashes uniform so baselines memoize across
+// figure panels and ablation sweeps.
+func (o Options) workloadConfig() workloads.Config {
+	return workloads.Config{Scale: o.Scale, Seed: o.Seed, Threads: o.Threads}
+}
+
 // Figure2Row is one benchmark's bar pair in Figure 2: normalized execution
 // times of the Valgrind-style baseline (v) and LBA (l).
 type Figure2Row struct {
@@ -66,26 +90,26 @@ func Figure2Panel(lifeguard string, opts Options) ([]Figure2Row, error) {
 		specs = workloads.MultiThreaded()
 	}
 
-	var rows []Figure2Row
+	wcfg := opts.workloadConfig()
+	ccfg := opts.coreConfig()
+	jobs := make([]runner.Job, 0, 3*len(specs))
 	for _, spec := range specs {
-		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
-		ccfg := opts.coreConfig()
+		jobs = append(jobs,
+			runner.Job{Benchmark: spec.Name, Mode: core.ModeUnmonitored, Workload: wcfg, Config: ccfg},
+			runner.Job{Benchmark: spec.Name, Mode: core.ModeLBA, Lifeguard: lifeguard, Workload: wcfg, Config: ccfg},
+			runner.Job{Benchmark: spec.Name, Mode: core.ModeDBI, Lifeguard: lifeguard, Workload: wcfg, Config: ccfg},
+		)
+	}
+	outs, err := opts.engine().RunMatrix(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
 
-		base, err := core.RunUnmonitored(spec.Build(wcfg), ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("figures: %s unmonitored: %w", spec.Name, err)
-		}
-		lba, err := core.RunLBA(spec.Build(wcfg), lifeguard, ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("figures: %s lba: %w", spec.Name, err)
-		}
-		dbi, err := core.RunDBI(spec.Build(wcfg), lifeguard, ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("figures: %s dbi: %w", spec.Name, err)
-		}
-
+	var rows []Figure2Row
+	for i := 0; i < len(outs); i += 3 {
+		base, lba, dbi := outs[i].Result, outs[i+1].Result, outs[i+2].Result
 		row := Figure2Row{
-			Benchmark: spec.Name,
+			Benchmark: outs[i].Job.Benchmark,
 			Valgrind:  dbi.SlowdownVs(base),
 			LBA:       lba.SlowdownVs(base),
 		}
@@ -150,13 +174,22 @@ type CharacterisationRow struct {
 // Characterisation regenerates the benchmark statistics table.
 func Characterisation(opts Options) ([]CharacterisationRow, error) {
 	opts = opts.withDefaults()
+	specs := workloads.All()
+	jobs := make([]runner.Job, 0, len(specs))
+	for _, spec := range specs {
+		jobs = append(jobs, runner.Job{
+			Benchmark: spec.Name, Mode: core.ModeUnmonitored,
+			Workload: opts.workloadConfig(), Config: opts.coreConfig(),
+		})
+	}
+	outs, err := opts.engine().RunMatrix(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+
 	var rows []CharacterisationRow
-	for _, spec := range workloads.All() {
-		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
-		res, err := core.RunUnmonitored(spec.Build(wcfg), opts.coreConfig())
-		if err != nil {
-			return nil, fmt.Errorf("figures: %s: %w", spec.Name, err)
-		}
+	for i, spec := range specs {
+		res := outs[i].Result
 		threads := 1
 		if spec.MultiThreaded {
 			threads = opts.Threads
@@ -170,6 +203,34 @@ func Characterisation(opts Options) ([]CharacterisationRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// CompressionSummary reduces the compression table to its headline pair:
+// suite-mean and worst bytes/record. Both evaluation front-ends (lbabench
+// -json and the bench harness) report through this one aggregation.
+func CompressionSummary(rows []CompressionRow) (mean, worst float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		mean += r.BytesPerRecord
+		if r.BytesPerRecord > worst {
+			worst = r.BytesPerRecord
+		}
+	}
+	return mean / float64(len(rows)), worst
+}
+
+// WorstDrainShare returns the syscall-stall table's headline number: the
+// largest fraction of application cycles lost to containment drains.
+func WorstDrainShare(rows []StallRow) float64 {
+	var worst float64
+	for _, r := range rows {
+		if r.DrainShare > worst {
+			worst = r.DrainShare
+		}
+	}
+	return worst
 }
 
 // CompressionRow is one line of the log-compression table (§2: "less than
@@ -186,19 +247,28 @@ type CompressionRow struct {
 // consumption) and reading the transport statistics.
 func Compression(opts Options) ([]CompressionRow, error) {
 	opts = opts.withDefaults()
-	var rows []CompressionRow
-	for _, spec := range workloads.All() {
+	specs := workloads.All()
+	jobs := make([]runner.Job, 0, len(specs))
+	for _, spec := range specs {
 		lifeguard := "AddrCheck"
 		if spec.MultiThreaded {
 			lifeguard = "LockSet"
 		}
-		wcfg := workloads.Config{Scale: opts.Scale, Seed: opts.Seed, Threads: opts.Threads}
-		res, err := core.RunLBA(spec.Build(wcfg), lifeguard, opts.coreConfig())
-		if err != nil {
-			return nil, fmt.Errorf("figures: %s: %w", spec.Name, err)
-		}
+		jobs = append(jobs, runner.Job{
+			Benchmark: spec.Name, Mode: core.ModeLBA, Lifeguard: lifeguard,
+			Workload: opts.workloadConfig(), Config: opts.coreConfig(),
+		})
+	}
+	outs, err := opts.engine().RunMatrix(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+
+	var rows []CompressionRow
+	for _, out := range outs {
+		res := out.Result
 		row := CompressionRow{
-			Benchmark:      spec.Name,
+			Benchmark:      out.Job.Benchmark,
 			Records:        res.Records,
 			BytesPerRecord: res.BytesPerRecord,
 		}

@@ -1,0 +1,121 @@
+package runner_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/runner"
+)
+
+// detScale keeps the determinism runs quick; determinism is independent of
+// scale, so this sits below the figure tests' band-checking scale.
+const detScale = 100_000
+
+// TestParallelMatchesSerial is the determinism contract of the tentpole:
+// a Figure 2 panel produced by an 8-worker engine deep-equals the panel
+// produced serially, row for row and field for field.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, lifeguard := range []string{"AddrCheck", "LockSet"} {
+		t.Run(lifeguard, func(t *testing.T) {
+			serial, err := figures.Figure2Panel(lifeguard,
+				figures.Options{Scale: detScale, Runner: runner.New(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := figures.Figure2Panel(lifeguard,
+				figures.Options{Scale: detScale, Runner: runner.New(8)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("parallel panel differs from serial:\nserial:   %+v\nparallel: %+v",
+					serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialAblation covers a config-sweep matrix: the
+// buffer sweep's shared baseline plus per-point configs.
+func TestParallelMatchesSerialAblation(t *testing.T) {
+	sizes := []uint64{1 << 10, 64 << 10, 1 << 20}
+	serial, err := figures.BufferSweep("gzip", sizes,
+		figures.Options{Scale: detScale, Runner: runner.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := figures.BufferSweep("gzip", sizes,
+		figures.Options{Scale: detScale, Runner: runner.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel sweep differs from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestSharedEngineMemoizesBaselines proves the memoization claim that
+// motivated the engine: the AddrCheck and TaintCheck panels run the same
+// seven unmonitored baselines, so a shared engine executes them once.
+func TestSharedEngineMemoizesBaselines(t *testing.T) {
+	eng := runner.New(1)
+	opts := figures.Options{Scale: detScale, Runner: eng}
+	if _, err := figures.Figure2Panel("AddrCheck", opts); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := eng.CacheMisses()
+	if _, err := figures.Figure2Panel("TaintCheck", opts); err != nil {
+		t.Fatal(err)
+	}
+	// The second panel adds 7 LBA + 7 DBI runs but zero new baselines.
+	wantMisses := missesAfterFirst + 14
+	if got := eng.CacheMisses(); got != wantMisses {
+		t.Errorf("misses after second panel = %d, want %d", got, wantMisses)
+	}
+	if hits := eng.CacheHits(); hits < 7 {
+		t.Errorf("hits after second panel = %d, want >= 7 shared baselines", hits)
+	}
+}
+
+// TestParallelSpeedup checks the wall-clock acceptance criterion: the
+// figures suite at 4 workers must beat 1 worker by >= 2x. The simulation
+// is pure CPU-bound work with no shared state, so the speedup tracks core
+// count; the test only runs where 4 hardware threads exist to deliver it.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector serialises execution; speedup not measurable")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to measure 4-worker speedup, have %d", runtime.NumCPU())
+	}
+	scale := 400_000
+
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		for _, lifeguard := range []string{"AddrCheck", "TaintCheck", "LockSet"} {
+			// A fresh engine per panel so memoization does not shrink the
+			// measured work differently across worker counts.
+			opts := figures.Options{Scale: scale, Runner: runner.New(workers)}
+			if _, err := figures.Figure2Panel(lifeguard, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	run(1) // warm-up: page in code paths before timing
+	serial := run(1)
+	parallel := run(4)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("figures suite: serial %v, 4 workers %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 2 {
+		t.Errorf("4-worker speedup %.2fx, want >= 2x", speedup)
+	}
+}

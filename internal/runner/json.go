@@ -1,0 +1,149 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Schema identifies the JSON layout emitted by WriteJSON, for trajectory
+// tooling that tracks BENCH_*.json artifacts across commits.
+const Schema = "lba-runner/v1"
+
+// Row is the flattened, JSON-friendly view of one executed job: the job's
+// identity plus every scalar the simulation measured. Pointers into live
+// simulator state (replay window, memory image) are deliberately dropped.
+type Row struct {
+	Key       string `json:"key"`
+	Benchmark string `json:"benchmark"`
+	Mode      string `json:"mode"`
+	Lifeguard string `json:"lifeguard,omitempty"`
+	Scale     int    `json:"scale"`
+	Seed      uint64 `json:"seed"`
+
+	Instructions      uint64  `json:"instructions"`
+	AppCycles         uint64  `json:"app_cycles"`
+	WallCycles        uint64  `json:"wall_cycles"`
+	LgCycles          uint64  `json:"lg_cycles,omitempty"`
+	BufferStallCycles uint64  `json:"buffer_stall_cycles,omitempty"`
+	DrainStallCycles  uint64  `json:"drain_stall_cycles,omitempty"`
+	DrainEvents       uint64  `json:"drain_events,omitempty"`
+	Records           uint64  `json:"records"`
+	FilteredOut       uint64  `json:"filtered_out,omitempty"`
+	LogBits           uint64  `json:"log_bits,omitempty"`
+	BytesPerRecord    float64 `json:"bytes_per_record,omitempty"`
+	MemRefFraction    float64 `json:"mem_ref_fraction"`
+	Violations        int     `json:"violations,omitempty"`
+}
+
+// rowOf flattens one executed job.
+func rowOf(key string, job Job, res *core.Result) Row {
+	return Row{
+		Key:       key,
+		Benchmark: job.Benchmark,
+		Mode:      job.Mode.String(),
+		Lifeguard: job.Lifeguard,
+		Scale:     job.Workload.Scale,
+		Seed:      job.Workload.Seed,
+
+		Instructions:      res.Instructions,
+		AppCycles:         res.AppCycles,
+		WallCycles:        res.WallCycles,
+		LgCycles:          res.LgCycles,
+		BufferStallCycles: res.BufferStallCycles,
+		DrainStallCycles:  res.DrainStallCycles,
+		DrainEvents:       res.DrainEvents,
+		Records:           res.Records,
+		FilteredOut:       res.FilteredOut,
+		LogBits:           res.LogBits,
+		BytesPerRecord:    res.BytesPerRecord,
+		MemRefFraction:    res.MemRefFraction,
+		Violations:        len(res.Violations),
+	}
+}
+
+// Report is the structured result of an engine's lifetime: every unique
+// simulation it executed, plus caller-supplied headline metrics. The rows
+// are sorted by (benchmark, mode, lifeguard, key) so the emitted JSON is
+// byte-identical regardless of worker count or completion order.
+type Report struct {
+	Schema string `json:"schema"`
+	// Workers is omitted on reports merged from several engines, where no
+	// single pool width applies.
+	Workers     int                `json:"workers,omitempty"`
+	CacheHits   uint64             `json:"cache_hits,omitempty"`
+	CacheMisses uint64             `json:"cache_misses,omitempty"`
+	Rows        []Row              `json:"rows"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// SortRows orders rows deterministically.
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		if a.Lifeguard != b.Lifeguard {
+			return a.Lifeguard < b.Lifeguard
+		}
+		return a.Key < b.Key
+	})
+}
+
+// Report snapshots the engine: one row per unique simulation executed so
+// far (failed jobs are omitted), with rows in deterministic order.
+func (e *Engine) Report() *Report {
+	e.mu.Lock()
+	rows := make([]Row, 0, len(e.order))
+	for _, key := range e.order {
+		ent := e.cache[key]
+		select {
+		case <-ent.done:
+		default:
+			continue // still in flight; skip rather than block under mu
+		}
+		if ent.err != nil || ent.res == nil {
+			continue
+		}
+		rows = append(rows, rowOf(key, ent.job, ent.res))
+	}
+	e.mu.Unlock()
+
+	SortRows(rows)
+	return &Report{
+		Schema:      Schema,
+		Workers:     e.workers,
+		CacheHits:   e.CacheHits(),
+		CacheMisses: e.CacheMisses(),
+		Rows:        rows,
+	}
+}
+
+// WriteJSON emits the report as indented JSON, suitable for BENCH_*.json
+// trajectory artifacts.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJSONFile writes the report to path, failing on any write or close
+// error so a truncated artifact never passes silently.
+func WriteJSONFile(path string, rep *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

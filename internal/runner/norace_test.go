@@ -1,0 +1,6 @@
+//go:build !race
+
+package runner_test
+
+// raceEnabled is false outside -race builds; see race_test.go.
+const raceEnabled = false

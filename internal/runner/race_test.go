@@ -1,0 +1,8 @@
+//go:build race
+
+package runner_test
+
+// raceEnabled marks -race builds so wall-clock assertions can skip: the
+// race detector serialises memory accesses enough to sink a fair
+// speedup measurement.
+const raceEnabled = true

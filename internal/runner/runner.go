@@ -1,0 +1,238 @@
+// Package runner is the concurrent experiment-execution engine behind the
+// evaluation harness. A caller describes an experiment matrix as a slice of
+// declarative Jobs (benchmark × mode × lifeguard × design point); the
+// engine fans the matrix out across a worker pool, memoizes shared
+// sub-results (every workload's unmonitored baseline, identical sweep
+// cells) behind a content hash of the job, and hands results back in input
+// order so parallel output is byte-identical to serial output.
+//
+// The simulator itself is deterministic and shares no mutable state
+// between runs, which is what makes both the parallelism and the
+// memoization sound: two jobs with equal keys produce deep-equal Results,
+// so the engine runs one and shares the pointer. Callers must treat
+// memoized Results as immutable.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Job is one cell of an experiment matrix: a workload generated at a given
+// scale, run in one system mode under one lifeguard and one design point.
+// Jobs are pure data — the benchmark is named, not built, so a Job can be
+// hashed, compared and serialised.
+type Job struct {
+	Benchmark string           `json:"benchmark"`
+	Mode      core.Mode        `json:"mode"`
+	Lifeguard string           `json:"lifeguard,omitempty"` // ignored for ModeUnmonitored
+	Workload  workloads.Config `json:"workload"`
+	Config    core.Config      `json:"config"`
+}
+
+// normalized clears fields that cannot influence the outcome, so that e.g.
+// the AddrCheck and TaintCheck panels share one memoized baseline per
+// workload even though each panel names its own lifeguard on the
+// unmonitored job.
+func (j Job) normalized() Job {
+	if j.Mode == core.ModeUnmonitored {
+		j.Lifeguard = ""
+	}
+	return j
+}
+
+// Key returns the job's memoization key: a content hash over every field
+// that can influence the simulation outcome.
+func (j Job) Key() string {
+	n := j.normalized()
+	blob, err := json.Marshal(n)
+	if err != nil {
+		// All job fields are plain exported data; this cannot fail.
+		panic(fmt.Sprintf("runner: hashing job: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Outcome pairs a matrix job with its result. Result is shared with the
+// memoization cache and must not be mutated.
+type Outcome struct {
+	Job    Job
+	Result *core.Result
+}
+
+// entry is one memoization slot. The first goroutine to claim a key runs
+// the job; later arrivals wait on done and share the outcome.
+type entry struct {
+	done chan struct{}
+	job  Job
+	res  *core.Result
+	err  error
+}
+
+// Engine executes jobs across a worker pool with memoization. An Engine is
+// safe for concurrent use; its cache lives for the Engine's lifetime, so
+// sharing one Engine across sweeps shares their baselines.
+type Engine struct {
+	workers int
+	runFn   func(Job) (*core.Result, error) // replaced by unit tests
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	order []string // cache keys in first-claim order, for Report
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// New returns an engine with the given pool width. workers <= 0 selects
+// runtime.NumCPU(); workers == 1 executes matrices serially in input
+// order, which is the reference behaviour every parallel run must match.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{
+		workers: workers,
+		runFn:   runJob,
+		cache:   make(map[string]*entry),
+	}
+}
+
+// runJob resolves and executes one job against the real simulator.
+func runJob(j Job) (*core.Result, error) {
+	spec, err := workloads.ByName(j.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(j.Mode, spec.Build(j.Workload), j.Lifeguard, j.Config)
+}
+
+// Workers reports the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheHits reports how many Run calls were served from the memoization
+// cache (including waits on a result another worker was computing).
+func (e *Engine) CacheHits() uint64 { return e.hits.Load() }
+
+// CacheMisses reports how many Run calls actually executed a simulation.
+func (e *Engine) CacheMisses() uint64 { return e.misses.Load() }
+
+// Run executes one job, memoized. If an equal job is already cached or in
+// flight its result is shared; otherwise this goroutine runs it. The
+// context only bounds the wait on an in-flight result — a simulation that
+// has started always runs to completion (runs are short relative to a
+// matrix; per-job granularity is where cancellation applies).
+func (e *Engine) Run(ctx context.Context, job Job) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := job.Key()
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		select {
+		case <-ent.done:
+			return ent.res, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ent := &entry{done: make(chan struct{}), job: job.normalized()}
+	e.cache[key] = ent
+	e.order = append(e.order, key)
+	e.mu.Unlock()
+
+	e.misses.Add(1)
+	ent.res, ent.err = e.runFn(ent.job)
+	close(ent.done)
+	return ent.res, ent.err
+}
+
+// RunMatrix fans jobs out across the worker pool and returns one Outcome
+// per job, in input order regardless of completion order. The first job
+// error cancels the rest of the matrix and is returned; a cancelled
+// context stops feeding new jobs and returns the context's error.
+func (e *Engine) RunMatrix(ctx context.Context, jobs []Job) ([]Outcome, error) {
+	out := make([]Outcome, len(jobs))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	feed := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				res, err := e.Run(ctx, jobs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+							// The matrix was cancelled or timed out from
+							// outside; no job failed, so don't blame the one
+							// this worker happened to be holding.
+							firstErr = ctx.Err()
+						} else {
+							j := jobs[i]
+							firstErr = fmt.Errorf("runner: job %d (%s/%s/%s): %w",
+								i, j.Benchmark, j.Mode, lifeguardLabel(j), err)
+						}
+						cancel()
+					})
+					return
+				}
+				out[i] = Outcome{Job: jobs[i], Result: res}
+			}
+		}()
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func lifeguardLabel(j Job) string {
+	if j.Mode == core.ModeUnmonitored || j.Lifeguard == "" {
+		return "-"
+	}
+	return j.Lifeguard
+}

@@ -1,0 +1,252 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// stubEngine replaces the simulator with fn so pool mechanics can be
+// exercised without running real workloads.
+func stubEngine(workers int, fn func(Job) (*core.Result, error)) *Engine {
+	e := New(workers)
+	e.runFn = fn
+	return e
+}
+
+// jobN returns a job whose key differs per n.
+func jobN(n int) Job {
+	return Job{Benchmark: fmt.Sprintf("bench-%d", n), Mode: core.ModeLBA, Lifeguard: "AddrCheck"}
+}
+
+func TestWorkerPoolSaturation(t *testing.T) {
+	const workers = 4
+	const jobs = 32
+
+	var (
+		running atomic.Int64
+		peak    atomic.Int64
+		release = make(chan struct{})
+		once    sync.Once
+	)
+	eng := stubEngine(workers, func(j Job) (*core.Result, error) {
+		n := running.Add(1)
+		defer running.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		if n > workers {
+			t.Errorf("concurrency %d exceeds pool width %d", n, workers)
+		}
+		// Block the first wave until the pool is provably saturated, so
+		// the peak measurement cannot race past before workers spin up.
+		if n == workers {
+			once.Do(func() { close(release) })
+		}
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+			t.Error("pool never saturated")
+		}
+		return &core.Result{}, nil
+	})
+
+	matrix := make([]Job, jobs)
+	for i := range matrix {
+		matrix[i] = jobN(i)
+	}
+	outs, err := eng.RunMatrix(context.Background(), matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != jobs {
+		t.Fatalf("got %d outcomes, want %d", len(outs), jobs)
+	}
+	if got := peak.Load(); got != workers {
+		t.Errorf("peak concurrency %d, want %d", got, workers)
+	}
+	if got := eng.CacheMisses(); got != jobs {
+		t.Errorf("misses %d, want %d (all keys unique)", got, jobs)
+	}
+}
+
+func TestMemoizationHitCounting(t *testing.T) {
+	var executions sync.Map // key -> *atomic.Int64
+	eng := stubEngine(8, func(j Job) (*core.Result, error) {
+		c, _ := executions.LoadOrStore(j.Key(), new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+		return &core.Result{Program: j.Benchmark}, nil
+	})
+
+	// 3 unique jobs, each submitted 4 times: the duplicates must share one
+	// execution whether they arrive after completion or mid-flight.
+	const unique, dup = 3, 4
+	var matrix []Job
+	for d := 0; d < dup; d++ {
+		for u := 0; u < unique; u++ {
+			matrix = append(matrix, jobN(u))
+		}
+	}
+	outs, err := eng.RunMatrix(context.Background(), matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	executions.Range(func(key, c any) bool {
+		if n := c.(*atomic.Int64).Load(); n != 1 {
+			t.Errorf("key %v executed %d times, want 1", key, n)
+		}
+		return true
+	})
+	if got := eng.CacheMisses(); got != unique {
+		t.Errorf("misses %d, want %d", got, unique)
+	}
+	if got := eng.CacheHits(); got != unique*(dup-1) {
+		t.Errorf("hits %d, want %d", got, unique*(dup-1))
+	}
+	// Duplicates share the memoized Result pointer.
+	for i := unique; i < len(outs); i++ {
+		if outs[i].Result != outs[i-unique].Result {
+			t.Errorf("outcome %d does not share the memoized result", i)
+		}
+	}
+}
+
+func TestBaselineNormalization(t *testing.T) {
+	// Unmonitored jobs ignore the lifeguard, so panels that each name
+	// their own lifeguard on the baseline still share one key.
+	a := Job{Benchmark: "gzip", Mode: core.ModeUnmonitored, Lifeguard: "AddrCheck"}
+	b := Job{Benchmark: "gzip", Mode: core.ModeUnmonitored, Lifeguard: "TaintCheck"}
+	if a.Key() != b.Key() {
+		t.Error("unmonitored keys differ across lifeguards")
+	}
+	c := Job{Benchmark: "gzip", Mode: core.ModeLBA, Lifeguard: "AddrCheck"}
+	d := Job{Benchmark: "gzip", Mode: core.ModeLBA, Lifeguard: "TaintCheck"}
+	if c.Key() == d.Key() {
+		t.Error("monitored keys collide across lifeguards")
+	}
+	e := c
+	e.Config.CompressionOff = true
+	if c.Key() == e.Key() {
+		t.Error("keys collide across design points")
+	}
+}
+
+func TestCancellationMidMatrix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var executed atomic.Int64
+	eng := stubEngine(2, func(j Job) (*core.Result, error) {
+		executed.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(2 * time.Millisecond)
+		return &core.Result{}, nil
+	})
+
+	const jobs = 200
+	matrix := make([]Job, jobs)
+	for i := range matrix {
+		matrix[i] = jobN(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.RunMatrix(ctx, matrix)
+		done <- err
+	}()
+	<-started
+	cancel()
+
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= jobs {
+		t.Errorf("executed all %d jobs despite cancellation", n)
+	}
+}
+
+func TestFirstErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	eng := stubEngine(2, func(j Job) (*core.Result, error) {
+		n := executed.Add(1)
+		time.Sleep(time.Millisecond)
+		if n == 3 {
+			return nil, boom
+		}
+		return &core.Result{}, nil
+	})
+
+	const jobs = 200
+	matrix := make([]Job, jobs)
+	for i := range matrix {
+		matrix[i] = jobN(i)
+	}
+	_, err := eng.RunMatrix(context.Background(), matrix)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := executed.Load(); n >= jobs {
+		t.Errorf("executed all %d jobs despite error", n)
+	}
+}
+
+func TestRunMatrixOrdering(t *testing.T) {
+	eng := stubEngine(8, func(j Job) (*core.Result, error) {
+		return &core.Result{Program: j.Benchmark}, nil
+	})
+	const jobs = 64
+	matrix := make([]Job, jobs)
+	for i := range matrix {
+		matrix[i] = jobN(i)
+	}
+	outs, err := eng.RunMatrix(context.Background(), matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Job.Benchmark != matrix[i].Benchmark {
+			t.Fatalf("outcome %d is %q, want %q", i, out.Job.Benchmark, matrix[i].Benchmark)
+		}
+		if out.Result.Program != matrix[i].Benchmark {
+			t.Fatalf("result %d is for %q, want %q", i, out.Result.Program, matrix[i].Benchmark)
+		}
+	}
+}
+
+func TestReportDeterministicOrder(t *testing.T) {
+	run := func(workers int) *Report {
+		eng := stubEngine(workers, func(j Job) (*core.Result, error) {
+			return &core.Result{Program: j.Benchmark, Instructions: 42}, nil
+		})
+		matrix := make([]Job, 20)
+		for i := range matrix {
+			matrix[i] = jobN(i)
+		}
+		if _, err := eng.RunMatrix(context.Background(), matrix); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Report()
+	}
+	serial, parallel := run(1), run(8)
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != parallel.Rows[i] {
+			t.Errorf("row %d differs between serial and parallel reports", i)
+		}
+	}
+}
