@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race fuzz bench fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/tenant/...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/vpc
+	$(GO) test -run '^$$' -fuzz '^FuzzDecompressTrace$$' -fuzztime 10s ./internal/vpc
+	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 10s ./internal/event
 
 bench:
 	BENCH_JSON=BENCH_results.json $(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -26,4 +32,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race bench
+ci: fmt vet build test race fuzz bench

@@ -8,6 +8,7 @@
 //	lbabench -fig 2a              # Figure 2(a): AddrCheck
 //	lbabench -fig 2b              # Figure 2(b): TaintCheck
 //	lbabench -fig 2c              # Figure 2(c): LockSet
+//	lbabench -fig contention      # multi-tenant slowdown vs pool size
 //	lbabench -table chars         # benchmark characteristics (§3)
 //	lbabench -table compress      # VPC compression (§2)
 //	lbabench -table avg           # headline averages (§3)
@@ -17,83 +18,144 @@
 //	lbabench -ablation parallel   # parallel lifeguards (§3)
 //	lbabench -ablation stall      # syscall-containment cost (§2)
 //	lbabench -ablation pipeline   # nlba dispatch pipelining (§2)
+//	lbabench -tenants 6 -pool 4 -sched least-lag  # one multi-tenant cell
 //	lbabench -n 2000000           # instruction scale per run
 //	lbabench -workers 8           # experiment-matrix worker pool width
 //	lbabench -json out.json       # structured results for trajectory tracking
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/figures"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/tenant"
 )
 
-// jsonMetrics accumulates headline numbers for the -json report.
-var jsonMetrics = map[string]float64{}
-
 func main() {
-	var (
-		fig      = flag.String("fig", "", "2a | 2b | 2c")
-		table    = flag.String("table", "", "chars | compress | avg")
-		ablation = flag.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
-		scale    = flag.Int("n", 1_000_000, "approximate dynamic instructions per run")
-		threads  = flag.Int("threads", 2, "threads for multithreaded benchmarks")
-		workers  = flag.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
-		jsonPath = flag.String("json", "", "write structured runner results to this file")
-	)
-	flag.Parse()
-
-	eng := runner.New(*workers)
-	opts := figures.Options{Scale: *scale, Threads: *threads, Runner: eng}
-
-	runAll := *fig == "" && *table == "" && *ablation == ""
-	var err error
-	switch {
-	case runAll:
-		err = everything(opts)
-	case *fig != "":
-		err = figure2(*fig, opts)
-	case *table != "":
-		err = tables(*table, opts)
-	case *ablation != "":
-		err = ablations(*ablation, opts)
-	}
-	if err == nil && *jsonPath != "" {
-		err = writeJSON(*jsonPath, eng)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lbabench:", err)
 		os.Exit(1)
 	}
 }
 
-// writeJSON emits every simulation the engine executed plus the collected
-// headline metrics, in deterministic order.
-func writeJSON(path string, eng *runner.Engine) error {
-	rep := eng.Report()
-	if len(jsonMetrics) > 0 {
-		rep.Metrics = jsonMetrics
+// session carries one invocation's state: where text output goes, the
+// shared experiment engine, and the accumulating JSON report content.
+// Keeping it instantiable (rather than package globals) is what lets the
+// golden determinism test run the command in-process repeatedly.
+type session struct {
+	out         io.Writer
+	opts        figures.Options
+	eng         *runner.Engine
+	metrics     map[string]float64
+	tenantCells []runner.TenantCell
+}
+
+// defaultContentionTenants sizes the contention figure's tenant set when
+// -tenants is not given.
+const defaultContentionTenants = 6
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lbabench", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "", "2a | 2b | 2c | contention")
+		table    = fs.String("table", "", "chars | compress | avg")
+		ablation = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
+		scale    = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
+		threads  = fs.Int("threads", 2, "threads for multithreaded benchmarks")
+		workers  = fs.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
+		tenants  = fs.Int("tenants", 0, "multi-tenant cell: number of monitored applications (0 = off)")
+		pool     = fs.Int("pool", 4, "multi-tenant cell: shared lifeguard cores")
+		sched    = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: round-robin | least-lag")
+		jsonPath = fs.String("json", "", "write structured runner results to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
 	}
+	if *tenants < 0 {
+		return fmt.Errorf("-tenants must be >= 0, got %d", *tenants)
+	}
+	if _, err := tenant.NewScheduler(*sched); err != nil {
+		return err
+	}
+	// -pool and -sched are consumed only by the single-cell path; the
+	// contention figure sweeps its own pool sizes and policies. Reject
+	// explicit values that would otherwise be dropped silently.
+	cellMode := *tenants > 0 && *fig != "contention"
+	var conflict error
+	fs.Visit(func(f *flag.Flag) {
+		if conflict == nil && !cellMode && (f.Name == "pool" || f.Name == "sched") {
+			conflict = fmt.Errorf("-%s only applies with -tenants N (single multi-tenant cell); the contention figure sweeps pools and policies itself", f.Name)
+		}
+	})
+	if conflict != nil {
+		return conflict
+	}
+
+	s := &session{
+		out:     out,
+		eng:     runner.New(*workers),
+		metrics: map[string]float64{},
+	}
+	s.opts = figures.Options{Scale: *scale, Threads: *threads, Runner: s.eng}
+
+	runAll := *fig == "" && *table == "" && *ablation == "" && *tenants == 0
+	var err error
+	switch {
+	case runAll:
+		err = s.everything()
+	default:
+		if *fig != "" {
+			err = s.figure(*fig, *tenants)
+		}
+		if err == nil && *table != "" {
+			err = s.tables(*table)
+		}
+		if err == nil && *ablation != "" {
+			err = s.ablations(*ablation)
+		}
+		if err == nil && *tenants > 0 && *fig != "contention" {
+			err = s.tenantCell(*tenants, *pool, *sched)
+		}
+	}
+	if err == nil && *jsonPath != "" {
+		err = s.writeJSON(*jsonPath)
+	}
+	return err
+}
+
+// writeJSON emits every simulation the engine executed plus the collected
+// headline metrics and tenant cells, in deterministic order.
+func (s *session) writeJSON(path string) error {
+	rep := s.eng.Report()
+	if len(s.metrics) > 0 {
+		rep.Metrics = s.metrics
+	}
+	rep.TenantCells = s.tenantCells
 	return runner.WriteJSONFile(path, rep)
 }
 
-func everything(opts figures.Options) error {
-	for _, f := range []string{"2a", "2b", "2c"} {
-		if err := figure2(f, opts); err != nil {
+func (s *session) everything() error {
+	for _, f := range []string{"2a", "2b", "2c", "contention"} {
+		if err := s.figure(f, 0); err != nil {
 			return err
 		}
 	}
 	for _, t := range []string{"chars", "compress", "avg"} {
-		if err := tables(t, opts); err != nil {
+		if err := s.tables(t); err != nil {
 			return err
 		}
 	}
 	for _, a := range []string{"buffer", "compress", "filter", "parallel", "stall", "pipeline"} {
-		if err := ablations(a, opts); err != nil {
+		if err := s.ablations(a); err != nil {
 			return err
 		}
 	}
@@ -106,16 +168,19 @@ var panelOf = map[string]string{
 	"2c": "LockSet",
 }
 
-func figure2(fig string, opts figures.Options) error {
+func (s *session) figure(fig string, tenants int) error {
+	if fig == "contention" {
+		return s.contention(tenants)
+	}
 	lifeguard, ok := panelOf[fig]
 	if !ok {
-		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c)", fig)
+		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention)", fig)
 	}
-	rows, err := figures.Figure2Panel(lifeguard, opts)
+	rows, err := figures.Figure2Panel(lifeguard, s.opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Figure 2(%s): %s — normalized execution time (1.0 = unmonitored)\n",
+	fmt.Fprintf(s.out, "Figure 2(%s): %s — normalized execution time (1.0 = unmonitored)\n",
 		fig[1:], lifeguard)
 	tb := metrics.NewTable("benchmark", "valgrind(v)", "lba(l)", "lba-speedup")
 	for _, r := range rows {
@@ -124,15 +189,78 @@ func figure2(fig string, opts figures.Options) error {
 			fmt.Sprintf("%.1fX", r.LBA),
 			fmt.Sprintf("%.1fx", r.Speedup))
 	}
-	fmt.Print(tb.String())
-	fmt.Println()
-	fmt.Print(figures.RenderFigure2(lifeguard, rows))
-	s := figures.Summarise(lifeguard, rows)
-	jsonMetrics["fig2_"+lifeguard+"_mean_lba_x"] = s.MeanLBA
-	jsonMetrics["fig2_"+lifeguard+"_mean_valgrind_x"] = s.MeanValgrind
-	fmt.Printf("mean LBA slowdown: %.1fX   (paper: %s)\n", s.MeanLBA, paperMean(lifeguard))
-	fmt.Printf("valgrind range: %.1f-%.1fX (paper band: 10-85X); LBA %.1f-%.1fx faster (paper: 4-19x)\n\n",
-		s.MinValgrind, s.MaxValgrind, s.MinSpeedup, s.MaxSpeedup)
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintln(s.out)
+	fmt.Fprint(s.out, figures.RenderFigure2(lifeguard, rows))
+	sum := figures.Summarise(lifeguard, rows)
+	s.metrics["fig2_"+lifeguard+"_mean_lba_x"] = sum.MeanLBA
+	s.metrics["fig2_"+lifeguard+"_mean_valgrind_x"] = sum.MeanValgrind
+	fmt.Fprintf(s.out, "mean LBA slowdown: %.1fX   (paper: %s)\n", sum.MeanLBA, paperMean(lifeguard))
+	fmt.Fprintf(s.out, "valgrind range: %.1f-%.1fX (paper band: 10-85X); LBA %.1f-%.1fx faster (paper: 4-19x)\n\n",
+		sum.MinValgrind, sum.MaxValgrind, sum.MinSpeedup, sum.MaxSpeedup)
+	return nil
+}
+
+// contention regenerates the multi-tenant figure: aggregate slowdown as a
+// shared lifeguard-core pool grows from 1 to 8 cores, per policy.
+func (s *session) contention(n int) error {
+	if n <= 0 {
+		n = defaultContentionTenants
+	}
+	set, err := figures.TenantSet(n, s.opts)
+	if err != nil {
+		return err
+	}
+	rows, results, err := figures.ContentionSweep(set, figures.DefaultPoolSizes(), tenant.Policies(), s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "Figure: multi-tenant contention — %d tenants sharing 1-8 lifeguard cores\n", n)
+	tb := metrics.NewTable("policy", "cores", "mean-slowdown", "max-slowdown", "pool-util")
+	for _, r := range rows {
+		tb.AddRow(r.Policy,
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.2fX", r.MeanSlowdown),
+			fmt.Sprintf("%.2fX", r.MaxSlowdown),
+			fmt.Sprintf("%.0f%%", 100*r.Utilisation))
+		s.metrics[fmt.Sprintf("tenant_%s_%dc_mean_x", r.Policy, r.Cores)] = r.MeanSlowdown
+	}
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintln(s.out)
+	fmt.Fprint(s.out, figures.RenderContention(rows))
+	fmt.Fprintln(s.out)
+	for _, r := range results {
+		s.tenantCells = append(s.tenantCells, r.Cell())
+	}
+	return nil
+}
+
+// tenantCell runs one multi-tenant pool configuration and prints the
+// per-tenant breakdown.
+func (s *session) tenantCell(n, cores int, policy string) error {
+	set, err := figures.TenantSet(n, s.opts)
+	if err != nil {
+		return err
+	}
+	res, err := figures.RunPoolCell(set, tenant.PoolConfig{Cores: cores, Policy: policy}, s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "Multi-tenant cell: %d tenants, %d lifeguard cores, %s\n", n, res.Cores, res.Policy)
+	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "stall-cyc", "drain-cyc", "lag-p95", "violations")
+	for _, tr := range res.Tenants {
+		tb.AddRow(tr.Name, tr.Lifeguard,
+			fmt.Sprintf("%.2fX", tr.Slowdown),
+			fmt.Sprintf("%d", tr.StallCycles),
+			fmt.Sprintf("%d", tr.DrainCycles),
+			fmt.Sprintf("%d", tr.LagP95Cycles),
+			fmt.Sprintf("%d", tr.Violations))
+	}
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintf(s.out, "mean slowdown %.2fX, max %.2fX, pool utilisation %.0f%%\n\n",
+		res.MeanSlowdown, res.MaxSlowdown, 100*res.Utilisation)
+	s.metrics[fmt.Sprintf("tenant_cell_%s_%dc_mean_x", res.Policy, res.Cores)] = res.MeanSlowdown
+	s.tenantCells = append(s.tenantCells, res.Cell())
 	return nil
 }
 
@@ -148,14 +276,14 @@ func paperMean(lifeguard string) string {
 	return "?"
 }
 
-func tables(name string, opts figures.Options) error {
+func (s *session) tables(name string) error {
 	switch name {
 	case "chars":
-		rows, err := figures.Characterisation(opts)
+		rows, err := figures.Characterisation(s.opts)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Benchmark characteristics (paper §3: avg 209M instructions, 51% memory refs)")
+		fmt.Fprintln(s.out, "Benchmark characteristics (paper §3: avg 209M instructions, 51% memory refs)")
 		tb := metrics.NewTable("benchmark", "instructions", "mem-refs", "CPI", "threads")
 		var sum float64
 		for _, r := range rows {
@@ -166,17 +294,17 @@ func tables(name string, opts figures.Options) error {
 				fmt.Sprintf("%d", r.Threads))
 			sum += r.MemRefFraction
 		}
-		fmt.Print(tb.String())
-		jsonMetrics["chars_mean_mem_ref_pct"] = 100 * sum / float64(len(rows))
-		fmt.Printf("suite average mem refs: %.1f%% (paper: 51%%; see EXPERIMENTS.md on the RISC/x86 gap)\n\n",
+		fmt.Fprint(s.out, tb.String())
+		s.metrics["chars_mean_mem_ref_pct"] = 100 * sum / float64(len(rows))
+		fmt.Fprintf(s.out, "suite average mem refs: %.1f%% (paper: 51%%; see EXPERIMENTS.md on the RISC/x86 gap)\n\n",
 			100*sum/float64(len(rows)))
 
 	case "compress":
-		rows, err := figures.Compression(opts)
+		rows, err := figures.Compression(s.opts)
 		if err != nil {
 			return err
 		}
-		fmt.Println("VPC log compression (paper §2: < 1 byte/instruction)")
+		fmt.Fprintln(s.out, "VPC log compression (paper §2: < 1 byte/instruction)")
 		tb := metrics.NewTable("benchmark", "records", "B/record", "ratio")
 		for _, r := range rows {
 			tb.AddRow(r.Benchmark,
@@ -185,30 +313,30 @@ func tables(name string, opts figures.Options) error {
 				fmt.Sprintf("%.1fx", r.Ratio))
 		}
 		mean, worst := figures.CompressionSummary(rows)
-		jsonMetrics["compress_mean_bytes_per_record"] = mean
-		jsonMetrics["compress_worst_bytes_per_record"] = worst
-		fmt.Print(tb.String())
-		fmt.Println()
+		s.metrics["compress_mean_bytes_per_record"] = mean
+		s.metrics["compress_worst_bytes_per_record"] = worst
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	case "avg":
-		fmt.Println("Headline averages (paper §3)")
+		fmt.Fprintln(s.out, "Headline averages (paper §3)")
 		tb := metrics.NewTable("lifeguard", "mean-lba", "paper", "valgrind-range", "speedup-range")
 		for _, lifeguard := range []string{"AddrCheck", "TaintCheck", "LockSet"} {
-			rows, err := figures.Figure2Panel(lifeguard, opts)
+			rows, err := figures.Figure2Panel(lifeguard, s.opts)
 			if err != nil {
 				return err
 			}
-			s := figures.Summarise(lifeguard, rows)
-			jsonMetrics["fig2_"+lifeguard+"_mean_lba_x"] = s.MeanLBA
-			jsonMetrics["fig2_"+lifeguard+"_mean_valgrind_x"] = s.MeanValgrind
+			sum := figures.Summarise(lifeguard, rows)
+			s.metrics["fig2_"+lifeguard+"_mean_lba_x"] = sum.MeanLBA
+			s.metrics["fig2_"+lifeguard+"_mean_valgrind_x"] = sum.MeanValgrind
 			tb.AddRow(lifeguard,
-				fmt.Sprintf("%.1fX", s.MeanLBA),
+				fmt.Sprintf("%.1fX", sum.MeanLBA),
 				paperMean(lifeguard),
-				fmt.Sprintf("%.1f-%.1fX", s.MinValgrind, s.MaxValgrind),
-				fmt.Sprintf("%.1f-%.1fx", s.MinSpeedup, s.MaxSpeedup))
+				fmt.Sprintf("%.1f-%.1fX", sum.MinValgrind, sum.MaxValgrind),
+				fmt.Sprintf("%.1f-%.1fx", sum.MinSpeedup, sum.MaxSpeedup))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	default:
 		return fmt.Errorf("unknown table %q (have chars, compress, avg)", name)
@@ -216,36 +344,36 @@ func tables(name string, opts figures.Options) error {
 	return nil
 }
 
-func ablations(name string, opts figures.Options) error {
+func (s *session) ablations(name string) error {
 	switch name {
 	case "buffer":
 		sizes := []uint64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
-		rows, err := figures.BufferSweep("gzip", sizes, opts)
+		rows, err := figures.BufferSweep("gzip", sizes, s.opts)
 		if err != nil {
 			return err
 		}
 		for _, r := range rows {
-			jsonMetrics[fmt.Sprintf("buffer_slowdown_%db_x", r.CapacityBytes)] = r.Slowdown
+			s.metrics[fmt.Sprintf("buffer_slowdown_%db_x", r.CapacityBytes)] = r.Slowdown
 		}
-		fmt.Println("Ablation: log-buffer capacity vs application stalls (gzip, AddrCheck)")
+		fmt.Fprintln(s.out, "Ablation: log-buffer capacity vs application stalls (gzip, AddrCheck)")
 		tb := metrics.NewTable("capacity", "slowdown", "stall-cycles")
 		for _, r := range rows {
 			tb.AddRow(fmt.Sprintf("%dB", r.CapacityBytes),
 				fmt.Sprintf("%.2fX", r.Slowdown),
 				fmt.Sprintf("%d", r.StallCycles))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	case "compress":
-		rows, err := figures.CompressionAblation("gzip", opts)
+		rows, err := figures.CompressionAblation("gzip", s.opts)
 		if err != nil {
 			return err
 		}
 		if rows[0].LogBytes > 0 {
-			jsonMetrics["vpc_log_volume_saving_x"] = float64(rows[1].LogBytes) / float64(rows[0].LogBytes)
+			s.metrics["vpc_log_volume_saving_x"] = float64(rows[1].LogBytes) / float64(rows[0].LogBytes)
 		}
-		fmt.Println("Ablation: VPC compression on/off (gzip, AddrCheck)")
+		fmt.Fprintln(s.out, "Ablation: VPC compression on/off (gzip, AddrCheck)")
 		tb := metrics.NewTable("compression", "log-bytes", "slowdown", "stall-cycles")
 		for _, r := range rows {
 			tb.AddRow(fmt.Sprintf("%v", r.Compression),
@@ -253,17 +381,17 @@ func ablations(name string, opts figures.Options) error {
 				fmt.Sprintf("%.2fX", r.Slowdown),
 				fmt.Sprintf("%d", r.StallCycles))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	case "filter":
-		rows, err := figures.FilterAblation("mcf", opts)
+		rows, err := figures.FilterAblation("mcf", s.opts)
 		if err != nil {
 			return err
 		}
-		jsonMetrics["filter_unfiltered_x"] = rows[0].Slowdown
-		jsonMetrics["filter_filtered_x"] = rows[1].Slowdown
-		fmt.Println("Ablation: heap-only address-range filtering (mcf, AddrCheck; paper §3)")
+		s.metrics["filter_unfiltered_x"] = rows[0].Slowdown
+		s.metrics["filter_filtered_x"] = rows[1].Slowdown
+		fmt.Fprintln(s.out, "Ablation: heap-only address-range filtering (mcf, AddrCheck; paper §3)")
 		tb := metrics.NewTable("filtered", "slowdown", "records-dropped", "lifeguard-cycles")
 		for _, r := range rows {
 			tb.AddRow(fmt.Sprintf("%v", r.Filtered),
@@ -271,49 +399,49 @@ func ablations(name string, opts figures.Options) error {
 				fmt.Sprintf("%d", r.Dropped),
 				fmt.Sprintf("%d", r.LgCycles))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	case "parallel":
-		rows, err := figures.ParallelSweep("tidy", []int{1, 2, 4, 8}, opts)
+		rows, err := figures.ParallelSweep("tidy", []int{1, 2, 4, 8}, s.opts)
 		if err != nil {
 			return err
 		}
 		for _, r := range rows {
-			jsonMetrics[fmt.Sprintf("parallel_lifeguard_%dcore_x", r.Cores)] = r.Slowdown
+			s.metrics[fmt.Sprintf("parallel_lifeguard_%dcore_x", r.Cores)] = r.Slowdown
 		}
-		fmt.Println("Ablation: parallel lifeguard cores (tidy, AddrCheck; paper §3)")
+		fmt.Fprintln(s.out, "Ablation: parallel lifeguard cores (tidy, AddrCheck; paper §3)")
 		tb := metrics.NewTable("lifeguard-cores", "slowdown")
 		for _, r := range rows {
 			tb.AddRow(fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%.2fX", r.Slowdown))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	case "pipeline":
-		rows, err := figures.PipelineAblation("bc", opts)
+		rows, err := figures.PipelineAblation("bc", s.opts)
 		if err != nil {
 			return err
 		}
-		jsonMetrics["dispatch_pipelined_x"] = rows[0].Slowdown
-		jsonMetrics["dispatch_serialised_x"] = rows[1].Slowdown
-		fmt.Println("Ablation: pipelined nlba dispatch (bc, AddrCheck; paper §2 early-index)")
+		s.metrics["dispatch_pipelined_x"] = rows[0].Slowdown
+		s.metrics["dispatch_serialised_x"] = rows[1].Slowdown
+		fmt.Fprintln(s.out, "Ablation: pipelined nlba dispatch (bc, AddrCheck; paper §2 early-index)")
 		tb := metrics.NewTable("pipelined", "slowdown", "lifeguard-cycles")
 		for _, r := range rows {
 			tb.AddRow(fmt.Sprintf("%v", r.Pipelined),
 				fmt.Sprintf("%.2fX", r.Slowdown),
 				fmt.Sprintf("%d", r.LgCycles))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	case "stall":
-		rows, err := figures.SyscallStallTable(opts)
+		rows, err := figures.SyscallStallTable(s.opts)
 		if err != nil {
 			return err
 		}
-		jsonMetrics["stall_worst_drain_pct"] = 100 * figures.WorstDrainShare(rows)
-		fmt.Println("Ablation: syscall-containment stalls (paper §2 error containment)")
+		s.metrics["stall_worst_drain_pct"] = 100 * figures.WorstDrainShare(rows)
+		fmt.Fprintln(s.out, "Ablation: syscall-containment stalls (paper §2 error containment)")
 		tb := metrics.NewTable("benchmark", "drains", "drain-cycles", "share-of-app")
 		for _, r := range rows {
 			tb.AddRow(r.Benchmark,
@@ -321,8 +449,8 @@ func ablations(name string, opts figures.Options) error {
 				fmt.Sprintf("%d", r.DrainCycles),
 				fmt.Sprintf("%.2f%%", 100*r.DrainShare))
 		}
-		fmt.Print(tb.String())
-		fmt.Println()
+		fmt.Fprint(s.out, tb.String())
+		fmt.Fprintln(s.out)
 
 	default:
 		return fmt.Errorf("unknown ablation %q (have buffer, compress, filter, parallel, stall, pipeline)", name)

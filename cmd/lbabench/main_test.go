@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestJSONGoldenDeterminism is the command-level determinism contract:
+// with a fixed seed, repeated invocations — and invocations differing
+// only in worker-pool width — must produce byte-identical JSON
+// artifacts, tenant-matrix cells included. This is what lets trajectory
+// tooling diff BENCH_*.json across commits without worrying about the
+// machine that produced them.
+func TestJSONGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, workers int) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		args := []string{
+			"-n", "40000",
+			"-fig", "2a",
+			"-tenants", "3", "-pool", "2", "-sched", "least-lag",
+			"-workers", strconv.Itoa(workers),
+			"-json", path,
+		}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("lbabench %v: %v", args, err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) == 0 {
+			t.Fatal("empty JSON artifact")
+		}
+		return blob
+	}
+
+	first := runOnce("serial-1.json", 1)
+	again := runOnce("serial-2.json", 1)
+	wide := runOnce("workers-4.json", 4)
+
+	if !bytes.Equal(first, again) {
+		t.Error("repeated serial runs produced different JSON")
+	}
+	if !bytes.Equal(first, wide) {
+		t.Error("-workers 4 JSON differs from the serial reference run")
+	}
+	if !bytes.Contains(first, []byte(`"tenant_cells"`)) {
+		t.Error("artifact is missing the tenant-matrix section")
+	}
+	if !bytes.Contains(first, []byte(`"schema": "lba-runner/v1"`)) {
+		t.Error("artifact lost its schema tag")
+	}
+}
+
+// TestContentionFigureRuns smoke-tests the new figure end to end through
+// the command surface (text path, not just JSON).
+func TestContentionFigureRuns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "30000", "-fig", "contention", "-tenants", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"multi-tenant contention", "round-robin", "least-lag", "8"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownSelectorsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig", "9z"},
+		{"-table", "nope"},
+		{"-ablation", "nope"},
+		{"-tenants", "2", "-pool", "2", "-sched", "nope", "-n", "30000"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

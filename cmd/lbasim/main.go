@@ -7,17 +7,23 @@
 //	lbasim -bench gzip -mode lba -lifeguard AddrCheck -scale 1000000
 //	lbasim -bench w3m -mode lba -lifeguard TaintCheck -bug tainted-jump
 //	lbasim -bench water -mode dbi -lifeguard LockSet -threads 4
+//	lbasim -tenants 6 -pool 2 -sched least-lag
 //
-// Modes: unmonitored, lba, dbi. Use -list for the benchmark table.
+// Modes: unmonitored, lba, dbi. Use -list for the benchmark table. With
+// -tenants N the tool instead simulates N monitored applications (drawn
+// from the suite) sharing a pool of -pool lifeguard cores under the
+// -sched policy.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 	"repro/internal/workloads"
 )
 
@@ -31,6 +37,9 @@ func main() {
 		threads   = flag.Int("threads", 2, "worker threads (multithreaded benchmarks)")
 		bugName   = flag.String("bug", "none", "injected bug: none | use-after-free | double-free | leak | tainted-jump | race")
 		baseline  = flag.Bool("baseline", true, "also run unmonitored and report the slowdown")
+		tenants   = flag.Int("tenants", 0, "simulate N tenants sharing a lifeguard-core pool (0 = single run)")
+		pool      = flag.Int("pool", 2, "shared lifeguard cores (with -tenants)")
+		sched     = flag.String("sched", tenant.PolicyLeastLag, "pool scheduler: round-robin | least-lag")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -48,10 +57,71 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *mode, *lifeguard, *scale, *seed, *threads, *bugName, *baseline); err != nil {
+	var err error
+	switch {
+	case *tenants < 0:
+		err = fmt.Errorf("-tenants must be >= 0, got %d", *tenants)
+	case *tenants > 0:
+		// The single-run selectors do not apply to a pool simulation;
+		// silently dropping an explicit -bench or -bug would misread as
+		// "ran it, found nothing".
+		conflicting := map[string]bool{"bench": true, "mode": true, "lifeguard": true, "bug": true, "baseline": true}
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] && err == nil {
+				err = fmt.Errorf("-%s does not apply with -tenants (the tenant set is drawn from the suite)", f.Name)
+			}
+		})
+		if err == nil {
+			err = runTenants(*tenants, *pool, *sched, *scale, *seed, *threads)
+		}
+	default:
+		// Mirror image: pool flags only mean something with -tenants.
+		conflicting := map[string]bool{"pool": true, "sched": true}
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] && err == nil {
+				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)
+			}
+		})
+		if err == nil {
+			err = run(*bench, *mode, *lifeguard, *scale, *seed, *threads, *bugName, *baseline)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbasim:", err)
 		os.Exit(1)
 	}
+}
+
+// runTenants simulates n suite tenants sharing a lifeguard-core pool and
+// prints the per-tenant breakdown.
+func runTenants(n, cores int, policy string, scale int, seed uint64, threads int) error {
+	wcfg := workloads.Config{Scale: scale, Seed: seed, Threads: threads}
+	set, err := tenant.FromSuite(n, wcfg, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	eng := tenant.NewEngine(0, nil)
+	res, err := eng.RunPool(context.Background(), set, tenant.PoolConfig{Cores: cores, Policy: policy})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("tenants        %d (suite round-robin)\n", n)
+	fmt.Printf("pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
+	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "violations")
+	for _, tr := range res.Tenants {
+		tb.AddRow(tr.Name, tr.Lifeguard,
+			fmt.Sprintf("%.2fX", tr.Slowdown),
+			fmt.Sprintf("%d", tr.StallCycles),
+			fmt.Sprintf("%d", tr.DrainCycles),
+			fmt.Sprintf("%.0f", tr.MeanLagCycles),
+			fmt.Sprintf("%d", tr.LagP95Cycles),
+			fmt.Sprintf("%d", tr.Violations))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("mean slowdown  %.2fX (max %.2fX)\n", res.MeanSlowdown, res.MaxSlowdown)
+	fmt.Printf("pool util      %.0f%% over %d makespan cycles\n", 100*res.Utilisation, res.MakespanCycles)
+	return nil
 }
 
 func parseBug(name string) (workloads.BugKind, error) {

@@ -297,9 +297,7 @@ func RunLBA(p *prog.Program, lifeguardName string, cfg Config) (*Result, error) 
 		channels[i] = logbuf.New(cfg.Channel)
 	}
 
-	comp := vpc.NewCompressor()
-	var filtered uint64
-	var logBits uint64
+	le := &logEncoder{cfg: &cfg, comp: vpc.NewCompressor()}
 
 	// routeOf picks the consuming lifeguard core for a record: memory
 	// records interleave by cache line; allocation-state records fan out
@@ -316,29 +314,10 @@ func RunLBA(p *prog.Program, lifeguardName string, cfg Config) (*Result, error) 
 	}
 
 	deliver := func(rec event.Record) {
-		// Address-range filter in the capture hardware.
-		if len(cfg.FilterRanges) > 0 && rec.Type.IsMem() {
-			keep := false
-			for _, r := range cfg.FilterRanges {
-				if r.Contains(rec.Addr) {
-					keep = true
-					break
-				}
-			}
-			if !keep {
-				filtered++
-				return
-			}
+		bits, ok := le.encode(&rec)
+		if !ok {
+			return
 		}
-
-		var bits uint64
-		if cfg.CompressionOff {
-			bits = event.EncodedSize * 8
-			comp.Records++ // count records for stats symmetry
-		} else {
-			bits = uint64(comp.Append(rec))
-		}
-		logBits += bits
 		hier.ChargeLogTransport(bits / 8)
 
 		primary := routeOf(&rec)
@@ -426,13 +405,13 @@ func RunLBA(p *prog.Program, lifeguardName string, cfg Config) (*Result, error) 
 		DrainStallCycles:  drainStalls,
 		DrainEvents:       drains,
 		Records:           cap.Stats.Records,
-		FilteredOut:       filtered,
-		LogBits:           logBits,
+		FilteredOut:       le.filtered,
+		LogBits:           le.logBits,
 		MemRefFraction:    cap.Stats.MemRefFraction(),
 		Violations:        lg.Violations(),
 	}
-	if kept := cap.Stats.Records - filtered; kept > 0 {
-		res.BytesPerRecord = float64(logBits) / 8 / float64(kept)
+	if kept := cap.Stats.Records - le.filtered; kept > 0 {
+		res.BytesPerRecord = float64(le.logBits) / 8 / float64(kept)
 	}
 	res.Replay = window
 	res.Memory = memory

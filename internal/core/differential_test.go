@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// The paper's core platform claim is that moving a lifeguard from
+// same-core software instrumentation (DBI) to the log-based architecture
+// changes *timing*, not *detection*: both consume the same event stream,
+// so they must report the same violations. This differential suite pins
+// that down for every workload × injected-bug combination the generators
+// support, comparing violation identity (kind, PC, address) rather than
+// counts.
+
+// detectionCombos enumerates the workload × bug matrix with the
+// lifeguard the paper evaluates on each: allocation bugs on the six
+// allocating single-threaded benchmarks under AddrCheck, the w3m
+// control-flow hijack under TaintCheck, and the missing-lock race on the
+// multithreaded pair under LockSet.
+func detectionCombos() []struct {
+	bench     string
+	lifeguard string
+	bug       workloads.BugKind
+} {
+	var combos []struct {
+		bench     string
+		lifeguard string
+		bug       workloads.BugKind
+	}
+	add := func(bench, lifeguard string, bug workloads.BugKind) {
+		combos = append(combos, struct {
+			bench     string
+			lifeguard string
+			bug       workloads.BugKind
+		}{bench, lifeguard, bug})
+	}
+	for _, bench := range []string{"bc", "gnuplot", "gs", "gzip", "mcf", "tidy"} {
+		for _, bug := range []workloads.BugKind{
+			workloads.BugNone, workloads.BugUseAfterFree, workloads.BugDoubleFree, workloads.BugLeak,
+		} {
+			add(bench, "AddrCheck", bug)
+		}
+	}
+	add("w3m", "TaintCheck", workloads.BugNone)
+	add("w3m", "TaintCheck", workloads.BugTaintedJump)
+	add("water", "LockSet", workloads.BugNone)
+	add("water", "LockSet", workloads.BugRace)
+	add("zchaff", "LockSet", workloads.BugNone)
+	add("zchaff", "LockSet", workloads.BugRace)
+	return combos
+}
+
+// violationSet reduces a run's violations to their identity multiset:
+// kind, PC and address, sorted. Sequence numbers and messages are
+// deliberately excluded — log position is platform timing, identity is
+// not.
+func violationSet(res *Result) []string {
+	out := make([]string, 0, len(res.Violations))
+	for _, v := range res.Violations {
+		out = append(out, fmt.Sprintf("%s pc=%#x addr=%#x", v.Kind, v.PC, v.Addr))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestLBAvsDBIDetectionDifferential(t *testing.T) {
+	const scale = 40_000
+	for _, c := range detectionCombos() {
+		c := c
+		t.Run(fmt.Sprintf("%s/%s/%s", c.bench, c.lifeguard, c.bug), func(t *testing.T) {
+			spec, err := workloads.ByName(c.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wcfg := workloads.Config{Scale: scale, Bug: c.bug}
+			lba, err := RunLBA(spec.Build(wcfg), c.lifeguard, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dbi, err := RunDBI(spec.Build(wcfg), c.lifeguard, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			lbaSet, dbiSet := violationSet(lba), violationSet(dbi)
+			if len(lbaSet) != len(dbiSet) {
+				t.Fatalf("violation counts diverge: lba=%d dbi=%d\nlba: %v\ndbi: %v",
+					len(lbaSet), len(dbiSet), lbaSet, dbiSet)
+			}
+			for i := range lbaSet {
+				if lbaSet[i] != dbiSet[i] {
+					t.Fatalf("violation %d diverges:\nlba: %s\ndbi: %s", i, lbaSet[i], dbiSet[i])
+				}
+			}
+
+			// An injected bug must actually be detected on both
+			// platforms, or the parity above is vacuous.
+			if c.bug != workloads.BugNone && len(lbaSet) == 0 {
+				t.Errorf("injected %s went undetected on both platforms", c.bug)
+			}
+			// The timing, by contrast, must differ: DBI inlines analysis
+			// into the application's own core.
+			if c.bug == workloads.BugNone && dbi.WallCycles <= lba.AppCycles {
+				t.Errorf("DBI (%d cycles) should be slower than the LBA application side (%d cycles)",
+					dbi.WallCycles, lba.AppCycles)
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package event_test
+
+// Record wire-format fuzzing plus corpus generation. The checked-in
+// seeds under testdata/fuzz come from real workload-suite capture
+// streams; regenerate with:
+//
+//	UPDATE_FUZZ_CORPUS=1 go test ./internal/event -run TestGenerateFuzzCorpus
+//
+// and commit the result.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+	"repro/internal/workloads"
+)
+
+// FuzzRecordRoundTrip: any 32 bytes decode to a record that re-encodes
+// into canonical form and survives a second decode unchanged — the raw
+// wire format (trace files, corpora) must be total and stable, whatever
+// the bytes.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(make([]byte, event.EncodedSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < event.EncodedSize {
+			return
+		}
+		r := event.Decode(data[:event.EncodedSize])
+		var enc [event.EncodedSize]byte
+		r.Encode(enc[:])
+		if r2 := event.Decode(enc[:]); r2 != r {
+			t.Fatalf("round trip changed the record:\n got %+v\nwant %+v", r2, r)
+		}
+		// The pad bytes must be canonically zero after re-encoding.
+		if enc[6] != 0 || enc[7] != 0 {
+			t.Fatalf("pad bytes leaked: % x", enc[:8])
+		}
+		// Encoding the same record twice is deterministic.
+		var enc2 [event.EncodedSize]byte
+		r.Encode(enc2[:])
+		if !bytes.Equal(enc[:], enc2[:]) {
+			t.Fatal("Encode is not deterministic")
+		}
+	})
+}
+
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to regenerate the checked-in fuzz seeds")
+	}
+	spec, err := workloads.ByName("tidy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Build(workloads.Config{Scale: 20_000})
+	memory := mem.NewMemory()
+	hier := mem.NewHierarchy(mem.DefaultHierarchyConfig(1))
+	kernel := osmodel.NewKernel(osmodel.DefaultKernelConfig(), memory)
+	machine := osmodel.NewMachine(osmodel.DefaultMachineConfig(), p, memory, hier.Port(0), kernel)
+
+	// One seed per record type seen in the stream: the corpus spans the
+	// format's variants without thousands of near-duplicate files.
+	seeds := map[event.Type][]byte{}
+	unit := capture.New(func(r event.Record) {
+		if _, ok := seeds[r.Type]; ok {
+			return
+		}
+		buf := make([]byte, event.EncodedSize)
+		r.Encode(buf)
+		seeds[r.Type] = buf
+	})
+	machine.Core.OnRetire = unit.OnRetire
+	kernel.Emit = unit.OnKernelEvent
+	if err := machine.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzRecordRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for ty, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		name := fmt.Sprintf("suite-%s", ty)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

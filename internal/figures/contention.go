@@ -1,0 +1,113 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/tenant"
+)
+
+// ContentionRow is one point of the multi-tenant contention figure:
+// a pool size under a scheduling policy, with the cell's aggregates.
+type ContentionRow struct {
+	Policy       string
+	Cores        int
+	MeanSlowdown float64
+	MaxSlowdown  float64
+	Utilisation  float64
+}
+
+// DefaultPoolSizes is the contention figure's X axis: 1-8 lifeguard
+// cores, the same span as the paper's parallel-lifeguard discussion.
+func DefaultPoolSizes() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8} }
+
+// TenantSet builds the figure's tenant population: n tenants drawn from
+// the nine-benchmark suite at the run's scale and design point.
+func TenantSet(n int, opts Options) ([]tenant.Tenant, error) {
+	opts = opts.withDefaults()
+	return tenant.FromSuite(n, opts.workloadConfig(), opts.coreConfig())
+}
+
+// tenantEngine builds a tenant engine on the options' experiment runner,
+// so tenant baselines share the figure panels' memoized runs and land in
+// the same JSON report.
+func tenantEngine(opts Options) *tenant.Engine {
+	eng := opts.engine()
+	return tenant.NewEngine(eng.Workers(), eng)
+}
+
+// ContentionSweep regenerates the contention figure: the tenant set
+// served by pools of each size under each policy. Results come back in
+// (policy, cores) row order along with the full per-cell detail.
+func ContentionSweep(tenants []tenant.Tenant, sizes []int, policies []string, opts Options) ([]ContentionRow, []*tenant.PoolResult, error) {
+	opts = opts.withDefaults()
+	var pools []tenant.PoolConfig
+	for _, policy := range policies {
+		for _, cores := range sizes {
+			pools = append(pools, tenant.PoolConfig{Cores: cores, Policy: policy})
+		}
+	}
+	results, err := tenantEngine(opts).RunMatrix(context.Background(), tenants, pools)
+	if err != nil {
+		return nil, nil, fmt.Errorf("figures: %w", err)
+	}
+	rows := make([]ContentionRow, len(results))
+	for i, r := range results {
+		rows[i] = ContentionRow{
+			Policy:       r.Policy,
+			Cores:        r.Cores,
+			MeanSlowdown: r.MeanSlowdown,
+			MaxSlowdown:  r.MaxSlowdown,
+			Utilisation:  r.Utilisation,
+		}
+	}
+	return rows, results, nil
+}
+
+// RunPoolCell simulates one tenant set against one pool configuration —
+// the single-cell entry point behind lbasim/lbabench's -tenants flags.
+func RunPoolCell(tenants []tenant.Tenant, pool tenant.PoolConfig, opts Options) (*tenant.PoolResult, error) {
+	opts = opts.withDefaults()
+	res, err := tenantEngine(opts).RunPool(context.Background(), tenants, pool)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+	return res, nil
+}
+
+// RenderContention draws aggregate slowdown vs pool size, one bar row
+// per (policy, cores) point — the contention analogue of Figure 2.
+func RenderContention(rows []ContentionRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	maxVal := 0.0
+	for _, r := range rows {
+		if r.MeanSlowdown > maxVal {
+			maxVal = r.MeanSlowdown
+		}
+	}
+	if maxVal == 0 {
+		return ""
+	}
+	const barW = 50
+	scale := float64(barW) / maxVal
+
+	var sb strings.Builder
+	sb.WriteString("mean slowdown vs lifeguard-pool size (1.0 = unmonitored)\n")
+	lastPolicy := ""
+	for _, r := range rows {
+		if r.Policy != lastPolicy {
+			fmt.Fprintf(&sb, "%s:\n", r.Policy)
+			lastPolicy = r.Policy
+		}
+		bar := int(r.MeanSlowdown*scale + 0.5)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%2d cores %s %.2fX (max %.2fX, util %.0f%%)\n",
+			r.Cores, strings.Repeat("█", bar), r.MeanSlowdown, r.MaxSlowdown, 100*r.Utilisation)
+	}
+	return sb.String()
+}

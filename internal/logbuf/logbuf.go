@@ -36,6 +36,38 @@ func DefaultConfig() Config {
 	return Config{CapacityBytes: 64 << 10, TransportLatency: 30}
 }
 
+// Configuration clamp bounds. Tiny buffers are legitimate (degenerate)
+// design points — a record that outgrows the buffer simply degrades to
+// synchronous operation — but a capacity so large its bit count overflows
+// arithmetic, or a transport latency beyond any plausible pipeline, is
+// outside the model's design space; absurd values are clamped rather than
+// rejected so sweeps that shade into nonsense degrade gracefully instead
+// of wedging the discrete-time model.
+const (
+	MaxCapacityBytes    = 1 << 30 // 1 GiB; beyond this the buffer never fills
+	MaxTransportLatency = 1 << 20 // ~1M cycles; beyond this lag is meaningless
+)
+
+// Normalised returns cfg with zero and absurd values replaced: the
+// all-zero Config selects the full default design point (preserving the
+// documented zero-value behaviour), a zero capacity alone takes the
+// default capacity, and out-of-range values clamp to the bounds above.
+func (cfg Config) Normalised() Config {
+	if cfg == (Config{}) {
+		return DefaultConfig()
+	}
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = DefaultConfig().CapacityBytes
+	}
+	if cfg.CapacityBytes > MaxCapacityBytes {
+		cfg.CapacityBytes = MaxCapacityBytes
+	}
+	if cfg.TransportLatency > MaxTransportLatency {
+		cfg.TransportLatency = MaxTransportLatency
+	}
+	return cfg
+}
+
 // Stats describes transport behaviour over a run.
 type Stats struct {
 	Produced       uint64 // records pushed
@@ -69,17 +101,19 @@ type Channel struct {
 	stats Stats
 }
 
-// New returns a channel with the given configuration.
+// New returns a channel with the given configuration, normalised per
+// Config.Normalised.
 func New(cfg Config) *Channel {
-	if cfg.CapacityBytes == 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.Normalised()
 	return &Channel{
 		cfg:          cfg,
 		capacityBits: cfg.CapacityBytes * 8,
 		ring:         make([]entry, 1024),
 	}
 }
+
+// Config returns the channel's normalised configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
 
 // Stats returns a copy of the accumulated statistics.
 func (ch *Channel) Stats() Stats {
@@ -131,6 +165,19 @@ func (ch *Channel) drainConsumed(appCycle uint64) {
 // handler cycles). It returns the backpressure stall imposed on the
 // application core (0 in the common, decoupled case).
 func (ch *Channel) Produce(appCycle uint64, bits uint64, lgCost uint64) (stall uint64) {
+	stall, _ = ch.ProduceAt(appCycle, bits, lgCost, 0)
+	return stall
+}
+
+// ProduceAt is Produce with an external lower bound on when the consumer
+// may begin this record: startFloor is the cycle at which the lifeguard
+// core serving this channel becomes free. A dedicated lifeguard core has
+// floor 0 (ordering alone gates consumption); a core shared across
+// tenants (internal/tenant) is busy with other channels' records until
+// the pool scheduler's clock says otherwise. It additionally returns the
+// cycle at which the lifeguard finishes the record, which is what a
+// shared-pool scheduler feeds back as the next floor.
+func (ch *Channel) ProduceAt(appCycle, bits, lgCost, startFloor uint64) (stall, finish uint64) {
 	ch.drainConsumed(appCycle)
 
 	// Backpressure: wait for the oldest records to be consumed until the
@@ -150,13 +197,17 @@ func (ch *Channel) Produce(appCycle uint64, bits uint64, lgCost uint64) (stall u
 	}
 
 	// The record becomes visible to the lifeguard after the transport
-	// pipeline delay; the lifeguard processes records in order.
+	// pipeline delay; the lifeguard processes records in order, and no
+	// earlier than its core frees up.
 	ready := stalledTo + ch.cfg.TransportLatency
 	start := ready
 	if ch.lastFinish > start {
 		start = ch.lastFinish
 	}
-	finish := start + lgCost
+	if startFloor > start {
+		start = startFloor
+	}
+	finish = start + lgCost
 	ch.lastFinish = finish
 
 	ch.push(entry{bits: bits, finish: finish})
@@ -166,7 +217,7 @@ func (ch *Channel) Produce(appCycle uint64, bits uint64, lgCost uint64) (stall u
 	}
 	ch.stats.Produced++
 	ch.stats.TotalBits += bits
-	return stall
+	return stall, finish
 }
 
 // Drain implements the syscall containment rule: the application, at

@@ -215,3 +215,108 @@ func TestZeroConfigUsesDefaults(t *testing.T) {
 		t.Error("zero config should fall back to defaults")
 	}
 }
+
+func TestConfigNormalisation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{"all-zero selects the design point", Config{}, DefaultConfig()},
+		{"zero capacity keeps explicit latency",
+			Config{TransportLatency: 7},
+			Config{CapacityBytes: DefaultConfig().CapacityBytes, TransportLatency: 7}},
+		{"absurd capacity clamps",
+			Config{CapacityBytes: 1 << 50, TransportLatency: 30},
+			Config{CapacityBytes: MaxCapacityBytes, TransportLatency: 30}},
+		{"absurd latency clamps",
+			Config{CapacityBytes: 64 << 10, TransportLatency: 1 << 40},
+			Config{CapacityBytes: 64 << 10, TransportLatency: MaxTransportLatency}},
+		{"tiny capacity is a valid degenerate point",
+			Config{CapacityBytes: 4, TransportLatency: 1},
+			Config{CapacityBytes: 4, TransportLatency: 1}},
+	}
+	for _, c := range cases {
+		if got := c.in.Normalised(); got != c.want {
+			t.Errorf("%s: Normalised(%+v) = %+v, want %+v", c.name, c.in, got, c.want)
+		}
+	}
+	if got := New(Config{CapacityBytes: 1 << 50}).Config(); got.CapacityBytes != MaxCapacityBytes {
+		t.Errorf("New must normalise: capacity = %d", got.CapacityBytes)
+	}
+}
+
+// TestOversizedRecordsComplete locks in the degenerate-mode contract: a
+// stream of records each larger than the whole buffer must not wedge the
+// discrete-time model — every record is accepted, consumption stays FIFO,
+// and the run finishes with coherent statistics.
+func TestOversizedRecordsComplete(t *testing.T) {
+	ch := New(Config{CapacityBytes: 4, TransportLatency: 1})
+	var app, prev uint64
+	for i := 0; i < 100; i++ {
+		app += 3
+		stall := ch.Produce(app, 1024 /* 128 B record in a 4 B buffer */, 10)
+		app += stall
+		if fin := ch.LifeguardFinish(); fin < prev {
+			t.Fatalf("record %d consumed before its predecessor", i)
+		}
+		prev = ch.LifeguardFinish()
+	}
+	st := ch.Stats()
+	if st.Produced != 100 {
+		t.Errorf("produced = %d, want 100", st.Produced)
+	}
+	if st.StallEvents == 0 {
+		t.Error("oversized records must run synchronously (stalling the producer)")
+	}
+	if wall := ch.Finish(app); wall < app {
+		t.Errorf("wall %d ran backwards past app %d", wall, app)
+	}
+	// After the final drain-by-time, at most the newest record is in
+	// flight: occupancy is bounded by one record, not by history.
+	if occ := ch.Occupancy(app + 1_000_000); occ != 0 {
+		t.Errorf("fully-consumed channel reports occupancy %d", occ)
+	}
+}
+
+// TestProduceAtFloorDelaysConsumption covers the shared-pool hook: a busy
+// consuming core (startFloor) must delay the record's finish time but
+// never the producer, and ordering must hold across mixed floors.
+func TestProduceAtFloorDelaysConsumption(t *testing.T) {
+	free := New(DefaultConfig())
+	_, finFree := free.ProduceAt(100, 8, 5, 0)
+
+	busy := New(DefaultConfig())
+	_, finBusy := busy.ProduceAt(100, 8, 5, 10_000)
+	if finBusy != 10_005 {
+		t.Errorf("floored finish = %d, want 10005", finBusy)
+	}
+	if finFree >= finBusy {
+		t.Errorf("busy core must finish later: free=%d busy=%d", finFree, finBusy)
+	}
+
+	// A later record with an earlier floor still starts after its
+	// predecessor finishes (FIFO within the channel).
+	_, fin2 := busy.ProduceAt(200, 8, 5, 0)
+	if fin2 < finBusy {
+		t.Errorf("FIFO violated: %d before predecessor %d", fin2, finBusy)
+	}
+
+	// Produce must behave exactly like ProduceAt with floor 0.
+	a, b := New(smallConfig()), New(smallConfig())
+	var appA, appB uint64
+	for i := 0; i < 500; i++ {
+		appA++
+		appB++
+		sa := a.Produce(appA, 8, 5)
+		sb, _ := b.ProduceAt(appB, 8, 5, 0)
+		if sa != sb {
+			t.Fatalf("record %d: Produce stall %d != ProduceAt stall %d", i, sa, sb)
+		}
+		appA += sa
+		appB += sb
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}

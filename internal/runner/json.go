@@ -65,18 +65,65 @@ func rowOf(key string, job Job, res *core.Result) Row {
 	}
 }
 
+// TenantRow is the flattened view of one tenant inside one pool cell of a
+// multi-tenant run (internal/tenant). Like Row it is pure data, so the
+// schema stays self-contained.
+type TenantRow struct {
+	Name      string `json:"name"`
+	Benchmark string `json:"benchmark"`
+	Lifeguard string `json:"lifeguard"`
+
+	Instructions uint64  `json:"instructions"`
+	AppCycles    uint64  `json:"app_cycles"`
+	WallCycles   uint64  `json:"wall_cycles"`
+	BaseCycles   uint64  `json:"base_cycles"`
+	Slowdown     float64 `json:"slowdown"`
+
+	StallEvents uint64 `json:"stall_events,omitempty"`
+	StallCycles uint64 `json:"stall_cycles,omitempty"`
+	DrainEvents uint64 `json:"drain_events,omitempty"`
+	DrainCycles uint64 `json:"drain_cycles,omitempty"`
+
+	Records uint64 `json:"records"`
+	LogBits uint64 `json:"log_bits,omitempty"`
+
+	MeanLagCycles float64 `json:"mean_lag_cycles"`
+	LagP50Cycles  uint64  `json:"lag_p50_cycles"`
+	LagP95Cycles  uint64  `json:"lag_p95_cycles"`
+	MaxLagCycles  uint64  `json:"max_lag_cycles"`
+
+	Violations int `json:"violations,omitempty"`
+}
+
+// TenantCell is one cell of a tenant matrix: a tenant set served by a
+// lifeguard-core pool of a given size under a given scheduling policy,
+// with per-tenant rows plus the cell's aggregates.
+type TenantCell struct {
+	Cores          int         `json:"cores"`
+	Policy         string      `json:"policy"`
+	Tenants        []TenantRow `json:"tenants"`
+	MeanSlowdown   float64     `json:"mean_slowdown"`
+	MaxSlowdown    float64     `json:"max_slowdown"`
+	MakespanCycles uint64      `json:"makespan_cycles"`
+	Utilisation    float64     `json:"utilisation"`
+}
+
 // Report is the structured result of an engine's lifetime: every unique
-// simulation it executed, plus caller-supplied headline metrics. The rows
-// are sorted by (benchmark, mode, lifeguard, key) so the emitted JSON is
-// byte-identical regardless of worker count or completion order.
+// simulation it executed, plus caller-supplied headline metrics and any
+// multi-tenant pool cells. The rows are sorted by (benchmark, mode,
+// lifeguard, key) and Workers stays out of the encoding, so the emitted
+// JSON is byte-identical regardless of worker count or completion order.
 type Report struct {
 	Schema string `json:"schema"`
-	// Workers is omitted on reports merged from several engines, where no
-	// single pool width applies.
-	Workers     int                `json:"workers,omitempty"`
+	// Workers is informational only and deliberately excluded from the
+	// JSON: artifact bytes must not depend on the pool width that
+	// produced them (the cmd-level golden determinism test relies on
+	// this).
+	Workers     int                `json:"-"`
 	CacheHits   uint64             `json:"cache_hits,omitempty"`
 	CacheMisses uint64             `json:"cache_misses,omitempty"`
 	Rows        []Row              `json:"rows"`
+	TenantCells []TenantCell       `json:"tenant_cells,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -98,23 +145,21 @@ func SortRows(rows []Row) {
 }
 
 // Report snapshots the engine: one row per unique simulation executed so
-// far (failed jobs are omitted), with rows in deterministic order.
+// far (failed or still-in-flight jobs are omitted), with rows in
+// deterministic order.
 func (e *Engine) Report() *Report {
-	e.mu.Lock()
-	rows := make([]Row, 0, len(e.order))
-	for _, key := range e.order {
-		ent := e.cache[key]
-		select {
-		case <-ent.done:
-		default:
-			continue // still in flight; skip rather than block under mu
-		}
-		if ent.err != nil || ent.res == nil {
+	keys := e.memo.Keys()
+	rows := make([]Row, 0, len(keys))
+	for _, key := range keys {
+		res, ok := e.memo.Peek(key)
+		if !ok || res == nil {
 			continue
 		}
-		rows = append(rows, rowOf(key, ent.job, ent.res))
+		e.mu.Lock()
+		job := e.jobs[key]
+		e.mu.Unlock()
+		rows = append(rows, rowOf(key, job, res))
 	}
-	e.mu.Unlock()
 
 	SortRows(rows)
 	return &Report{

@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Map runs fn over the indices [0, n) on a pool of at most workers
+// goroutines and returns the results in input order regardless of
+// completion order — the generic fan-out behind RunMatrix and the tenant
+// simulation's per-tenant profiling. The first error cancels the remaining
+// indices and is returned; a context cancelled from outside stops feeding
+// new work and returns the context's error.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	feed := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				v, err := fn(ctx, i)
+				if err != nil {
+					errOnce.Do(func() {
+						if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+							// The map was cancelled or timed out from outside;
+							// no index failed, so don't blame the one this
+							// worker happened to be holding.
+							firstErr = ctx.Err()
+						} else {
+							firstErr = err
+						}
+						cancel()
+					})
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

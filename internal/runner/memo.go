@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// HashKey content-hashes any JSON-marshalable value into a short hex key.
+// Two values with equal JSON encodings share a key; this is the hashing
+// behind Job.Key and the tenant profile cache.
+func HashKey(v any) string {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		// Keys are hashed from plain exported data; this cannot fail.
+		panic(fmt.Sprintf("runner: hashing key: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+// memoEntry is one memoization slot. The first goroutine to claim a key
+// runs the computation; later arrivals wait on done and share the outcome.
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Memo is a content-keyed, single-flight memoization table: concurrent Do
+// calls with equal keys run the function once and share the result. It is
+// the generic core of the Engine's job cache and is reused by the tenant
+// simulation for per-tenant profiles. Cached values are shared between
+// callers and must be treated as immutable.
+type Memo[V any] struct {
+	mu    sync.Mutex
+	cache map[string]*memoEntry[V]
+	order []string // keys in first-claim order, for deterministic snapshots
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMemo returns an empty table.
+func NewMemo[V any]() *Memo[V] {
+	return &Memo[V]{cache: make(map[string]*memoEntry[V])}
+}
+
+// Do returns the memoized value for key, computing it with fn on first
+// claim. The context only bounds the wait on an in-flight result — a
+// computation that has started always runs to completion.
+func (m *Memo[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	m.mu.Lock()
+	if ent, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		m.hits.Add(1)
+		select {
+		case <-ent.done:
+			return ent.val, ent.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	ent := &memoEntry[V]{done: make(chan struct{})}
+	m.cache[key] = ent
+	m.order = append(m.order, key)
+	m.mu.Unlock()
+
+	m.misses.Add(1)
+	ent.val, ent.err = fn()
+	close(ent.done)
+	return ent.val, ent.err
+}
+
+// Peek returns the completed value for key without blocking; ok is false
+// when the key is absent, still in flight, or failed.
+func (m *Memo[V]) Peek(key string) (V, bool) {
+	var zero V
+	m.mu.Lock()
+	ent, ok := m.cache[key]
+	m.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-ent.done:
+	default:
+		return zero, false
+	}
+	if ent.err != nil {
+		return zero, false
+	}
+	return ent.val, true
+}
+
+// Keys returns the cached keys in first-claim order.
+func (m *Memo[V]) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// Hits reports how many Do calls were served from the cache (including
+// waits on an in-flight computation).
+func (m *Memo[V]) Hits() uint64 { return m.hits.Load() }
+
+// Misses reports how many Do calls actually executed their function.
+func (m *Memo[V]) Misses() uint64 { return m.misses.Load() }

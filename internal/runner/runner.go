@@ -6,6 +6,11 @@
 // cells) behind a content hash of the job, and hands results back in input
 // order so parallel output is byte-identical to serial output.
 //
+// The fan-out (Map) and the single-flight cache (Memo) are exported as
+// generic building blocks: the tenant simulation reuses them to fan
+// per-tenant profiling across goroutines with the same determinism
+// contract.
+//
 // The simulator itself is deterministic and shares no mutable state
 // between runs, which is what makes both the parallelism and the
 // memoization sound: two jobs with equal keys produce deep-equal Results,
@@ -15,14 +20,9 @@ package runner
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/workloads"
@@ -53,31 +53,13 @@ func (j Job) normalized() Job {
 
 // Key returns the job's memoization key: a content hash over every field
 // that can influence the simulation outcome.
-func (j Job) Key() string {
-	n := j.normalized()
-	blob, err := json.Marshal(n)
-	if err != nil {
-		// All job fields are plain exported data; this cannot fail.
-		panic(fmt.Sprintf("runner: hashing job: %v", err))
-	}
-	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:16])
-}
+func (j Job) Key() string { return HashKey(j.normalized()) }
 
 // Outcome pairs a matrix job with its result. Result is shared with the
 // memoization cache and must not be mutated.
 type Outcome struct {
 	Job    Job
 	Result *core.Result
-}
-
-// entry is one memoization slot. The first goroutine to claim a key runs
-// the job; later arrivals wait on done and share the outcome.
-type entry struct {
-	done chan struct{}
-	job  Job
-	res  *core.Result
-	err  error
 }
 
 // Engine executes jobs across a worker pool with memoization. An Engine is
@@ -87,12 +69,10 @@ type Engine struct {
 	workers int
 	runFn   func(Job) (*core.Result, error) // replaced by unit tests
 
-	mu    sync.Mutex
-	cache map[string]*entry
-	order []string // cache keys in first-claim order, for Report
+	memo *Memo[*core.Result]
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	mu   sync.Mutex
+	jobs map[string]Job // normalized job per key, for Report
 }
 
 // New returns an engine with the given pool width. workers <= 0 selects
@@ -105,7 +85,8 @@ func New(workers int) *Engine {
 	return &Engine{
 		workers: workers,
 		runFn:   runJob,
-		cache:   make(map[string]*entry),
+		memo:    NewMemo[*core.Result](),
+		jobs:    make(map[string]Job),
 	}
 }
 
@@ -123,10 +104,10 @@ func (e *Engine) Workers() int { return e.workers }
 
 // CacheHits reports how many Run calls were served from the memoization
 // cache (including waits on a result another worker was computing).
-func (e *Engine) CacheHits() uint64 { return e.hits.Load() }
+func (e *Engine) CacheHits() uint64 { return e.memo.Hits() }
 
 // CacheMisses reports how many Run calls actually executed a simulation.
-func (e *Engine) CacheMisses() uint64 { return e.misses.Load() }
+func (e *Engine) CacheMisses() uint64 { return e.memo.Misses() }
 
 // Run executes one job, memoized. If an equal job is already cached or in
 // flight its result is shared; otherwise this goroutine runs it. The
@@ -134,30 +115,16 @@ func (e *Engine) CacheMisses() uint64 { return e.misses.Load() }
 // has started always runs to completion (runs are short relative to a
 // matrix; per-job granularity is where cancellation applies).
 func (e *Engine) Run(ctx context.Context, job Job) (*core.Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	key := job.Key()
+	norm := job.normalized()
+	key := HashKey(norm)
 	e.mu.Lock()
-	if ent, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		e.hits.Add(1)
-		select {
-		case <-ent.done:
-			return ent.res, ent.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+	if _, ok := e.jobs[key]; !ok {
+		e.jobs[key] = norm
 	}
-	ent := &entry{done: make(chan struct{}), job: job.normalized()}
-	e.cache[key] = ent
-	e.order = append(e.order, key)
 	e.mu.Unlock()
-
-	e.misses.Add(1)
-	ent.res, ent.err = e.runFn(ent.job)
-	close(ent.done)
-	return ent.res, ent.err
+	return e.memo.Do(ctx, key, func() (*core.Result, error) {
+		return e.runFn(norm)
+	})
 }
 
 // RunMatrix fans jobs out across the worker pool and returns one Outcome
@@ -165,69 +132,15 @@ func (e *Engine) Run(ctx context.Context, job Job) (*core.Result, error) {
 // error cancels the rest of the matrix and is returned; a cancelled
 // context stops feeding new jobs and returns the context's error.
 func (e *Engine) RunMatrix(ctx context.Context, jobs []Job) ([]Outcome, error) {
-	out := make([]Outcome, len(jobs))
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	workers := e.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	feed := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range feed {
-				res, err := e.Run(ctx, jobs[i])
-				if err != nil {
-					errOnce.Do(func() {
-						if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-							// The matrix was cancelled or timed out from
-							// outside; no job failed, so don't blame the one
-							// this worker happened to be holding.
-							firstErr = ctx.Err()
-						} else {
-							j := jobs[i]
-							firstErr = fmt.Errorf("runner: job %d (%s/%s/%s): %w",
-								i, j.Benchmark, j.Mode, lifeguardLabel(j), err)
-						}
-						cancel()
-					})
-					return
-				}
-				out[i] = Outcome{Job: jobs[i], Result: res}
-			}
-		}()
-	}
-
-dispatch:
-	for i := range jobs {
-		select {
-		case feed <- i:
-		case <-ctx.Done():
-			break dispatch
+	return Map(ctx, e.workers, len(jobs), func(ctx context.Context, i int) (Outcome, error) {
+		res, err := e.Run(ctx, jobs[i])
+		if err != nil {
+			j := jobs[i]
+			return Outcome{}, fmt.Errorf("runner: job %d (%s/%s/%s): %w",
+				i, j.Benchmark, j.Mode, lifeguardLabel(j), err)
 		}
-	}
-	close(feed)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+		return Outcome{Job: jobs[i], Result: res}, nil
+	})
 }
 
 func lifeguardLabel(j Job) string {

@@ -1,0 +1,88 @@
+package tenant
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Engine executes tenant simulations: it owns the profile cache and fans
+// profiling out across goroutines, sharing an experiment runner for the
+// unmonitored baselines so tenant matrices reuse the same memoized
+// baselines as figure panels. An Engine is safe for concurrent use.
+type Engine struct {
+	workers  int
+	exp      *runner.Engine
+	profiles *runner.Memo[*Profile]
+}
+
+// NewEngine returns an engine with the given pool width (<= 0 selects
+// runtime.NumCPU, 1 is the serial reference). exp supplies baseline runs;
+// nil builds a private engine of the same width.
+func NewEngine(workers int, exp *runner.Engine) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if exp == nil {
+		exp = runner.New(workers)
+	}
+	return &Engine{
+		workers:  workers,
+		exp:      exp,
+		profiles: runner.NewMemo[*Profile](),
+	}
+}
+
+// Workers reports the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Runner returns the experiment engine used for baselines, so callers can
+// fold the tenant runs into a shared JSON report.
+func (e *Engine) Runner() *runner.Engine { return e.exp }
+
+// Profile returns the tenant's uncontended profile, memoized: equal
+// tenant descriptions across pool cells and policies share one profiling
+// run, the tenant-matrix analogue of the runner's config-hash baselines.
+func (e *Engine) Profile(ctx context.Context, t Tenant) (*Profile, error) {
+	t = t.withDefaults()
+	return e.profiles.Do(ctx, runner.HashKey(t), func() (*Profile, error) {
+		base, err := e.exp.Run(ctx, runner.Job{
+			Benchmark: t.Benchmark,
+			Mode:      core.ModeUnmonitored,
+			Workload:  t.Workload,
+			Config:    t.Config,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return buildProfile(t, base)
+	})
+}
+
+// RunPool simulates the tenant set sharing one lifeguard-core pool:
+// profiling fans out across the worker pool (memoized), then the serial
+// replay computes the contended timing. Results are independent of the
+// worker count.
+func (e *Engine) RunPool(ctx context.Context, tenants []Tenant, pool PoolConfig) (*PoolResult, error) {
+	profiles, err := runner.Map(ctx, e.workers, len(tenants),
+		func(ctx context.Context, i int) (*Profile, error) {
+			return e.Profile(ctx, tenants[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	return replay(profiles, pool)
+}
+
+// RunMatrix simulates the tenant set against every pool configuration,
+// fanning cells out across the worker pool. All cells share the memoized
+// profiles, so the matrix costs one profiling pass plus cheap replays,
+// and the outcome is byte-identical to running the cells serially.
+func (e *Engine) RunMatrix(ctx context.Context, tenants []Tenant, pools []PoolConfig) ([]*PoolResult, error) {
+	return runner.Map(ctx, e.workers, len(pools),
+		func(ctx context.Context, i int) (*PoolResult, error) {
+			return e.RunPool(ctx, tenants, pools[i])
+		})
+}

@@ -1,0 +1,276 @@
+package tenant
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logbuf"
+	"repro/internal/runner"
+)
+
+// PoolConfig sizes the shared lifeguard-core pool.
+type PoolConfig struct {
+	// Cores is the number of lifeguard cores in the pool (>= 1).
+	Cores int `json:"cores"`
+	// Policy selects the record scheduler (see Policies).
+	Policy string `json:"policy"`
+}
+
+// lagHist is a deterministic power-of-two histogram of queueing lag
+// (record finish minus production cycle). Bucket k holds lags whose bit
+// length is k, i.e. lag in [2^(k-1), 2^k).
+type lagHist struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+func (h *lagHist) add(lag uint64) {
+	h.buckets[bits.Len64(lag)]++
+	h.count++
+	h.sum += lag
+	if lag > h.max {
+		h.max = lag
+	}
+}
+
+// quantile returns an upper bound on the q-quantile lag: the upper edge
+// of the histogram bucket where the cumulative count crosses q.
+func (h *lagHist) quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for k, n := range h.buckets {
+		seen += n
+		if seen > target {
+			if k == 0 {
+				return 0
+			}
+			upper := (uint64(1) << k) - 1
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+func (h *lagHist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// TenantResult is one tenant's measured behaviour inside a pool cell.
+type TenantResult struct {
+	Name      string
+	Benchmark string
+	Lifeguard string
+
+	Instructions uint64
+	AppCycles    uint64 // application cycles including contention stalls
+	WallCycles   uint64 // through the lifeguard tail
+	BaseCycles   uint64 // unmonitored baseline wall cycles
+	Slowdown     float64
+
+	StallEvents uint64 // backpressure events (full private channel)
+	StallCycles uint64
+	DrainEvents uint64 // syscall containment drains
+	DrainCycles uint64
+
+	Records uint64
+	LogBits uint64
+
+	MeanLagCycles float64 // mean record queueing lag
+	LagP50Cycles  uint64  // histogram upper bounds, not exact order statistics
+	LagP95Cycles  uint64
+	MaxLagCycles  uint64
+
+	Violations int
+}
+
+// PoolResult is one cell of a tenant matrix: the tenant set served by a
+// pool of the given size under the given policy.
+type PoolResult struct {
+	Cores   int
+	Policy  string
+	Tenants []TenantResult
+
+	MeanSlowdown   float64
+	MaxSlowdown    float64
+	MakespanCycles uint64   // last tenant's wall clock
+	CoreBusyCycles []uint64 // lifeguard work per pool core
+	Utilisation    float64  // sum(busy) / (cores * makespan)
+}
+
+// Cell flattens the result into the lba-runner/v1 JSON schema.
+func (r *PoolResult) Cell() runner.TenantCell {
+	cell := runner.TenantCell{
+		Cores:          r.Cores,
+		Policy:         r.Policy,
+		MeanSlowdown:   r.MeanSlowdown,
+		MaxSlowdown:    r.MaxSlowdown,
+		MakespanCycles: r.MakespanCycles,
+		Utilisation:    r.Utilisation,
+	}
+	for _, t := range r.Tenants {
+		cell.Tenants = append(cell.Tenants, runner.TenantRow{
+			Name:          t.Name,
+			Benchmark:     t.Benchmark,
+			Lifeguard:     t.Lifeguard,
+			Instructions:  t.Instructions,
+			AppCycles:     t.AppCycles,
+			WallCycles:    t.WallCycles,
+			BaseCycles:    t.BaseCycles,
+			Slowdown:      t.Slowdown,
+			StallEvents:   t.StallEvents,
+			StallCycles:   t.StallCycles,
+			DrainEvents:   t.DrainEvents,
+			DrainCycles:   t.DrainCycles,
+			Records:       t.Records,
+			LogBits:       t.LogBits,
+			MeanLagCycles: t.MeanLagCycles,
+			LagP50Cycles:  t.LagP50Cycles,
+			LagP95Cycles:  t.LagP95Cycles,
+			MaxLagCycles:  t.MaxLagCycles,
+			Violations:    t.Violations,
+		})
+	}
+	return cell
+}
+
+// tenantState is one tenant's live replay state.
+type tenantState struct {
+	prof   *Profile
+	ch     *logbuf.Channel
+	idx    int    // next step
+	offset uint64 // accumulated contention stalls (shifts the timeline)
+	lags   lagHist
+}
+
+// next returns the adjusted virtual time of the tenant's next step.
+func (ts *tenantState) next() uint64 { return ts.prof.steps[ts.idx].cycle + ts.offset }
+
+func (ts *tenantState) done() bool { return ts.idx >= len(ts.prof.steps) }
+
+// replay merges the tenants' uncontended timelines in virtual time and
+// serves them from the shared pool. It is serial and deterministic: the
+// only inputs are the profiles (immutable) and the pool configuration.
+func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
+	if pool.Cores < 1 {
+		return nil, fmt.Errorf("tenant: pool needs at least one core, got %d", pool.Cores)
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("tenant: no tenants")
+	}
+	sched, err := NewScheduler(pool.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	states := make([]*tenantState, len(profiles))
+	for i, p := range profiles {
+		states[i] = &tenantState{prof: p, ch: logbuf.New(p.Tenant.Config.Channel)}
+	}
+	freeAt := make([]uint64, pool.Cores)
+	busy := make([]uint64, pool.Cores)
+
+	// Merge by adjusted production time; ties break toward the lowest
+	// tenant index, and a tenant's own steps stay strictly in order.
+	for {
+		ti := -1
+		var tmin uint64
+		for i, ts := range states {
+			if ts.done() {
+				continue
+			}
+			if ti < 0 || ts.next() < tmin {
+				ti, tmin = i, ts.next()
+			}
+		}
+		if ti < 0 {
+			break
+		}
+		ts := states[ti]
+		s := ts.prof.steps[ts.idx]
+		ts.idx++
+		now := s.cycle + ts.offset
+
+		if s.bits == drainMark {
+			// Syscall containment: this tenant waits for its own channel
+			// only; other tenants are unaffected (per-application
+			// containment, as in the paper).
+			ts.offset += ts.ch.Drain(now)
+			continue
+		}
+
+		core := sched.Pick(ti, now, freeAt)
+		if core < 0 || core >= pool.Cores {
+			return nil, fmt.Errorf("tenant: scheduler %s picked core %d of %d", sched.Name(), core, pool.Cores)
+		}
+		stall, finish := ts.ch.ProduceAt(now, uint64(s.bits), uint64(s.cost), freeAt[core])
+		ts.offset += stall
+		freeAt[core] = finish
+		busy[core] += uint64(s.cost)
+		ts.lags.add(finish - now)
+	}
+
+	res := &PoolResult{Cores: pool.Cores, Policy: sched.Name(), CoreBusyCycles: busy}
+	for _, ts := range states {
+		p := ts.prof
+		appFinal := p.Result.AppCycles + ts.offset
+		wall := ts.ch.Finish(appFinal)
+		st := ts.ch.Stats()
+
+		tr := TenantResult{
+			Name:          p.Tenant.Name,
+			Benchmark:     p.Tenant.Benchmark,
+			Lifeguard:     p.Result.Lifeguard,
+			Instructions:  p.Result.Instructions,
+			AppCycles:     appFinal,
+			WallCycles:    wall,
+			BaseCycles:    p.Base.WallCycles,
+			StallEvents:   st.StallEvents,
+			StallCycles:   st.StallCycles,
+			DrainEvents:   st.DrainEvents,
+			DrainCycles:   st.DrainCycles,
+			Records:       p.Result.Records,
+			LogBits:       p.Result.LogBits,
+			MeanLagCycles: ts.lags.mean(),
+			LagP50Cycles:  ts.lags.quantile(0.50),
+			LagP95Cycles:  ts.lags.quantile(0.95),
+			MaxLagCycles:  ts.lags.max,
+			Violations:    len(p.Result.Violations),
+		}
+		if tr.BaseCycles > 0 {
+			tr.Slowdown = float64(tr.WallCycles) / float64(tr.BaseCycles)
+		}
+		res.Tenants = append(res.Tenants, tr)
+
+		res.MeanSlowdown += tr.Slowdown
+		if tr.Slowdown > res.MaxSlowdown {
+			res.MaxSlowdown = tr.Slowdown
+		}
+		if wall > res.MakespanCycles {
+			res.MakespanCycles = wall
+		}
+	}
+	res.MeanSlowdown /= float64(len(states))
+
+	var totalBusy uint64
+	for _, b := range busy {
+		totalBusy += b
+	}
+	if res.MakespanCycles > 0 {
+		res.Utilisation = float64(totalBusy) / (float64(pool.Cores) * float64(res.MakespanCycles))
+	}
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package tenant
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// drainMark distinguishes a syscall-containment step from a record step
+// in a timeline. Record sizes are bounded far below it (a record is at
+// most a few hundred compressed bits).
+const drainMark = ^uint32(0)
+
+// step is one timed entry of a tenant's uncontended timeline: a produced
+// record (bits, cost) or a syscall drain point (bits == drainMark). Steps
+// are appended in true execution order and replayed strictly in order;
+// cycles are non-decreasing because the application clock is monotonic.
+type step struct {
+	cycle uint64
+	bits  uint32
+	cost  uint32
+}
+
+// Profile is a tenant's uncontended LBA execution: the production
+// timeline plus everything timing-independent. Profiles are shared
+// through the engine's memoization cache and must be treated as
+// immutable — replay reads them concurrently.
+type Profile struct {
+	Tenant Tenant
+	steps  []step
+	// Result is the uncontended LBA run (functional outcome, app cycles
+	// without transport stalls, lifeguard busy cycles, log volume).
+	Result *core.Result
+	// Base is the unmonitored baseline, the slowdown denominator.
+	Base *core.Result
+}
+
+// Steps reports the timeline length (records + drain points).
+func (p *Profile) Steps() int { return len(p.steps) }
+
+// recorder implements core.TransportObserver by appending steps.
+type recorder struct {
+	steps []step
+}
+
+func (r *recorder) Record(appCycle, bits, lgCost uint64) {
+	r.steps = append(r.steps, step{cycle: appCycle, bits: uint32(bits), cost: uint32(lgCost)})
+}
+
+func (r *recorder) Syscall(appCycle uint64) {
+	r.steps = append(r.steps, step{cycle: appCycle, bits: drainMark})
+}
+
+// buildProfile runs one tenant uncontended and packages its timeline.
+// base is the tenant's unmonitored baseline result.
+func buildProfile(t Tenant, base *core.Result) (*Profile, error) {
+	spec, err := workloads.ByName(t.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", t.Name, err)
+	}
+	rec := &recorder{}
+	res, err := core.ProfileLBA(spec.Build(t.Workload), t.Lifeguard, t.Config, rec)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", t.Name, err)
+	}
+	return &Profile{Tenant: t, steps: rec.steps, Result: res, Base: base}, nil
+}

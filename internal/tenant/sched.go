@@ -1,0 +1,69 @@
+package tenant
+
+import "fmt"
+
+// Scheduling policies.
+const (
+	// PolicyRoundRobin rotates record assignments across the pool
+	// regardless of load: simple, stateless-per-record hardware, but a
+	// slow tenant's backlog can queue behind it on every core it visits.
+	PolicyRoundRobin = "round-robin"
+	// PolicyLeastLag assigns each record to the core that frees up
+	// earliest, minimising the record's queueing lag (greedy
+	// least-backlog). This is the policy a lag-aware pool arbiter would
+	// implement in the log-dispatch hardware.
+	PolicyLeastLag = "least-lag"
+)
+
+// Policies lists the scheduling policies in evaluation order.
+func Policies() []string { return []string{PolicyRoundRobin, PolicyLeastLag} }
+
+// Scheduler assigns records to pool cores. Implementations may keep
+// state (rotation counters); a fresh instance is built per replay, so
+// runs stay independent and deterministic.
+type Scheduler interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Pick returns the pool core (index into freeAt) that will serve the
+	// next record of tenant t, which becomes ready at cycle ready.
+	// freeAt[i] is the cycle at which core i finishes its last assigned
+	// record.
+	Pick(t int, ready uint64, freeAt []uint64) int
+}
+
+// NewScheduler returns a fresh scheduler for the named policy. The empty
+// string selects least-lag, matching the default every command surface
+// advertises.
+func NewScheduler(policy string) (Scheduler, error) {
+	switch policy {
+	case PolicyRoundRobin:
+		return &roundRobin{}, nil
+	case PolicyLeastLag, "":
+		return leastLag{}, nil
+	}
+	return nil, fmt.Errorf("tenant: unknown scheduling policy %q (have %v)", policy, Policies())
+}
+
+type roundRobin struct{ next int }
+
+func (r *roundRobin) Name() string { return PolicyRoundRobin }
+
+func (r *roundRobin) Pick(_ int, _ uint64, freeAt []uint64) int {
+	c := r.next % len(freeAt)
+	r.next = (r.next + 1) % len(freeAt)
+	return c
+}
+
+type leastLag struct{}
+
+func (leastLag) Name() string { return PolicyLeastLag }
+
+func (leastLag) Pick(_ int, _ uint64, freeAt []uint64) int {
+	best := 0
+	for i := 1; i < len(freeAt); i++ {
+		if freeAt[i] < freeAt[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+// Package tenant simulates a multi-tenant LBA deployment: N concurrent
+// monitored applications, each with its own log channel, capture
+// configuration and lifeguard, sharing a pool of M lifeguard cores under
+// a pluggable scheduler. The paper dedicates spare CMP cores to
+// monitoring one application; this package opens the "deployed at scale"
+// regime, where monitoring cost and coverage trade off under
+// multi-workload contention for the monitoring cores.
+//
+// The simulation decomposes into two stages:
+//
+//  1. Profiling (parallel): each tenant runs once, uncontended, through
+//     core.ProfileLBA, yielding its log-production timeline — per-record
+//     production cycle, compressed size and lifeguard cost, plus syscall
+//     containment points. Profiles are memoized by content hash and fan
+//     out across goroutines via runner.Map.
+//  2. Replay (serial, cheap): the timelines are merged in virtual time
+//     and replayed against the shared core pool. Each tenant keeps its
+//     own logbuf.Channel (backpressure, drains, lag) while the scheduler
+//     assigns records to pool cores; contention surfaces as consumption
+//     floors (logbuf.Channel.ProduceAt) that delay drains and fill
+//     buffers.
+//
+// Because stage 1 runs are independent and deterministic, and stage 2 is
+// serial, a pool matrix produced by a multi-worker engine is
+// byte-identical to the serial reference run — the same contract the
+// experiment runner gives figure matrices.
+package tenant
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Tenant describes one monitored application in the shared system. Like
+// runner.Job it is pure data, so it can be hashed, compared and
+// serialised; the profile cache keys on exactly these fields.
+type Tenant struct {
+	// Name labels the tenant in results; it defaults to the benchmark
+	// name, suffixed when FromSuite draws the same benchmark twice.
+	Name      string           `json:"name"`
+	Benchmark string           `json:"benchmark"`
+	Lifeguard string           `json:"lifeguard"`
+	Workload  workloads.Config `json:"workload"`
+	// Config is the tenant's own design point: capture filtering,
+	// compression, and its private channel. ParallelLifeguards and
+	// RewindMode are not supported under pooling.
+	Config core.Config `json:"config"`
+}
+
+// withDefaults normalises a tenant description.
+func (t Tenant) withDefaults() Tenant {
+	if t.Name == "" {
+		t.Name = t.Benchmark
+	}
+	if t.Lifeguard == "" {
+		t.Lifeguard = DefaultLifeguard(t.Benchmark)
+	}
+	return t
+}
+
+// DefaultLifeguard returns the lifeguard the paper evaluates on a
+// benchmark: LockSet for the multithreaded pair, AddrCheck elsewhere.
+func DefaultLifeguard(benchmark string) string {
+	if spec, err := workloads.ByName(benchmark); err == nil && spec.MultiThreaded {
+		return "LockSet"
+	}
+	return "AddrCheck"
+}
+
+// FromSuite returns n tenants drawn round-robin from the nine-benchmark
+// suite, each with the lifeguard the paper evaluates on it and the given
+// workload scale and design point. Repeated draws of the same benchmark
+// get distinct names (and seeds offset by the repeat count, so the
+// system serves genuinely distinct instances).
+func FromSuite(n int, wcfg workloads.Config, ccfg core.Config) ([]Tenant, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tenant: need at least one tenant, got %d", n)
+	}
+	specs := workloads.All()
+	tenants := make([]Tenant, 0, n)
+	for i := 0; i < n; i++ {
+		spec := specs[i%len(specs)]
+		t := Tenant{
+			Name:      spec.Name,
+			Benchmark: spec.Name,
+			Lifeguard: DefaultLifeguard(spec.Name),
+			Workload:  wcfg,
+			Config:    ccfg,
+		}
+		if round := i / len(specs); round > 0 {
+			t.Name = fmt.Sprintf("%s#%d", spec.Name, round+1)
+			t.Workload.Seed = wcfg.Seed + uint64(round)
+		}
+		tenants = append(tenants, t)
+	}
+	return tenants, nil
+}

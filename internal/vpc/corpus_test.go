@@ -1,0 +1,68 @@
+package vpc_test
+
+// Fuzz-corpus generation: the checked-in seeds under testdata/fuzz are
+// real record streams from the workload suite, so the fuzzers start from
+// the distributions the codec was built for rather than from noise.
+// Regenerate with:
+//
+//	UPDATE_FUZZ_CORPUS=1 go test ./internal/vpc -run TestGenerateFuzzCorpus
+//
+// and commit the result.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vpc"
+	"repro/internal/workloads"
+)
+
+// corpusRecords caps the per-benchmark seed size: enough records to warm
+// every predictor class without bloating the repository.
+const corpusRecords = 400
+
+// writeCorpusFile writes one seed in the native `go test fuzz v1` format.
+func writeCorpusFile(t *testing.T, dir, name string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to regenerate the checked-in fuzz seeds")
+	}
+	for _, spec := range []string{"gzip", "mcf", "water"} {
+		s, err := workloads.ByName(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records := captureStream(t, s, 20_000)
+		if len(records) > corpusRecords {
+			records = records[:corpusRecords]
+		}
+
+		// FuzzTraceRoundTrip consumes raw 32-byte wire records.
+		raw := make([]byte, 0, len(records)*event.EncodedSize)
+		var buf [event.EncodedSize]byte
+		for _, r := range records {
+			r.Encode(buf[:])
+			raw = append(raw, buf[:]...)
+		}
+		writeCorpusFile(t, filepath.Join("testdata", "fuzz", "FuzzTraceRoundTrip"),
+			fmt.Sprintf("suite-%s", spec), raw)
+
+		// FuzzDecompressTrace consumes whole trace containers.
+		writeCorpusFile(t, filepath.Join("testdata", "fuzz", "FuzzDecompressTrace"),
+			fmt.Sprintf("suite-%s", spec), vpc.CompressTrace(records))
+	}
+}

@@ -41,6 +41,14 @@ func DecompressTrace(buf []byte) ([]event.Record, error) {
 		return nil, fmt.Errorf("vpc: unsupported trace version %d", v)
 	}
 	n := getU64(buf[8:])
+	// Every record costs at least 3 bits (sequential PC, same thread,
+	// tuple hit), so a count the body cannot possibly hold is corruption:
+	// without this check a hostile header could demand a huge allocation
+	// and then decode billions of phantom records from the zero bits a
+	// BitReader yields past the end of the stream.
+	if maxRecords := uint64(len(buf)-16) * 8 / 3; n > maxRecords {
+		return nil, fmt.Errorf("vpc: corrupt trace: %d records claimed, body holds at most %d", n, maxRecords)
+	}
 	d := NewDecompressor(buf[16:])
 	out := make([]event.Record, 0, n)
 	for i := uint64(0); i < n; i++ {
