@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench fmt vet ci
+.PHONY: build test race fuzz bench fmt vet docs ci
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,27 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/tenant/...
+	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline' ./internal/tenant
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/vpc
 	$(GO) test -run '^$$' -fuzz '^FuzzDecompressTrace$$' -fuzztime 10s ./internal/vpc
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 10s ./internal/event
+	$(GO) test -run '^$$' -fuzz '^FuzzReplayInvariants$$' -fuzztime 10s ./internal/tenant
+
+docs:
+	@diff=$$(gofmt -l examples internal/tenant/example_test.go); \
+	if [ -n "$$diff" ]; then \
+		echo "example files need gofmt:" >&2; echo "$$diff" >&2; exit 1; \
+	fi
+	@missing=0; \
+	for pkg in $$(grep -oE '(internal|cmd)/[a-z0-9/]+' docs/architecture.md | sed 's:/$$::' | sort -u); do \
+		if [ ! -d "$$pkg" ] && [ ! -f "$$pkg" ]; then \
+			echo "docs/architecture.md references missing package: $$pkg" >&2; missing=1; \
+		fi; \
+	done; exit $$missing
+	@grep -q 'docs/architecture.md' README.md
+	@$(GO) doc ./internal/tenant | grep -qi 'scheduler'
 
 bench:
 	BENCH_JSON=BENCH_results.json $(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -32,4 +48,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race fuzz bench
+ci: fmt vet build test race docs fuzz bench

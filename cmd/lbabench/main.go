@@ -9,6 +9,7 @@
 //	lbabench -fig 2b              # Figure 2(b): TaintCheck
 //	lbabench -fig 2c              # Figure 2(c): LockSet
 //	lbabench -fig contention      # multi-tenant slowdown vs pool size
+//	lbabench -fig sched           # all five pool schedulers + admission control
 //	lbabench -table chars         # benchmark characteristics (§3)
 //	lbabench -table compress      # VPC compression (§2)
 //	lbabench -table avg           # headline averages (§3)
@@ -19,6 +20,8 @@
 //	lbabench -ablation stall      # syscall-containment cost (§2)
 //	lbabench -ablation pipeline   # nlba dispatch pipelining (§2)
 //	lbabench -tenants 6 -pool 4 -sched least-lag  # one multi-tenant cell
+//	lbabench -tenants 6 -pool 2 -sched wfq -weights 4,1    # weighted shares
+//	lbabench -tenants 6 -pool 2 -sched deadline -deadline 2000
 //	lbabench -n 2000000           # instruction scale per run
 //	lbabench -workers 8           # experiment-matrix worker pool width
 //	lbabench -json out.json       # structured results for trajectory tracking
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/figures"
 	"repro/internal/metrics"
@@ -54,6 +58,10 @@ type session struct {
 	eng         *runner.Engine
 	metrics     map[string]float64
 	tenantCells []runner.TenantCell
+	admission   []runner.AdmissionPoint
+	// basePool carries the -pool/-sched/-weights/-deadline inputs shared
+	// by the single-cell path and the scheduler figure.
+	basePool tenant.PoolConfig
 }
 
 // defaultContentionTenants sizes the contention figure's tenant set when
@@ -63,15 +71,17 @@ const defaultContentionTenants = 6
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lbabench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "", "2a | 2b | 2c | contention")
+		fig      = fs.String("fig", "", "2a | 2b | 2c | contention | sched")
 		table    = fs.String("table", "", "chars | compress | avg")
 		ablation = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
 		scale    = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
 		threads  = fs.Int("threads", 2, "threads for multithreaded benchmarks")
 		workers  = fs.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
 		tenants  = fs.Int("tenants", 0, "multi-tenant cell: number of monitored applications (0 = off)")
-		pool     = fs.Int("pool", 4, "multi-tenant cell: shared lifeguard cores")
-		sched    = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: round-robin | least-lag")
+		pool     = fs.Int("pool", 4, "multi-tenant cell / sched figure: shared lifeguard cores")
+		sched    = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: "+strings.Join(tenant.Policies(), " | "))
+		weights  = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
+		deadline = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
 		jsonPath = fs.String("json", "", "write structured runner results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,17 +93,33 @@ func run(args []string, out io.Writer) error {
 	if *tenants < 0 {
 		return fmt.Errorf("-tenants must be >= 0, got %d", *tenants)
 	}
-	if _, err := tenant.NewScheduler(*sched); err != nil {
+	if err := tenant.ValidPolicy(*sched); err != nil {
 		return err
 	}
-	// -pool and -sched are consumed only by the single-cell path; the
+	wts, err := tenant.ParseWeights(*weights)
+	if err != nil {
+		return err
+	}
+	// The pool flags are consumed by the single-cell path and (except for
+	// -sched, which the figure sweeps itself) by the sched figure; the
 	// contention figure sweeps its own pool sizes and policies. Reject
 	// explicit values that would otherwise be dropped silently.
-	cellMode := *tenants > 0 && *fig != "contention"
+	schedFig := *fig == "sched"
+	cellMode := *tenants > 0 && *fig != "contention" && !schedFig
 	var conflict error
 	fs.Visit(func(f *flag.Flag) {
-		if conflict == nil && !cellMode && (f.Name == "pool" || f.Name == "sched") {
-			conflict = fmt.Errorf("-%s only applies with -tenants N (single multi-tenant cell); the contention figure sweeps pools and policies itself", f.Name)
+		if conflict != nil {
+			return
+		}
+		switch f.Name {
+		case "sched":
+			if !cellMode {
+				conflict = fmt.Errorf("-sched only applies with -tenants N (single multi-tenant cell); the contention and sched figures sweep policies themselves")
+			}
+		case "pool", "weights", "deadline":
+			if !cellMode && !schedFig {
+				conflict = fmt.Errorf("-%s only applies with -tenants N or -fig sched", f.Name)
+			}
 		}
 	})
 	if conflict != nil {
@@ -101,14 +127,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	s := &session{
-		out:     out,
-		eng:     runner.New(*workers),
-		metrics: map[string]float64{},
+		out:      out,
+		eng:      runner.New(*workers),
+		metrics:  map[string]float64{},
+		basePool: tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts, DeadlineCycles: *deadline},
 	}
 	s.opts = figures.Options{Scale: *scale, Threads: *threads, Runner: s.eng}
 
 	runAll := *fig == "" && *table == "" && *ablation == "" && *tenants == 0
-	var err error
 	switch {
 	case runAll:
 		err = s.everything()
@@ -122,8 +148,8 @@ func run(args []string, out io.Writer) error {
 		if err == nil && *ablation != "" {
 			err = s.ablations(*ablation)
 		}
-		if err == nil && *tenants > 0 && *fig != "contention" {
-			err = s.tenantCell(*tenants, *pool, *sched)
+		if err == nil && cellMode {
+			err = s.tenantCell(*tenants, s.basePool)
 		}
 	}
 	if err == nil && *jsonPath != "" {
@@ -133,18 +159,20 @@ func run(args []string, out io.Writer) error {
 }
 
 // writeJSON emits every simulation the engine executed plus the collected
-// headline metrics and tenant cells, in deterministic order.
+// headline metrics, tenant cells and admission points, in deterministic
+// order.
 func (s *session) writeJSON(path string) error {
 	rep := s.eng.Report()
 	if len(s.metrics) > 0 {
 		rep.Metrics = s.metrics
 	}
 	rep.TenantCells = s.tenantCells
+	rep.Admission = s.admission
 	return runner.WriteJSONFile(path, rep)
 }
 
 func (s *session) everything() error {
-	for _, f := range []string{"2a", "2b", "2c", "contention"} {
+	for _, f := range []string{"2a", "2b", "2c", "contention", "sched"} {
 		if err := s.figure(f, 0); err != nil {
 			return err
 		}
@@ -172,9 +200,12 @@ func (s *session) figure(fig string, tenants int) error {
 	if fig == "contention" {
 		return s.contention(tenants)
 	}
+	if fig == "sched" {
+		return s.schedFigure(tenants)
+	}
 	lifeguard, ok := panelOf[fig]
 	if !ok {
-		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention)", fig)
+		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention, sched)", fig)
 	}
 	rows, err := figures.Figure2Panel(lifeguard, s.opts)
 	if err != nil {
@@ -211,7 +242,7 @@ func (s *session) contention(n int) error {
 	if err != nil {
 		return err
 	}
-	rows, results, err := figures.ContentionSweep(set, figures.DefaultPoolSizes(), tenant.Policies(), s.opts)
+	rows, results, err := figures.ContentionSweep(set, figures.DefaultPoolSizes(), tenant.BaselinePolicies(), s.opts)
 	if err != nil {
 		return err
 	}
@@ -235,30 +266,92 @@ func (s *session) contention(n int) error {
 	return nil
 }
 
-// tenantCell runs one multi-tenant pool configuration and prints the
-// per-tenant breakdown.
-func (s *session) tenantCell(n, cores int, policy string) error {
+// schedFigure regenerates the scheduler-comparison figure — all registered
+// policies over the sched pool sizes — and derives admission control for
+// the -pool sized pool: the max tenant count each policy serves under the
+// default slowdown SLOs.
+func (s *session) schedFigure(n int) error {
+	if n <= 0 {
+		n = defaultContentionTenants
+	}
 	set, err := figures.TenantSet(n, s.opts)
 	if err != nil {
 		return err
 	}
-	res, err := figures.RunPoolCell(set, tenant.PoolConfig{Cores: cores, Policy: policy}, s.opts)
+	rows, results, err := figures.SchedSweep(set, figures.SchedPoolSizes(), s.basePool, s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "Figure: pool schedulers — %d tenants under %d policies\n", n, len(tenant.Policies()))
+	tb := metrics.NewTable("policy", "cores", "mean-slowdown", "max-slowdown", "lag-p95", "pool-util")
+	for _, r := range rows {
+		tb.AddRow(r.Policy,
+			fmt.Sprintf("%d", r.Cores),
+			fmt.Sprintf("%.2fX", r.MeanSlowdown),
+			fmt.Sprintf("%.2fX", r.MaxSlowdown),
+			fmt.Sprintf("%d", r.WorstLagP95),
+			fmt.Sprintf("%.0f%%", 100*r.Utilisation))
+		s.metrics[fmt.Sprintf("sched_%s_%dc_mean_x", r.Policy, r.Cores)] = r.MeanSlowdown
+	}
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintln(s.out)
+	fmt.Fprint(s.out, figures.RenderContention(rows))
+	fmt.Fprintln(s.out)
+	for _, r := range results {
+		s.tenantCells = append(s.tenantCells, r.Cell())
+	}
+
+	// Admission control: the planner scans tenant counts up to twice the
+	// pool width, which is where every policy has long saturated.
+	maxTenants := 2 * s.basePool.Cores
+	if maxTenants < 2 {
+		maxTenants = 2
+	}
+	points, err := figures.AdmissionPlan(s.basePool, tenant.Policies(), figures.DefaultAdmissionSLOs(), maxTenants, s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "Admission control: max tenants a %d-core pool serves under a contention SLO (scan 1-%d;\ncontention = wall cycles over the tenant's own uncontended monitored run)\n",
+		s.basePool.Cores, maxTenants)
+	at := metrics.NewTable("policy", "slo", "max-tenants", "contention-at-max")
+	for _, p := range points {
+		at.AddRow(p.Policy,
+			fmt.Sprintf("%.2fX", p.SLO),
+			fmt.Sprintf("%d", p.MaxTenants),
+			fmt.Sprintf("%.2fX", p.ContentionAtMax))
+		s.metrics[fmt.Sprintf("admission_%s_%dc_slo%.2f_max_tenants", p.Policy, p.Cores, p.SLO)] = float64(p.MaxTenants)
+		s.admission = append(s.admission, p.Row())
+	}
+	fmt.Fprint(s.out, at.String())
+	fmt.Fprintln(s.out)
+	return nil
+}
+
+// tenantCell runs one multi-tenant pool configuration and prints the
+// per-tenant breakdown.
+func (s *session) tenantCell(n int, pool tenant.PoolConfig) error {
+	set, err := figures.TenantSet(n, s.opts)
+	if err != nil {
+		return err
+	}
+	res, err := figures.RunPoolCell(set, pool, s.opts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(s.out, "Multi-tenant cell: %d tenants, %d lifeguard cores, %s\n", n, res.Cores, res.Policy)
-	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "stall-cyc", "drain-cyc", "lag-p95", "violations")
+	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "cont-x", "stall-cyc", "drain-cyc", "lag-p95", "violations")
 	for _, tr := range res.Tenants {
 		tb.AddRow(tr.Name, tr.Lifeguard,
 			fmt.Sprintf("%.2fX", tr.Slowdown),
+			fmt.Sprintf("%.2fX", tr.ContentionX),
 			fmt.Sprintf("%d", tr.StallCycles),
 			fmt.Sprintf("%d", tr.DrainCycles),
 			fmt.Sprintf("%d", tr.LagP95Cycles),
 			fmt.Sprintf("%d", tr.Violations))
 	}
 	fmt.Fprint(s.out, tb.String())
-	fmt.Fprintf(s.out, "mean slowdown %.2fX, max %.2fX, pool utilisation %.0f%%\n\n",
-		res.MeanSlowdown, res.MaxSlowdown, 100*res.Utilisation)
+	fmt.Fprintf(s.out, "mean slowdown %.2fX, max %.2fX (contention %.2fX mean, %.2fX max), pool utilisation %.0f%%\n\n",
+		res.MeanSlowdown, res.MaxSlowdown, res.MeanContentionX, res.MaxContentionX, 100*res.Utilisation)
 	s.metrics[fmt.Sprintf("tenant_cell_%s_%dc_mean_x", res.Policy, res.Cores)] = res.MeanSlowdown
 	s.tenantCells = append(s.tenantCells, res.Cell())
 	return nil

@@ -73,12 +73,70 @@ func TestContentionFigureRuns(t *testing.T) {
 	}
 }
 
+// TestSchedFigureRuns drives the scheduler figure through the command
+// surface: all five policies appear, the admission table prints, and the
+// JSON artifact carries an admission section whose points are byte-stable
+// across worker counts.
+func TestSchedFigureRuns(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, workers int) (string, []byte) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		err := run([]string{
+			"-n", "30000",
+			"-fig", "sched",
+			"-tenants", "3", "-pool", "2", "-weights", "2,1", "-deadline", "1500",
+			"-workers", strconv.Itoa(workers),
+			"-json", path,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), blob
+	}
+
+	text, blob := runOnce("serial.json", 1)
+	for _, want := range []string{
+		"pool schedulers", "Admission control",
+		"round-robin", "least-lag", "deadline", "wfq", "priority",
+	} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("sched figure output missing %q", want)
+		}
+	}
+	for _, want := range []string{`"admission"`, `"slo_contention_x"`, `"max_tenants"`, `"tenant_cells"`} {
+		if !bytes.Contains(blob, []byte(want)) {
+			t.Errorf("sched JSON artifact missing %q", want)
+		}
+	}
+	// Two SLO points per policy.
+	if n := bytes.Count(blob, []byte(`"slo_contention_x"`)); n != 2*5 {
+		t.Errorf("admission section has %d points, want 10 (2 SLOs x 5 policies)", n)
+	}
+
+	_, wide := runOnce("workers-4.json", 4)
+	if !bytes.Equal(blob, wide) {
+		t.Error("-workers 4 sched JSON differs from the serial reference run")
+	}
+}
+
 func TestUnknownSelectorsRejected(t *testing.T) {
 	for _, args := range [][]string{
 		{"-fig", "9z"},
 		{"-table", "nope"},
 		{"-ablation", "nope"},
 		{"-tenants", "2", "-pool", "2", "-sched", "nope", "-n", "30000"},
+		{"-tenants", "2", "-weights", "1,zero", "-n", "30000"},
+		{"-tenants", "2", "-weights", "-1", "-n", "30000"},
+		{"-weights", "2,1"},                      // pool flags need -tenants or -fig sched
+		{"-deadline", "100"},                     // ditto
+		{"-fig", "sched", "-sched", "least-lag"}, // the sched figure sweeps all policies
+		{"-fig", "contention", "-pool", "2"},     // the contention figure sweeps pools
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v should fail", args)

@@ -8,11 +8,14 @@
 //	lbasim -bench w3m -mode lba -lifeguard TaintCheck -bug tainted-jump
 //	lbasim -bench water -mode dbi -lifeguard LockSet -threads 4
 //	lbasim -tenants 6 -pool 2 -sched least-lag
+//	lbasim -tenants 6 -pool 2 -sched wfq -weights 4,1
+//	lbasim -tenants 6 -pool 2 -sched deadline -deadline 2000
 //
 // Modes: unmonitored, lba, dbi. Use -list for the benchmark table. With
 // -tenants N the tool instead simulates N monitored applications (drawn
 // from the suite) sharing a pool of -pool lifeguard cores under the
-// -sched policy.
+// -sched policy; -weights and -deadline feed the wfq/priority and
+// deadline policies.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -39,7 +43,9 @@ func main() {
 		baseline  = flag.Bool("baseline", true, "also run unmonitored and report the slowdown")
 		tenants   = flag.Int("tenants", 0, "simulate N tenants sharing a lifeguard-core pool (0 = single run)")
 		pool      = flag.Int("pool", 2, "shared lifeguard cores (with -tenants)")
-		sched     = flag.String("sched", tenant.PolicyLeastLag, "pool scheduler: round-robin | least-lag")
+		sched     = flag.String("sched", tenant.PolicyLeastLag, "pool scheduler: "+strings.Join(tenant.Policies(), " | "))
+		weights   = flag.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
+		deadline  = flag.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -72,11 +78,15 @@ func main() {
 			}
 		})
 		if err == nil {
-			err = runTenants(*tenants, *pool, *sched, *scale, *seed, *threads)
+			var wts []float64
+			if wts, err = tenant.ParseWeights(*weights); err == nil {
+				cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts, DeadlineCycles: *deadline}
+				err = runTenants(*tenants, cfg, *scale, *seed, *threads)
+			}
 		}
 	default:
 		// Mirror image: pool flags only mean something with -tenants.
-		conflicting := map[string]bool{"pool": true, "sched": true}
+		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true}
 		flag.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)
@@ -94,24 +104,25 @@ func main() {
 
 // runTenants simulates n suite tenants sharing a lifeguard-core pool and
 // prints the per-tenant breakdown.
-func runTenants(n, cores int, policy string, scale int, seed uint64, threads int) error {
+func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads int) error {
 	wcfg := workloads.Config{Scale: scale, Seed: seed, Threads: threads}
 	set, err := tenant.FromSuite(n, wcfg, core.DefaultConfig())
 	if err != nil {
 		return err
 	}
 	eng := tenant.NewEngine(0, nil)
-	res, err := eng.RunPool(context.Background(), set, tenant.PoolConfig{Cores: cores, Policy: policy})
+	res, err := eng.RunPool(context.Background(), set, pool)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("tenants        %d (suite round-robin)\n", n)
 	fmt.Printf("pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
-	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "violations")
+	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "cont-x", "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "violations")
 	for _, tr := range res.Tenants {
 		tb.AddRow(tr.Name, tr.Lifeguard,
 			fmt.Sprintf("%.2fX", tr.Slowdown),
+			fmt.Sprintf("%.2fX", tr.ContentionX),
 			fmt.Sprintf("%d", tr.StallCycles),
 			fmt.Sprintf("%d", tr.DrainCycles),
 			fmt.Sprintf("%.0f", tr.MeanLagCycles),

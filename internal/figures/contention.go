@@ -8,14 +8,34 @@ import (
 	"repro/internal/tenant"
 )
 
-// ContentionRow is one point of the multi-tenant contention figure:
-// a pool size under a scheduling policy, with the cell's aggregates.
+// ContentionRow is one point of the multi-tenant contention and scheduler
+// figures: a pool size under a scheduling policy, with the cell's
+// aggregates. WorstLagP95 is the largest per-tenant lag p95 in the cell —
+// the quantity the deadline policy exists to bound.
 type ContentionRow struct {
 	Policy       string
 	Cores        int
 	MeanSlowdown float64
 	MaxSlowdown  float64
 	Utilisation  float64
+	WorstLagP95  uint64
+}
+
+// rowOf reduces one pool cell to its figure row.
+func rowOf(r *tenant.PoolResult) ContentionRow {
+	row := ContentionRow{
+		Policy:       r.Policy,
+		Cores:        r.Cores,
+		MeanSlowdown: r.MeanSlowdown,
+		MaxSlowdown:  r.MaxSlowdown,
+		Utilisation:  r.Utilisation,
+	}
+	for _, t := range r.Tenants {
+		if t.LagP95Cycles > row.WorstLagP95 {
+			row.WorstLagP95 = t.LagP95Cycles
+		}
+	}
+	return row
 }
 
 // DefaultPoolSizes is the contention figure's X axis: 1-8 lifeguard
@@ -54,13 +74,7 @@ func ContentionSweep(tenants []tenant.Tenant, sizes []int, policies []string, op
 	}
 	rows := make([]ContentionRow, len(results))
 	for i, r := range results {
-		rows[i] = ContentionRow{
-			Policy:       r.Policy,
-			Cores:        r.Cores,
-			MeanSlowdown: r.MeanSlowdown,
-			MaxSlowdown:  r.MaxSlowdown,
-			Utilisation:  r.Utilisation,
-		}
+		rows[i] = rowOf(r)
 	}
 	return rows, results, nil
 }
@@ -106,8 +120,8 @@ func RenderContention(rows []ContentionRow) string {
 		if bar < 1 {
 			bar = 1
 		}
-		fmt.Fprintf(&sb, "%2d cores %s %.2fX (max %.2fX, util %.0f%%)\n",
-			r.Cores, strings.Repeat("█", bar), r.MeanSlowdown, r.MaxSlowdown, 100*r.Utilisation)
+		fmt.Fprintf(&sb, "%2d cores %s %.2fX (max %.2fX, util %.0f%%, lag-p95 %d)\n",
+			r.Cores, strings.Repeat("█", bar), r.MeanSlowdown, r.MaxSlowdown, 100*r.Utilisation, r.WorstLagP95)
 	}
 	return sb.String()
 }

@@ -1,8 +1,12 @@
 // Package figures regenerates every table and figure of the paper's
-// evaluation (the experiment index of DESIGN.md §4). Each generator runs
-// the relevant benchmarks through the three system modes and returns
-// structured rows; cmd/lbabench renders them as paper-style text and
-// bench_test.go wraps them as Go benchmarks.
+// evaluation (the experiment index of DESIGN.md §4), plus the
+// reproduction's own multi-tenant additions: the contention figure
+// (slowdown vs pool size), the scheduler-comparison figure (all
+// registered policies, SchedSweep) and the admission-control plan
+// (AdmissionPlan). Each generator runs the relevant benchmarks through
+// the three system modes and returns structured rows; cmd/lbabench
+// renders them as paper-style text and bench_test.go wraps them as Go
+// benchmarks.
 package figures
 
 import (

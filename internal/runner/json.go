@@ -73,11 +73,16 @@ type TenantRow struct {
 	Benchmark string `json:"benchmark"`
 	Lifeguard string `json:"lifeguard"`
 
-	Instructions uint64  `json:"instructions"`
-	AppCycles    uint64  `json:"app_cycles"`
-	WallCycles   uint64  `json:"wall_cycles"`
-	BaseCycles   uint64  `json:"base_cycles"`
-	Slowdown     float64 `json:"slowdown"`
+	Instructions  uint64  `json:"instructions"`
+	AppCycles     uint64  `json:"app_cycles"`
+	WallCycles    uint64  `json:"wall_cycles"`
+	BaseCycles    uint64  `json:"base_cycles"`
+	LBAWallCycles uint64  `json:"lba_wall_cycles,omitempty"`
+	Slowdown      float64 `json:"slowdown"`
+	// ContentionX normalises the tenant's wall clock to its uncontended
+	// monitored run: the share of the slowdown the *pool* (not the
+	// lifeguard) is responsible for. Admission SLOs bound this quantity.
+	ContentionX float64 `json:"contention_x,omitempty"`
 
 	StallEvents uint64 `json:"stall_events,omitempty"`
 	StallCycles uint64 `json:"stall_cycles,omitempty"`
@@ -99,20 +104,44 @@ type TenantRow struct {
 // lifeguard-core pool of a given size under a given scheduling policy,
 // with per-tenant rows plus the cell's aggregates.
 type TenantCell struct {
-	Cores          int         `json:"cores"`
-	Policy         string      `json:"policy"`
-	Tenants        []TenantRow `json:"tenants"`
-	MeanSlowdown   float64     `json:"mean_slowdown"`
-	MaxSlowdown    float64     `json:"max_slowdown"`
-	MakespanCycles uint64      `json:"makespan_cycles"`
-	Utilisation    float64     `json:"utilisation"`
+	Cores  int    `json:"cores"`
+	Policy string `json:"policy"`
+	// Weights, Tiers and DeadlineCycles echo the scheduler's policy
+	// inputs when the cell was configured with any, so artifacts stay
+	// self-describing across wfq / priority / deadline runs.
+	Weights         []float64   `json:"weights,omitempty"`
+	Tiers           []int       `json:"tiers,omitempty"`
+	DeadlineCycles  uint64      `json:"deadline_cycles,omitempty"`
+	Tenants         []TenantRow `json:"tenants"`
+	MeanSlowdown    float64     `json:"mean_slowdown"`
+	MaxSlowdown     float64     `json:"max_slowdown"`
+	MeanContentionX float64     `json:"mean_contention_x,omitempty"`
+	MaxContentionX  float64     `json:"max_contention_x,omitempty"`
+	MakespanCycles  uint64      `json:"makespan_cycles"`
+	Utilisation     float64     `json:"utilisation"`
+}
+
+// AdmissionPoint is one admission-control answer in the lba-runner/v1
+// schema: the maximum tenant count a pool can serve while keeping every
+// tenant's contention factor (wall cycles over its uncontended monitored
+// run) within the SLO (internal/tenant's admission planner).
+// SearchedTenants is the scan bound; MaxTenants == SearchedTenants means
+// the pool never saturated within the scan.
+type AdmissionPoint struct {
+	SLOContentionX  float64 `json:"slo_contention_x"`
+	Cores           int     `json:"cores"`
+	Policy          string  `json:"policy"`
+	MaxTenants      int     `json:"max_tenants"`
+	ContentionAtMax float64 `json:"contention_at_max,omitempty"`
+	SearchedTenants int     `json:"searched_tenants"`
 }
 
 // Report is the structured result of an engine's lifetime: every unique
-// simulation it executed, plus caller-supplied headline metrics and any
-// multi-tenant pool cells. The rows are sorted by (benchmark, mode,
-// lifeguard, key) and Workers stays out of the encoding, so the emitted
-// JSON is byte-identical regardless of worker count or completion order.
+// simulation it executed, plus caller-supplied headline metrics, any
+// multi-tenant pool cells, and any admission-control points. The rows are
+// sorted by (benchmark, mode, lifeguard, key) and Workers stays out of the
+// encoding, so the emitted JSON is byte-identical regardless of worker
+// count or completion order.
 type Report struct {
 	Schema string `json:"schema"`
 	// Workers is informational only and deliberately excluded from the
@@ -124,6 +153,7 @@ type Report struct {
 	CacheMisses uint64             `json:"cache_misses,omitempty"`
 	Rows        []Row              `json:"rows"`
 	TenantCells []TenantCell       `json:"tenant_cells,omitempty"`
+	Admission   []AdmissionPoint   `json:"admission,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 

@@ -1,0 +1,103 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/workloads"
+)
+
+// AdmissionPoint answers one admission-control query: under the given
+// contention SLO, how many suite tenants can this pool serve? The SLO
+// bounds each tenant's *contention factor* — wall cycles over its own
+// uncontended monitored run — rather than raw slowdown, because the
+// lifeguard's intrinsic cost (3.9-9.7X across the suite) is not the
+// pool's to control; what admission protects is the extra throttling that
+// sharing introduces. The point is derived from the contention-vs-tenant-
+// count curve the planner measures, so it is a planning metric, not a
+// promise — the scan is over the suite's tenant mix at one workload
+// scale.
+type AdmissionPoint struct {
+	// SLO is the contention bound (e.g. 1.25 means pooling may cost any
+	// tenant at most 25% over a dedicated lifeguard core).
+	SLO float64
+	// Cores and Policy identify the pool the query was asked of.
+	Cores  int
+	Policy string
+	// MaxTenants is the largest scanned tenant count whose worst-tenant
+	// contention factor meets the SLO; 0 means even a single tenant
+	// misses it.
+	MaxTenants int
+	// ContentionAtMax is the worst-tenant contention factor measured at
+	// MaxTenants (0 when MaxTenants is 0).
+	ContentionAtMax float64
+	// Searched is the scan's upper bound: MaxTenants == Searched means
+	// the pool never saturated within the scan, so the true capacity may
+	// be higher.
+	Searched int
+}
+
+// Row flattens the point into the lba-runner/v1 JSON schema.
+func (p AdmissionPoint) Row() runner.AdmissionPoint {
+	return runner.AdmissionPoint{
+		SLOContentionX:  p.SLO,
+		Cores:           p.Cores,
+		Policy:          p.Policy,
+		MaxTenants:      p.MaxTenants,
+		ContentionAtMax: p.ContentionAtMax,
+		SearchedTenants: p.Searched,
+	}
+}
+
+// PlanAdmission computes admission-control points for the pool: it scans
+// tenant counts 1..maxTenants (drawn from the suite like FromSuite), runs
+// each population through the pool, and reports, per SLO, the largest
+// count whose worst-tenant contention factor still meets the bound. The
+// scan is linear rather than a bisection because contention need not be
+// monotone in the tenant count under every policy — and it is cheap
+// anyway: the engine's profile cache means tenant k is profiled once
+// across all populations, so each additional count costs only a replay.
+func (e *Engine) PlanAdmission(ctx context.Context, wcfg workloads.Config, ccfg core.Config, pool PoolConfig, slos []float64, maxTenants int) ([]AdmissionPoint, error) {
+	if maxTenants < 1 {
+		return nil, fmt.Errorf("tenant: admission scan needs maxTenants >= 1, got %d", maxTenants)
+	}
+	if len(slos) == 0 {
+		return nil, fmt.Errorf("tenant: admission scan needs at least one SLO point")
+	}
+	for _, slo := range slos {
+		if slo < 1 {
+			return nil, fmt.Errorf("tenant: contention SLO %g < 1 can never be met", slo)
+		}
+	}
+
+	worst := make([]float64, maxTenants+1)
+	for n := 1; n <= maxTenants; n++ {
+		set, err := FromSuite(n, wcfg, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.RunPool(ctx, set, pool)
+		if err != nil {
+			return nil, err
+		}
+		worst[n] = res.MaxContentionX
+	}
+
+	points := make([]AdmissionPoint, 0, len(slos))
+	for _, slo := range slos {
+		pt := AdmissionPoint{SLO: slo, Cores: pool.Cores, Policy: pool.Policy, Searched: maxTenants}
+		if pt.Policy == "" {
+			pt.Policy = PolicyLeastLag
+		}
+		for n := 1; n <= maxTenants; n++ {
+			if worst[n] <= slo {
+				pt.MaxTenants = n
+				pt.ContentionAtMax = worst[n]
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,0 +1,81 @@
+package tenant
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPlanAdmissionRejectsBadInputs(t *testing.T) {
+	eng := NewEngine(1, nil)
+	ctx := context.Background()
+	pool := PoolConfig{Cores: 1}
+	if _, err := eng.PlanAdmission(ctx, testWorkload(), core.DefaultConfig(), pool, []float64{2}, 0); err == nil {
+		t.Error("maxTenants 0 must be rejected")
+	}
+	if _, err := eng.PlanAdmission(ctx, testWorkload(), core.DefaultConfig(), pool, nil, 3); err == nil {
+		t.Error("empty SLO list must be rejected")
+	}
+	if _, err := eng.PlanAdmission(ctx, testWorkload(), core.DefaultConfig(), pool, []float64{0.9}, 3); err == nil {
+		t.Error("sub-1 slowdown SLO must be rejected")
+	}
+}
+
+func TestPlanAdmission(t *testing.T) {
+	eng := NewEngine(0, nil)
+	pool := PoolConfig{Cores: 2, Policy: PolicyLeastLag}
+	slos := []float64{1.05, 2.0, 1e9}
+	const maxN = 5
+	points, err := eng.PlanAdmission(context.Background(), testWorkload(), core.DefaultConfig(), pool, slos, maxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(slos) {
+		t.Fatalf("got %d points for %d SLOs", len(points), len(slos))
+	}
+	for i, p := range points {
+		if p.SLO != slos[i] {
+			t.Errorf("point %d answers SLO %g, want %g", i, p.SLO, slos[i])
+		}
+		if p.Cores != pool.Cores || p.Policy != PolicyLeastLag {
+			t.Errorf("point %d misidentifies its pool: %+v", i, p)
+		}
+		if p.Searched != maxN {
+			t.Errorf("point %d searched %d, want %d", i, p.Searched, maxN)
+		}
+		// A single tenant on any pool has contention factor exactly 1.0
+		// (the decomposition contract), so every SLO admits at least one.
+		if p.MaxTenants < 1 || p.MaxTenants > maxN {
+			t.Errorf("point %d admits %d tenants, outside [1, %d]", i, p.MaxTenants, maxN)
+		}
+		if p.MaxTenants > 0 && p.ContentionAtMax > p.SLO {
+			t.Errorf("point %d admits %d tenants at %fX contention, violating its own SLO %g",
+				i, p.MaxTenants, p.ContentionAtMax, p.SLO)
+		}
+		// A looser SLO can never admit fewer tenants.
+		if i > 0 && p.MaxTenants < points[i-1].MaxTenants {
+			t.Errorf("SLO %g admits %d tenants but tighter SLO %g admitted %d",
+				p.SLO, p.MaxTenants, points[i-1].SLO, points[i-1].MaxTenants)
+		}
+	}
+	// An absurdly loose SLO never saturates within the scan.
+	if last := points[len(points)-1]; last.MaxTenants != maxN {
+		t.Errorf("1e9X SLO admitted %d tenants, want the full scan %d", last.MaxTenants, maxN)
+	}
+
+	// The scan must reuse profiles: tenant k is shared by every
+	// population containing it, so exactly maxN unique profiles run.
+	if got := eng.profiles.Misses(); got != maxN {
+		t.Errorf("admission scan profiled %d times, want %d (one per unique tenant)", got, maxN)
+	}
+}
+
+func TestAdmissionPointRow(t *testing.T) {
+	p := AdmissionPoint{SLO: 1.5, Cores: 4, Policy: PolicyWFQ, MaxTenants: 6, ContentionAtMax: 1.4, Searched: 8}
+	row := p.Row()
+	if row.SLOContentionX != 1.5 || row.Cores != 4 || row.Policy != PolicyWFQ ||
+		row.MaxTenants != 6 || row.ContentionAtMax != 1.4 || row.SearchedTenants != 8 {
+		t.Errorf("Row() lost fields: %+v", row)
+	}
+}

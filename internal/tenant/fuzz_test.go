@@ -1,0 +1,161 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fuzzReader decodes the fuzzer's byte stream into structured choices.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) remaining() int { return len(r.data) - r.pos }
+
+// syntheticProfiles decodes fuzz input into 1-3 tenants with arbitrary
+// but well-formed timelines: per-tenant monotone non-decreasing cycles, a
+// mix of record and drain steps, and channel capacities small enough to
+// exercise backpressure. It mirrors what buildProfile emits without
+// running any workload, which is exactly what lets the fuzzer explore
+// timeline shapes no benchmark produces.
+func syntheticProfiles(data []byte) []*Profile {
+	r := &fuzzReader{data: data}
+	nTenants := 1 + int(r.next())%3
+	profiles := make([]*Profile, 0, nTenants)
+	for ti := 0; ti < nTenants; ti++ {
+		nSteps := int(r.next()) % 64
+		if rem := r.remaining() / 4; nSteps > rem {
+			nSteps = rem
+		}
+		var steps []step
+		var cycle uint64
+		var records, logBits, cost uint64
+		for si := 0; si < nSteps; si++ {
+			cycle += uint64(r.next())
+			if kind := r.next(); kind%8 == 0 {
+				steps = append(steps, step{cycle: cycle, bits: drainMark})
+				r.next() // keep the stream aligned on 4 bytes per step
+				continue
+			}
+			s := step{cycle: cycle, bits: uint32(r.next()) + 1, cost: uint32(r.next()) % 64}
+			steps = append(steps, s)
+			records++
+			logBits += uint64(s.bits)
+			cost += uint64(s.cost)
+		}
+		appCycles := cycle + uint64(r.next())
+		cfg := core.DefaultConfig()
+		// 64 B .. 8 KiB: small enough that fat records stall.
+		cfg.Channel.CapacityBytes = 64 << (r.next() % 8)
+		profiles = append(profiles, &Profile{
+			Tenant:        Tenant{Name: fmt.Sprintf("fuzz-%d", ti), Benchmark: "fuzz", Config: cfg},
+			steps:         steps,
+			Result:        &core.Result{AppCycles: appCycles, WallCycles: appCycles, Records: records, LogBits: logBits, LgCycles: cost},
+			Base:          &core.Result{WallCycles: appCycles + 1},
+			DedicatedWall: dedicatedWall(steps, cfg.Channel, appCycles),
+		})
+	}
+	return profiles
+}
+
+// FuzzReplayInvariants drives the replay merge with synthetic tenant
+// timelines under every registered scheduling policy and asserts the
+// invariants the scheduler contract promises: the merge terminates, work
+// is conserved (pool busy cycles equal the timelines' total lifeguard
+// cost), clocks are monotone (wall >= app >= uncontended app), pool
+// utilisation stays within [0, 1], lag quantiles are ordered, and a
+// second replay of the same inputs is deep-equal (determinism).
+func FuzzReplayInvariants(f *testing.F) {
+	f.Add([]byte("0123456789abcdefghijklmnopqrstuvwxyz"))
+	f.Add([]byte{2, 40, 1, 1, 10, 3, 7, 255, 63, 0, 8, 0, 0, 200, 9, 200, 12})
+	f.Add([]byte("pppppppppppppppppppppppppppppppp")) // drain-heavy: 'p'%8 == 0
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		profiles := syntheticProfiles(data)
+		var totalCost uint64
+		for _, p := range profiles {
+			for _, s := range p.steps {
+				if s.bits != drainMark {
+					totalCost += uint64(s.cost)
+				}
+			}
+		}
+		var first, mid byte
+		if len(data) > 0 {
+			first, mid = data[0], data[len(data)/2]
+		}
+		cores := 1 + int(mid)%4
+		for _, policy := range Policies() {
+			pool := PoolConfig{
+				Cores:          cores,
+				Policy:         policy,
+				Weights:        []float64{2, 1},
+				DeadlineCycles: 1 + uint64(first)*16,
+			}
+			res, err := replay(profiles, pool)
+			if err != nil {
+				t.Fatalf("%s: replay failed on valid input: %v", policy, err)
+			}
+			if len(res.Tenants) != len(profiles) {
+				t.Fatalf("%s: %d tenants in, %d results out", policy, len(profiles), len(res.Tenants))
+			}
+			var busy uint64
+			if len(res.CoreBusyCycles) != cores {
+				t.Fatalf("%s: busy vector has %d entries, want %d", policy, len(res.CoreBusyCycles), cores)
+			}
+			for _, b := range res.CoreBusyCycles {
+				busy += b
+			}
+			if busy != totalCost {
+				t.Errorf("%s: pool did %d cycles of work, timelines hold %d (conservation)", policy, busy, totalCost)
+			}
+			if res.Utilisation < 0 || res.Utilisation > 1 {
+				t.Errorf("%s: utilisation %f outside [0, 1]", policy, res.Utilisation)
+			}
+			var maxWall uint64
+			for i, tr := range res.Tenants {
+				if tr.AppCycles < profiles[i].Result.AppCycles {
+					t.Errorf("%s/%d: contended app clock %d ran backwards from uncontended %d",
+						policy, i, tr.AppCycles, profiles[i].Result.AppCycles)
+				}
+				if tr.WallCycles < tr.AppCycles {
+					t.Errorf("%s/%d: wall %d < app %d", policy, i, tr.WallCycles, tr.AppCycles)
+				}
+				if tr.LagP50Cycles > tr.LagP95Cycles || tr.LagP95Cycles > tr.MaxLagCycles {
+					t.Errorf("%s/%d: lag quantiles out of order: p50=%d p95=%d max=%d",
+						policy, i, tr.LagP50Cycles, tr.LagP95Cycles, tr.MaxLagCycles)
+				}
+				if tr.WallCycles > maxWall {
+					maxWall = tr.WallCycles
+				}
+			}
+			if res.MakespanCycles != maxWall {
+				t.Errorf("%s: makespan %d != max wall %d", policy, res.MakespanCycles, maxWall)
+			}
+
+			again, err := replay(profiles, pool)
+			if err != nil {
+				t.Fatalf("%s: second replay failed: %v", policy, err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				a, _ := json.Marshal(res)
+				b, _ := json.Marshal(again)
+				t.Errorf("%s: replay is non-deterministic:\nfirst:  %.200s\nsecond: %.200s", policy, a, b)
+			}
+		}
+	})
+}

@@ -8,12 +8,52 @@ import (
 	"repro/internal/runner"
 )
 
-// PoolConfig sizes the shared lifeguard-core pool.
+// PoolConfig sizes the shared lifeguard-core pool and carries the policy
+// inputs the scheduler subsystem consumes (weights, tiers, deadlines).
 type PoolConfig struct {
 	// Cores is the number of lifeguard cores in the pool (>= 1).
 	Cores int `json:"cores"`
 	// Policy selects the record scheduler (see Policies).
 	Policy string `json:"policy"`
+	// Weights are per-tenant WFQ weights, cycled when shorter than the
+	// tenant set ("2,1" over four tenants gives 2,1,2,1). Empty means
+	// every tenant weighs 1; non-positive entries are clamped to 1.
+	Weights []float64 `json:"weights,omitempty"`
+	// Tiers are per-tenant priority tiers (lower outranks higher;
+	// negative values are valid and outrank tier 0), cycled like
+	// Weights. Empty derives tiers from the weights: any tenant weighing
+	// more than 1 joins the premium tier 0, the rest tier 1 — the "paid
+	// SLA" reading of a raised weight.
+	Tiers []int `json:"tiers,omitempty"`
+	// DeadlineCycles is the lag deadline the deadline policy bounds each
+	// tenant by; 0 selects DefaultDeadlineCycles.
+	DeadlineCycles uint64 `json:"deadline_cycles,omitempty"`
+}
+
+// tenantViews expands the pool's per-tenant policy inputs to n live
+// scheduler views, applying the cycling and defaulting rules above.
+func (pool PoolConfig) tenantViews(n int) []TenantView {
+	views := make([]TenantView, n)
+	deadline := pool.DeadlineCycles
+	if deadline == 0 {
+		deadline = DefaultDeadlineCycles
+	}
+	for i := range views {
+		w := 1.0
+		if len(pool.Weights) > 0 {
+			if cand := pool.Weights[i%len(pool.Weights)]; cand > 0 {
+				w = cand
+			}
+		}
+		tier := 1
+		if len(pool.Tiers) > 0 {
+			tier = pool.Tiers[i%len(pool.Tiers)]
+		} else if w > 1 {
+			tier = 0
+		}
+		views[i] = TenantView{Weight: w, Tier: tier, DeadlineCycles: deadline}
+	}
+	return views
 }
 
 // lagHist is a deterministic power-of-two histogram of queueing lag
@@ -75,11 +115,19 @@ type TenantResult struct {
 	Benchmark string
 	Lifeguard string
 
-	Instructions uint64
-	AppCycles    uint64 // application cycles including contention stalls
-	WallCycles   uint64 // through the lifeguard tail
-	BaseCycles   uint64 // unmonitored baseline wall cycles
-	Slowdown     float64
+	Instructions  uint64
+	AppCycles     uint64 // application cycles including contention stalls
+	WallCycles    uint64 // through the lifeguard tail
+	BaseCycles    uint64 // unmonitored baseline wall cycles
+	LBAWallCycles uint64 // uncontended monitored wall cycles (dedicated core)
+	Slowdown      float64
+	// ContentionX is the tenant's wall clock normalised to its own
+	// uncontended LBA run: 1.0 means pooling cost this tenant nothing
+	// beyond the intrinsic monitoring slowdown. This is the quantity
+	// admission control bounds — unlike Slowdown it excludes the
+	// lifeguard's per-benchmark intrinsic cost, so one SLO value is
+	// meaningful across the whole suite.
+	ContentionX float64
 
 	StallEvents uint64 // backpressure events (full private channel)
 	StallCycles uint64
@@ -98,28 +146,40 @@ type TenantResult struct {
 }
 
 // PoolResult is one cell of a tenant matrix: the tenant set served by a
-// pool of the given size under the given policy.
+// pool of the given size under the given policy. Weights, Tiers and
+// DeadlineCycles echo the policy inputs the cell ran with, so a JSON
+// artifact is self-describing.
 type PoolResult struct {
-	Cores   int
-	Policy  string
-	Tenants []TenantResult
+	Cores          int
+	Policy         string
+	Weights        []float64
+	Tiers          []int
+	DeadlineCycles uint64
+	Tenants        []TenantResult
 
-	MeanSlowdown   float64
-	MaxSlowdown    float64
-	MakespanCycles uint64   // last tenant's wall clock
-	CoreBusyCycles []uint64 // lifeguard work per pool core
-	Utilisation    float64  // sum(busy) / (cores * makespan)
+	MeanSlowdown    float64
+	MaxSlowdown     float64
+	MeanContentionX float64
+	MaxContentionX  float64
+	MakespanCycles  uint64   // last tenant's wall clock
+	CoreBusyCycles  []uint64 // lifeguard work per pool core
+	Utilisation     float64  // sum(busy) / (cores * makespan)
 }
 
 // Cell flattens the result into the lba-runner/v1 JSON schema.
 func (r *PoolResult) Cell() runner.TenantCell {
 	cell := runner.TenantCell{
-		Cores:          r.Cores,
-		Policy:         r.Policy,
-		MeanSlowdown:   r.MeanSlowdown,
-		MaxSlowdown:    r.MaxSlowdown,
-		MakespanCycles: r.MakespanCycles,
-		Utilisation:    r.Utilisation,
+		Cores:           r.Cores,
+		Policy:          r.Policy,
+		Weights:         r.Weights,
+		Tiers:           r.Tiers,
+		DeadlineCycles:  r.DeadlineCycles,
+		MeanSlowdown:    r.MeanSlowdown,
+		MaxSlowdown:     r.MaxSlowdown,
+		MeanContentionX: r.MeanContentionX,
+		MaxContentionX:  r.MaxContentionX,
+		MakespanCycles:  r.MakespanCycles,
+		Utilisation:     r.Utilisation,
 	}
 	for _, t := range r.Tenants {
 		cell.Tenants = append(cell.Tenants, runner.TenantRow{
@@ -130,7 +190,9 @@ func (r *PoolResult) Cell() runner.TenantCell {
 			AppCycles:     t.AppCycles,
 			WallCycles:    t.WallCycles,
 			BaseCycles:    t.BaseCycles,
+			LBAWallCycles: t.LBAWallCycles,
 			Slowdown:      t.Slowdown,
+			ContentionX:   t.ContentionX,
 			StallEvents:   t.StallEvents,
 			StallCycles:   t.StallCycles,
 			DrainEvents:   t.DrainEvents,
@@ -171,7 +233,7 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("tenant: no tenants")
 	}
-	sched, err := NewScheduler(pool.Policy)
+	sched, err := NewScheduler(pool.Policy, pool, len(profiles))
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +241,13 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 	states := make([]*tenantState, len(profiles))
 	for i, p := range profiles {
 		states[i] = &tenantState{prof: p, ch: logbuf.New(p.Tenant.Config.Channel)}
+	}
+	views := pool.tenantViews(len(profiles))
+	for i, ts := range states {
+		// A tenant with an empty timeline must not sit in the rankings as
+		// an eternally-underserved peer (it would shift every real
+		// tenant's wfq/priority rank for the whole replay).
+		views[i].Done = ts.done()
 	}
 	freeAt := make([]uint64, pool.Cores)
 	busy := make([]uint64, pool.Cores)
@@ -209,21 +278,37 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 			// only; other tenants are unaffected (per-application
 			// containment, as in the paper).
 			ts.offset += ts.ch.Drain(now)
+			views[ti].Done = ts.done()
 			continue
 		}
 
-		core := sched.Pick(ti, now, freeAt)
+		req := Request{Tenant: ti, Ready: now, Bits: uint64(s.bits), Cost: uint64(s.cost)}
+		core := sched.Pick(req, freeAt, views)
 		if core < 0 || core >= pool.Cores {
 			return nil, fmt.Errorf("tenant: scheduler %s picked core %d of %d", sched.Name(), core, pool.Cores)
 		}
-		stall, finish := ts.ch.ProduceAt(now, uint64(s.bits), uint64(s.cost), freeAt[core])
+		stall, finish := ts.ch.ProduceAt(now, req.Bits, req.Cost, freeAt[core])
 		ts.offset += stall
 		freeAt[core] = finish
 		busy[core] += uint64(s.cost)
 		ts.lags.add(finish - now)
+
+		v := &views[ti]
+		v.Records++
+		v.ServedBits += req.Bits
+		v.ServedCost += req.Cost
+		v.LastLagCycles = finish - now
+		v.Done = ts.done()
 	}
 
-	res := &PoolResult{Cores: pool.Cores, Policy: sched.Name(), CoreBusyCycles: busy}
+	res := &PoolResult{
+		Cores:          pool.Cores,
+		Policy:         sched.Name(),
+		Weights:        pool.Weights,
+		Tiers:          pool.Tiers,
+		DeadlineCycles: pool.DeadlineCycles,
+		CoreBusyCycles: busy,
+	}
 	for _, ts := range states {
 		p := ts.prof
 		appFinal := p.Result.AppCycles + ts.offset
@@ -238,6 +323,7 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 			AppCycles:     appFinal,
 			WallCycles:    wall,
 			BaseCycles:    p.Base.WallCycles,
+			LBAWallCycles: p.DedicatedWall,
 			StallEvents:   st.StallEvents,
 			StallCycles:   st.StallCycles,
 			DrainEvents:   st.DrainEvents,
@@ -253,17 +339,25 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 		if tr.BaseCycles > 0 {
 			tr.Slowdown = float64(tr.WallCycles) / float64(tr.BaseCycles)
 		}
+		if tr.LBAWallCycles > 0 {
+			tr.ContentionX = float64(tr.WallCycles) / float64(tr.LBAWallCycles)
+		}
 		res.Tenants = append(res.Tenants, tr)
 
 		res.MeanSlowdown += tr.Slowdown
 		if tr.Slowdown > res.MaxSlowdown {
 			res.MaxSlowdown = tr.Slowdown
 		}
+		res.MeanContentionX += tr.ContentionX
+		if tr.ContentionX > res.MaxContentionX {
+			res.MaxContentionX = tr.ContentionX
+		}
 		if wall > res.MakespanCycles {
 			res.MakespanCycles = wall
 		}
 	}
 	res.MeanSlowdown /= float64(len(states))
+	res.MeanContentionX /= float64(len(states))
 
 	var totalBusy uint64
 	for _, b := range busy {

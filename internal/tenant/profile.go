@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/logbuf"
 	"repro/internal/workloads"
 )
 
@@ -30,10 +31,16 @@ type Profile struct {
 	Tenant Tenant
 	steps  []step
 	// Result is the uncontended LBA run (functional outcome, app cycles
-	// without transport stalls, lifeguard busy cycles, log volume).
+	// without transport stalls, lifeguard busy cycles, log volume). Its
+	// WallCycles are app-only: the channel is applied at replay time.
 	Result *core.Result
 	// Base is the unmonitored baseline, the slowdown denominator.
 	Base *core.Result
+	// DedicatedWall is the tenant's wall clock when served by a dedicated
+	// lifeguard core (its timeline replayed through a private channel with
+	// no pool floor) — the contention-factor denominator. By the
+	// decomposition contract it equals core.RunLBA's WallCycles.
+	DedicatedWall uint64
 }
 
 // Steps reports the timeline length (records + drain points).
@@ -64,5 +71,31 @@ func buildProfile(t Tenant, base *core.Result) (*Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tenant %q: %w", t.Name, err)
 	}
-	return &Profile{Tenant: t, steps: rec.steps, Result: res, Base: base}, nil
+	return &Profile{
+		Tenant:        t,
+		steps:         rec.steps,
+		Result:        res,
+		Base:          base,
+		DedicatedWall: dedicatedWall(rec.steps, t.Config.Channel, res.AppCycles),
+	}, nil
+}
+
+// dedicatedWall replays a timeline through a private channel with no pool
+// floor — the dedicated-core reference the contention factor divides by.
+// It is the single-tenant special case of the pool replay: floor 0 and a
+// one-core pool are equivalent because a lone channel's in-order
+// consumption (lastFinish) already serialises its records.
+func dedicatedWall(steps []step, cfg logbuf.Config, appCycles uint64) uint64 {
+	ch := logbuf.New(cfg)
+	var offset uint64
+	for _, s := range steps {
+		now := s.cycle + offset
+		if s.bits == drainMark {
+			offset += ch.Drain(now)
+			continue
+		}
+		stall, _ := ch.ProduceAt(now, uint64(s.bits), uint64(s.cost), 0)
+		offset += stall
+	}
+	return ch.Finish(appCycles + offset)
 }

@@ -1,8 +1,13 @@
 package tenant
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
 
-// Scheduling policies.
+// Scheduling policies, in registration (evaluation) order.
 const (
 	// PolicyRoundRobin rotates record assignments across the pool
 	// regardless of load: simple, stateless-per-record hardware, but a
@@ -13,42 +18,198 @@ const (
 	// least-backlog). This is the policy a lag-aware pool arbiter would
 	// implement in the log-dispatch hardware.
 	PolicyLeastLag = "least-lag"
+	// PolicyDeadline is deadline-aware: every tenant carries a lag
+	// deadline (PoolConfig.DeadlineCycles), and each record is placed on
+	// the *most backlogged* core that still meets it, holding the idle
+	// cores in reserve for tenants about to violate. A record no core can
+	// serve in time falls back to the earliest-free core (best effort).
+	// The effect is to bound each tenant's lag tail (p95) instead of
+	// greedily minimising the mean.
+	PolicyDeadline = "deadline"
+	// PolicyWFQ is weighted fair queueing across tenants: each tenant
+	// accrues virtual time proportional to its consumed log bytes divided
+	// by its weight (PoolConfig.Weights), and the most underserved tenant
+	// by that clock is mapped to the earliest-free core while overserved
+	// tenants are pushed toward the busiest ones. Heavier weights buy a
+	// larger share of the pool.
+	PolicyWFQ = "wfq"
+	// PolicyPriority models paid monitoring SLAs: strict priority tiers
+	// (PoolConfig.Tiers, lower is better) with weighted fair queueing
+	// inside a tier. Any tenant of a better tier outranks every tenant of
+	// a worse tier when cores are handed out.
+	PolicyPriority = "priority"
 )
 
-// Policies lists the scheduling policies in evaluation order.
-func Policies() []string { return []string{PolicyRoundRobin, PolicyLeastLag} }
+// DefaultDeadlineCycles is the lag bound the deadline policy assumes when
+// PoolConfig.DeadlineCycles is zero. It is a design knob, not a derived
+// quantity: a few thousand cycles of lag keeps a lifeguard "close behind"
+// its application at the evaluation's scales.
+const DefaultDeadlineCycles = 5_000
 
-// Scheduler assigns records to pool cores. Implementations may keep
-// state (rotation counters); a fresh instance is built per replay, so
-// runs stay independent and deterministic.
+// Request describes the record currently being scheduled: which tenant
+// produced it, when it becomes ready, and what serving it costs.
+type Request struct {
+	// Tenant indexes the producing tenant (into the views slice).
+	Tenant int
+	// Ready is the application cycle at which the record is produced.
+	Ready uint64
+	// Bits is the record's compressed size.
+	Bits uint64
+	// Cost is the lifeguard processing cost in cycles.
+	Cost uint64
+}
+
+// TenantView is one tenant's live scheduling state, refreshed by the
+// replay before every Pick. The first three fields are the tenant's policy
+// inputs (normalised from PoolConfig); the rest is accumulated service.
+type TenantView struct {
+	// Weight is the tenant's WFQ weight (> 0; 1 is the default share).
+	Weight float64
+	// Tier is the tenant's priority tier; lower values outrank higher.
+	Tier int
+	// DeadlineCycles is the tenant's lag deadline for PolicyDeadline.
+	DeadlineCycles uint64
+
+	// Records, ServedBits and ServedCost accumulate the tenant's consumed
+	// service: records scheduled, compressed log bytes moved (the WFQ
+	// virtual-time numerator) and lifeguard cycles charged.
+	Records    uint64
+	ServedBits uint64
+	ServedCost uint64
+	// LastLagCycles is the queueing lag of the tenant's most recently
+	// scheduled record (finish minus production cycle).
+	LastLagCycles uint64
+	// Done marks a tenant whose timeline is exhausted; schedulers skip
+	// Done tenants when ranking.
+	Done bool
+}
+
+// vtime is the tenant's WFQ virtual clock: consumed log bytes normalised
+// by weight. Underserved tenants have the smallest virtual time.
+func (v *TenantView) vtime() float64 { return float64(v.ServedBits) / v.Weight }
+
+// Scheduler assigns records to pool cores. Pick receives the record being
+// scheduled, the pool's per-core free times (freeAt[i] is the cycle at
+// which core i finishes its last assigned record), and every tenant's live
+// view; it returns the index of the serving core. Implementations may keep
+// state (rotation counters); a fresh instance is built per replay, so runs
+// stay independent and deterministic. Pick must be deterministic in its
+// arguments plus that private state — the replay's parallel == serial
+// byte-identical JSON contract depends on it.
 type Scheduler interface {
 	// Name identifies the policy in results.
 	Name() string
-	// Pick returns the pool core (index into freeAt) that will serve the
-	// next record of tenant t, which becomes ready at cycle ready.
-	// freeAt[i] is the cycle at which core i finishes its last assigned
-	// record.
-	Pick(t int, ready uint64, freeAt []uint64) int
+	// Pick returns the pool core (index into freeAt) that will serve req.
+	Pick(req Request, freeAt []uint64, tenants []TenantView) int
 }
 
-// NewScheduler returns a fresh scheduler for the named policy. The empty
-// string selects least-lag, matching the default every command surface
-// advertises.
-func NewScheduler(policy string) (Scheduler, error) {
-	switch policy {
-	case PolicyRoundRobin:
-		return &roundRobin{}, nil
-	case PolicyLeastLag, "":
-		return leastLag{}, nil
+// Builder constructs a fresh scheduler for one replay of n tenants under
+// the given pool configuration.
+type Builder func(pool PoolConfig, n int) Scheduler
+
+// registration keeps the registry ordered: Policies() reports policies in
+// the order they were registered, which fixes evaluation and JSON order.
+type registration struct {
+	name  string
+	build Builder
+}
+
+var registry = []registration{
+	{PolicyRoundRobin, func(PoolConfig, int) Scheduler { return &roundRobin{} }},
+	{PolicyLeastLag, func(PoolConfig, int) Scheduler { return leastLag{} }},
+	{PolicyDeadline, func(PoolConfig, int) Scheduler { return deadline{} }},
+	{PolicyWFQ, func(PoolConfig, int) Scheduler { return wfq{} }},
+	{PolicyPriority, func(PoolConfig, int) Scheduler { return priority{} }},
+}
+
+// Register adds a scheduling policy to the registry. It is intended for
+// init-time registration (tests, experimental policies) and is not safe
+// for concurrent use; registering an existing name replaces it in place so
+// the evaluation order stays stable.
+func Register(name string, build Builder) {
+	if name == "" || build == nil {
+		panic("tenant: Register needs a name and a builder")
+	}
+	for i, r := range registry {
+		if r.name == name {
+			registry[i].build = build
+			return
+		}
+	}
+	registry = append(registry, registration{name, build})
+}
+
+// Policies lists the registered scheduling policies in evaluation order.
+func Policies() []string {
+	names := make([]string, len(registry))
+	for i, r := range registry {
+		names[i] = r.name
+	}
+	return names
+}
+
+// BaselinePolicies returns the PR-2 baseline pair (round-robin and
+// least-lag) that the contention figure sweeps; the sched figure compares
+// the full registry.
+func BaselinePolicies() []string { return []string{PolicyRoundRobin, PolicyLeastLag} }
+
+// ValidPolicy reports whether the named policy is registered; the empty
+// string selects the default (least-lag) and is always valid. Command-line
+// front-ends use it to reject -sched typos before any simulation runs.
+func ValidPolicy(policy string) error {
+	if policy == "" {
+		return nil
+	}
+	for _, r := range registry {
+		if r.name == policy {
+			return nil
+		}
+	}
+	return fmt.Errorf("tenant: unknown scheduling policy %q (have %v)", policy, Policies())
+}
+
+// NewScheduler returns a fresh scheduler for the named policy, configured
+// for a replay of n tenants under pool. The empty policy selects
+// least-lag, matching the default every command surface advertises.
+func NewScheduler(policy string, pool PoolConfig, n int) (Scheduler, error) {
+	if policy == "" {
+		policy = PolicyLeastLag
+	}
+	for _, r := range registry {
+		if r.name == policy {
+			return r.build(pool, n), nil
+		}
 	}
 	return nil, fmt.Errorf("tenant: unknown scheduling policy %q (have %v)", policy, Policies())
+}
+
+// ParseWeights parses a comma-separated WFQ weight list ("2,1,0.5") as
+// accepted by the -weights flag. Weights must be positive and finite; an
+// empty string means "no explicit weights" (every tenant gets weight 1).
+func ParseWeights(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	weights := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: weight %q: %w", p, err)
+		}
+		if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return nil, fmt.Errorf("tenant: weight %q must be positive and finite", p)
+		}
+		weights[i] = w
+	}
+	return weights, nil
 }
 
 type roundRobin struct{ next int }
 
 func (r *roundRobin) Name() string { return PolicyRoundRobin }
 
-func (r *roundRobin) Pick(_ int, _ uint64, freeAt []uint64) int {
+func (r *roundRobin) Pick(_ Request, freeAt []uint64, _ []TenantView) int {
 	c := r.next % len(freeAt)
 	r.next = (r.next + 1) % len(freeAt)
 	return c
@@ -58,7 +219,13 @@ type leastLag struct{}
 
 func (leastLag) Name() string { return PolicyLeastLag }
 
-func (leastLag) Pick(_ int, _ uint64, freeAt []uint64) int {
+func (leastLag) Pick(_ Request, freeAt []uint64, _ []TenantView) int {
+	return earliestFree(freeAt)
+}
+
+// earliestFree returns the index of the soonest-free core, ties breaking
+// toward the lowest index.
+func earliestFree(freeAt []uint64) int {
 	best := 0
 	for i := 1; i < len(freeAt); i++ {
 		if freeAt[i] < freeAt[best] {
@@ -66,4 +233,123 @@ func (leastLag) Pick(_ int, _ uint64, freeAt []uint64) int {
 		}
 	}
 	return best
+}
+
+type deadline struct{}
+
+func (deadline) Name() string { return PolicyDeadline }
+
+func (deadline) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
+	// Projected lag on core c is max(freeAt[c], ready) + cost - ready;
+	// transport latency and in-channel ordering add a little on top, so
+	// the bound is approximate — which is fine, the policy shapes the
+	// tail, the channel model measures it. Choose the *latest*-free core
+	// that still meets the deadline so idle cores stay in reserve for
+	// urgent records; when nothing meets it, degrade to least-lag.
+	dl := tenants[req.Tenant].DeadlineCycles
+	best := -1
+	for i, f := range freeAt {
+		start := f
+		if req.Ready > start {
+			start = req.Ready
+		}
+		if start+req.Cost-req.Ready > dl {
+			continue
+		}
+		if best < 0 || f > freeAt[best] {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return earliestFree(freeAt)
+}
+
+type wfq struct{}
+
+func (wfq) Name() string { return PolicyWFQ }
+
+func (wfq) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
+	rank, active := vtimeRank(req.Tenant, tenants, func(a, b *TenantView, ai, bi int) bool {
+		if a.vtime() != b.vtime() {
+			return a.vtime() < b.vtime()
+		}
+		return ai < bi
+	})
+	return coreByRank(rank, active, freeAt)
+}
+
+type priority struct{}
+
+func (priority) Name() string { return PolicyPriority }
+
+func (priority) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
+	// Strict tiers first, WFQ virtual time inside a tier: every tenant of
+	// a better tier outranks every tenant of a worse one, so paid tenants
+	// monopolise the early (soonest-free) cores under contention.
+	rank, active := vtimeRank(req.Tenant, tenants, func(a, b *TenantView, ai, bi int) bool {
+		if a.Tier != b.Tier {
+			return a.Tier < b.Tier
+		}
+		if a.vtime() != b.vtime() {
+			return a.vtime() < b.vtime()
+		}
+		return ai < bi
+	})
+	return coreByRank(rank, active, freeAt)
+}
+
+// vtimeRank returns the rank of tenant t among the active (not Done)
+// tenants under the strict order less, plus the active count. The tenant
+// being scheduled is always active.
+func vtimeRank(t int, tenants []TenantView, less func(a, b *TenantView, ai, bi int) bool) (rank, active int) {
+	self := &tenants[t]
+	for i := range tenants {
+		if i == t {
+			active++
+			continue
+		}
+		v := &tenants[i]
+		if v.Done {
+			continue
+		}
+		active++
+		if less(v, self, i, t) {
+			rank++
+		}
+	}
+	return rank, active
+}
+
+// coreByRank maps a tenant's service rank (0 = most underserved of the
+// active tenants) onto the pool: rank 0 gets the earliest-free core, the
+// last rank the latest-free core, with the rest spread linearly between.
+func coreByRank(rank, active int, freeAt []uint64) int {
+	if active <= 1 || len(freeAt) == 1 {
+		return earliestFree(freeAt)
+	}
+	pos := rank * (len(freeAt) - 1) / (active - 1)
+	if pos >= len(freeAt) {
+		pos = len(freeAt) - 1
+	}
+	// Selection scan for the pos-th core in ascending (freeAt, index)
+	// order. Pick runs once per scheduled record, and pools are small, so
+	// repeated linear scans beat allocating and sorting an order slice.
+	prev := -1
+	for k := 0; ; k++ {
+		best := -1
+		for i, f := range freeAt {
+			if prev >= 0 && (f < freeAt[prev] || (f == freeAt[prev] && i <= prev)) {
+				continue // selected in an earlier round
+			}
+			if best < 0 || f < freeAt[best] {
+				best = i
+			}
+		}
+		if k == pos {
+			return best
+		}
+		prev = best
+	}
 }

@@ -24,6 +24,26 @@
 // serial, a pool matrix produced by a multi-worker engine is
 // byte-identical to the serial reference run — the same contract the
 // experiment runner gives figure matrices.
+//
+// # Scheduling
+//
+// The replay's record-to-core assignment is a pluggable policy behind the
+// Scheduler interface: each Pick receives the record being scheduled, the
+// pool's per-core clocks, and a live TenantView per tenant (weight, tier,
+// lag deadline, accumulated service). Five policies are registered —
+// round-robin and least-lag (the baselines), deadline (bound each
+// tenant's lag tail), wfq (weighted fair queueing over consumed log
+// bytes) and priority (strict SLA tiers with WFQ inside a tier) — and
+// Register accepts experimental ones. See docs/architecture.md for the
+// full scheduler contract.
+//
+// # Admission control
+//
+// On top of the replay, Engine.PlanAdmission answers the serving-capacity
+// question: the maximum tenant count a pool can serve while every
+// tenant's contention factor (wall cycles over its own dedicated-core
+// monitored run) stays within an SLO. Points are exported in the
+// lba-runner/v1 JSON artifact's admission section.
 package tenant
 
 import (

@@ -188,36 +188,8 @@ func TestContentionCosts(t *testing.T) {
 	}
 }
 
-func TestSchedulers(t *testing.T) {
-	if _, err := NewScheduler("fifo?"); err == nil {
-		t.Error("unknown policy must be rejected")
-	}
-	rr, err := NewScheduler(PolicyRoundRobin)
-	if err != nil {
-		t.Fatal(err)
-	}
-	freeAt := []uint64{100, 0, 50}
-	got := []int{rr.Pick(0, 0, freeAt), rr.Pick(0, 0, freeAt), rr.Pick(0, 0, freeAt), rr.Pick(0, 0, freeAt)}
-	want := []int{0, 1, 2, 0}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("round-robin pick %d = %d, want %d", i, got[i], want[i])
-		}
-	}
-	ll, err := NewScheduler(PolicyLeastLag)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if def, err := NewScheduler(""); err != nil || def.Name() != PolicyLeastLag {
-		t.Errorf("empty policy must default to least-lag, got %v, %v", def, err)
-	}
-	if c := ll.Pick(0, 0, freeAt); c != 1 {
-		t.Errorf("least-lag picked core %d, want the idle core 1", c)
-	}
-	if c := ll.Pick(0, 0, []uint64{7, 7, 7}); c != 0 {
-		t.Errorf("least-lag tie must break low, got %d", c)
-	}
-}
+// Per-policy Pick semantics, the registry, ParseWeights and the replay
+// invariants of the three new policies live in sched_test.go.
 
 func TestFromSuite(t *testing.T) {
 	if _, err := FromSuite(0, testWorkload(), core.DefaultConfig()); err == nil {
