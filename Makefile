@@ -9,16 +9,18 @@ build:
 
 test:
 	$(GO) test ./...
+	$(GO) test -run 'Invariant|Property' -count=2 ./internal/tenant
 
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/tenant/...
-	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline' ./internal/tenant
+	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity' ./internal/tenant
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/vpc
 	$(GO) test -run '^$$' -fuzz '^FuzzDecompressTrace$$' -fuzztime 10s ./internal/vpc
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 10s ./internal/event
+	$(GO) test -run '^FuzzReplayInvariants$$' ./internal/tenant
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayInvariants$$' -fuzztime 10s ./internal/tenant
 
 docs:

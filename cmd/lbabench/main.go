@@ -9,7 +9,8 @@
 //	lbabench -fig 2b              # Figure 2(b): TaintCheck
 //	lbabench -fig 2c              # Figure 2(c): LockSet
 //	lbabench -fig contention      # multi-tenant slowdown vs pool size
-//	lbabench -fig sched           # all five pool schedulers + admission control
+//	lbabench -fig sched           # all six pool schedulers + admission control
+//	lbabench -fig affinity        # affinity vs least-lag vs wfq across migration penalties
 //	lbabench -table chars         # benchmark characteristics (§3)
 //	lbabench -table compress      # VPC compression (§2)
 //	lbabench -table avg           # headline averages (§3)
@@ -22,6 +23,7 @@
 //	lbabench -tenants 6 -pool 4 -sched least-lag  # one multi-tenant cell
 //	lbabench -tenants 6 -pool 2 -sched wfq -weights 4,1    # weighted shares
 //	lbabench -tenants 6 -pool 2 -sched deadline -deadline 2000
+//	lbabench -tenants 6 -pool 2 -sched affinity -migration 1000  # warmth-aware
 //	lbabench -n 2000000           # instruction scale per run
 //	lbabench -workers 8           # experiment-matrix worker pool width
 //	lbabench -json out.json       # structured results for trajectory tracking
@@ -71,18 +73,19 @@ const defaultContentionTenants = 6
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lbabench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "", "2a | 2b | 2c | contention | sched")
-		table    = fs.String("table", "", "chars | compress | avg")
-		ablation = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
-		scale    = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
-		threads  = fs.Int("threads", 2, "threads for multithreaded benchmarks")
-		workers  = fs.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
-		tenants  = fs.Int("tenants", 0, "multi-tenant cell: number of monitored applications (0 = off)")
-		pool     = fs.Int("pool", 4, "multi-tenant cell / sched figure: shared lifeguard cores")
-		sched    = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: "+strings.Join(tenant.Policies(), " | "))
-		weights  = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
-		deadline = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
-		jsonPath = fs.String("json", "", "write structured runner results to this file")
+		fig       = fs.String("fig", "", "2a | 2b | 2c | contention | sched | affinity")
+		table     = fs.String("table", "", "chars | compress | avg")
+		ablation  = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
+		scale     = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
+		threads   = fs.Int("threads", 2, "threads for multithreaded benchmarks")
+		workers   = fs.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
+		tenants   = fs.Int("tenants", 0, "multi-tenant cell: number of monitored applications (0 = off)")
+		pool      = fs.Int("pool", 4, "multi-tenant cell / sched+affinity figures: shared lifeguard cores")
+		sched     = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: "+strings.Join(tenant.Policies(), " | "))
+		weights   = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
+		deadline  = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
+		migration = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
+		jsonPath  = fs.String("json", "", "write structured runner results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -101,11 +104,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	// The pool flags are consumed by the single-cell path and (except for
-	// -sched, which the figure sweeps itself) by the sched figure; the
-	// contention figure sweeps its own pool sizes and policies. Reject
-	// explicit values that would otherwise be dropped silently.
+	// -sched, which the figure sweeps itself) by the sched and affinity
+	// figures; the contention figure sweeps its own pool sizes and
+	// policies, and the affinity figure sweeps migration penalties.
+	// Reject explicit values that would otherwise be dropped silently.
 	schedFig := *fig == "sched"
-	cellMode := *tenants > 0 && *fig != "contention" && !schedFig
+	affinityFig := *fig == "affinity"
+	cellMode := *tenants > 0 && *fig != "contention" && !schedFig && !affinityFig
 	var conflict error
 	fs.Visit(func(f *flag.Flag) {
 		if conflict != nil {
@@ -114,11 +119,22 @@ func run(args []string, out io.Writer) error {
 		switch f.Name {
 		case "sched":
 			if !cellMode {
-				conflict = fmt.Errorf("-sched only applies with -tenants N (single multi-tenant cell); the contention and sched figures sweep policies themselves")
+				conflict = fmt.Errorf("-sched only applies with -tenants N (single multi-tenant cell); the contention, sched and affinity figures sweep policies themselves")
 			}
-		case "pool", "weights", "deadline":
+		case "pool", "weights":
+			if !cellMode && !schedFig && !affinityFig {
+				conflict = fmt.Errorf("-%s only applies with -tenants N, -fig sched or -fig affinity", f.Name)
+			}
+		case "deadline":
+			// The affinity figure's policies (least-lag, wfq, affinity)
+			// never read the deadline, so accepting it there would drop
+			// it silently.
 			if !cellMode && !schedFig {
-				conflict = fmt.Errorf("-%s only applies with -tenants N or -fig sched", f.Name)
+				conflict = fmt.Errorf("-deadline only applies with -tenants N or -fig sched")
+			}
+		case "migration":
+			if !cellMode && !schedFig {
+				conflict = fmt.Errorf("-migration only applies with -tenants N or -fig sched (the affinity figure sweeps penalties itself)")
 			}
 		}
 	})
@@ -127,10 +143,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	s := &session{
-		out:      out,
-		eng:      runner.New(*workers),
-		metrics:  map[string]float64{},
-		basePool: tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts, DeadlineCycles: *deadline},
+		out:     out,
+		eng:     runner.New(*workers),
+		metrics: map[string]float64{},
+		basePool: tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
+			DeadlineCycles: *deadline, MigrationPenalty: *migration},
 	}
 	s.opts = figures.Options{Scale: *scale, Threads: *threads, Runner: s.eng}
 
@@ -172,7 +189,7 @@ func (s *session) writeJSON(path string) error {
 }
 
 func (s *session) everything() error {
-	for _, f := range []string{"2a", "2b", "2c", "contention", "sched"} {
+	for _, f := range []string{"2a", "2b", "2c", "contention", "sched", "affinity"} {
 		if err := s.figure(f, 0); err != nil {
 			return err
 		}
@@ -203,9 +220,12 @@ func (s *session) figure(fig string, tenants int) error {
 	if fig == "sched" {
 		return s.schedFigure(tenants)
 	}
+	if fig == "affinity" {
+		return s.affinityFigure(tenants)
+	}
 	lifeguard, ok := panelOf[fig]
 	if !ok {
-		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention, sched)", fig)
+		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention, sched, affinity)", fig)
 	}
 	rows, err := figures.Figure2Panel(lifeguard, s.opts)
 	if err != nil {
@@ -324,6 +344,47 @@ func (s *session) schedFigure(n int) error {
 	}
 	fmt.Fprint(s.out, at.String())
 	fmt.Fprintln(s.out)
+	return nil
+}
+
+// affinityFigure regenerates the core-affinity figure: affinity vs greedy
+// least-lag vs wfq on one pool as the migration penalty (the cost of
+// serving a record on a shadow-cache-cold core) sweeps from zero to
+// several handler costs. The penalty-0 column is byte-identical to the
+// pre-warmth model; migration accounting appears from the first non-zero
+// penalty on.
+func (s *session) affinityFigure(n int) error {
+	if n <= 0 {
+		n = defaultContentionTenants
+	}
+	set, err := figures.TenantSet(n, s.opts)
+	if err != nil {
+		return err
+	}
+	rows, results, err := figures.AffinitySweep(set, figures.AffinityPenalties(), s.basePool, s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "Figure: core affinity — %d tenants on %d cores as migration penalties grow\n",
+		n, s.basePool.Cores)
+	tb := metrics.NewTable("policy", "penalty", "mean-slowdown", "max-slowdown", "migrations", "cold-cycles", "pool-util")
+	for _, r := range rows {
+		tb.AddRow(r.Policy,
+			fmt.Sprintf("%d", r.MigrationPenalty),
+			fmt.Sprintf("%.2fX", r.MeanSlowdown),
+			fmt.Sprintf("%.2fX", r.MaxSlowdown),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.ColdServeCycles),
+			fmt.Sprintf("%.0f%%", 100*r.Utilisation))
+		s.metrics[fmt.Sprintf("affinity_%s_p%d_mean_x", r.Policy, r.MigrationPenalty)] = r.MeanSlowdown
+	}
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintln(s.out)
+	fmt.Fprint(s.out, figures.RenderAffinity(rows))
+	fmt.Fprintln(s.out)
+	for _, r := range results {
+		s.tenantCells = append(s.tenantCells, r.Cell())
+	}
 	return nil
 }
 

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
+
+	"repro/internal/runner"
 )
 
 // TestJSONGoldenDeterminism is the command-level determinism contract:
@@ -74,7 +78,7 @@ func TestContentionFigureRuns(t *testing.T) {
 }
 
 // TestSchedFigureRuns drives the scheduler figure through the command
-// surface: all five policies appear, the admission table prints, and the
+// surface: all six policies appear, the admission table prints, and the
 // JSON artifact carries an admission section whose points are byte-stable
 // across worker counts.
 func TestSchedFigureRuns(t *testing.T) {
@@ -103,7 +107,7 @@ func TestSchedFigureRuns(t *testing.T) {
 	text, blob := runOnce("serial.json", 1)
 	for _, want := range []string{
 		"pool schedulers", "Admission control",
-		"round-robin", "least-lag", "deadline", "wfq", "priority",
+		"round-robin", "least-lag", "deadline", "wfq", "priority", "affinity",
 	} {
 		if !bytes.Contains([]byte(text), []byte(want)) {
 			t.Errorf("sched figure output missing %q", want)
@@ -115,8 +119,8 @@ func TestSchedFigureRuns(t *testing.T) {
 		}
 	}
 	// Two SLO points per policy.
-	if n := bytes.Count(blob, []byte(`"slo_contention_x"`)); n != 2*5 {
-		t.Errorf("admission section has %d points, want 10 (2 SLOs x 5 policies)", n)
+	if n := bytes.Count(blob, []byte(`"slo_contention_x"`)); n != 2*6 {
+		t.Errorf("admission section has %d points, want 12 (2 SLOs x 6 policies)", n)
 	}
 
 	_, wide := runOnce("workers-4.json", 4)
@@ -133,13 +137,151 @@ func TestUnknownSelectorsRejected(t *testing.T) {
 		{"-tenants", "2", "-pool", "2", "-sched", "nope", "-n", "30000"},
 		{"-tenants", "2", "-weights", "1,zero", "-n", "30000"},
 		{"-tenants", "2", "-weights", "-1", "-n", "30000"},
-		{"-weights", "2,1"},                      // pool flags need -tenants or -fig sched
-		{"-deadline", "100"},                     // ditto
-		{"-fig", "sched", "-sched", "least-lag"}, // the sched figure sweeps all policies
-		{"-fig", "contention", "-pool", "2"},     // the contention figure sweeps pools
+		{"-weights", "2,1"},                         // pool flags need -tenants or a pool figure
+		{"-deadline", "100"},                        // ditto
+		{"-migration", "100"},                       // ditto
+		{"-fig", "sched", "-sched", "least-lag"},    // the sched figure sweeps all policies
+		{"-fig", "contention", "-pool", "2"},        // the contention figure sweeps pools
+		{"-fig", "affinity", "-sched", "affinity"},  // the affinity figure sweeps policies
+		{"-fig", "affinity", "-migration", "100"},   // ...and penalties
+		{"-fig", "affinity", "-deadline", "2000"},   // ...and none of its policies read a deadline
+		{"-fig", "contention", "-migration", "100"}, // contention has no migration model
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
+}
+
+// TestAffinityFigureGolden is the golden-JSON determinism contract for
+// the new affinity figure and its migration fields: -workers 1 and
+// -workers 4 must produce byte-identical artifacts, and the artifact
+// must carry the migration schema (penalty echo, per-tenant and
+// per-cell migration counts and cold-serve cycles).
+func TestAffinityFigureGolden(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, workers int) (string, []byte) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		err := run([]string{
+			"-n", "30000",
+			"-fig", "affinity",
+			"-tenants", "3", "-pool", "2",
+			"-workers", strconv.Itoa(workers),
+			"-json", path,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), blob
+	}
+
+	text, blob := runOnce("serial.json", 1)
+	for _, want := range []string{"core affinity", "least-lag", "wfq", "affinity", "migrations", "cold-cycles"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("affinity figure output missing %q", want)
+		}
+	}
+	for _, want := range []string{`"migration_penalty"`, `"migrations"`, `"cold_serve_cycles"`, `"tenant_cells"`} {
+		if !bytes.Contains(blob, []byte(want)) {
+			t.Errorf("affinity JSON artifact missing %q", want)
+		}
+	}
+
+	_, wide := runOnce("workers-4.json", 4)
+	if !bytes.Equal(blob, wide) {
+		t.Error("-workers 4 affinity JSON differs from the serial reference run")
+	}
+}
+
+// TestSchedGoldenMatchesPR3 pins the migration model's zero-penalty
+// no-op against a checked-in artifact captured from the pre-warmth
+// scheduler tier (PR 3): with MigrationPenalty 0 every pre-affinity
+// policy must reproduce its tenant cells, admission points, simulation
+// rows and headline metrics byte-for-byte. (The artifact predates the
+// affinity policy, so the new policy's cells and admission points are
+// additive and excluded from the comparison; the deadline policy's
+// channel-aware projection is also exercised here — at the default
+// 5000-cycle deadline the exact projection makes identical choices.)
+func TestSchedGoldenMatchesPR3(t *testing.T) {
+	goldenBlob, err := os.ReadFile(filepath.Join("testdata", "sched_golden_pr3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sched.json")
+	// Mirrors the invocation that captured the golden.
+	if err := run([]string{
+		"-n", "30000", "-fig", "sched",
+		"-tenants", "3", "-pool", "2",
+		"-workers", "1", "-json", path,
+	}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var golden, got runner.Report
+	if err := json.Unmarshal(goldenBlob, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	oldPolicies := map[string]bool{"round-robin": true, "least-lag": true,
+		"deadline": true, "wfq": true, "priority": true}
+	filterCells := func(cells []runner.TenantCell) []runner.TenantCell {
+		var out []runner.TenantCell
+		for _, c := range cells {
+			if oldPolicies[c.Policy] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	filterAdmission := func(pts []runner.AdmissionPoint) []runner.AdmissionPoint {
+		var out []runner.AdmissionPoint
+		for _, p := range pts {
+			if oldPolicies[p.Policy] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	filterMetrics := func(m map[string]float64) map[string]float64 {
+		out := map[string]float64{}
+		for k, v := range m {
+			if !strings.Contains(k, "affinity") {
+				out[k] = v
+			}
+		}
+		return out
+	}
+
+	compare := func(name string, golden, got any) {
+		t.Helper()
+		a, err := json.Marshal(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s diverged from the PR 3 golden at migration penalty 0:\ngolden: %.400s\ngot:    %.400s",
+				name, a, b)
+		}
+	}
+	compare("simulation rows", golden.Rows, got.Rows)
+	compare("tenant cells", filterCells(golden.TenantCells), filterCells(got.TenantCells))
+	compare("admission points", filterAdmission(golden.Admission), filterAdmission(got.Admission))
+	compare("metrics", filterMetrics(golden.Metrics), filterMetrics(got.Metrics))
 }

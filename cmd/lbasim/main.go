@@ -10,12 +10,15 @@
 //	lbasim -tenants 6 -pool 2 -sched least-lag
 //	lbasim -tenants 6 -pool 2 -sched wfq -weights 4,1
 //	lbasim -tenants 6 -pool 2 -sched deadline -deadline 2000
+//	lbasim -tenants 6 -pool 2 -sched affinity -migration 1000
 //
 // Modes: unmonitored, lba, dbi. Use -list for the benchmark table. With
 // -tenants N the tool instead simulates N monitored applications (drawn
 // from the suite) sharing a pool of -pool lifeguard cores under the
 // -sched policy; -weights and -deadline feed the wfq/priority and
-// deadline policies.
+// deadline policies, and -migration prices serving a record on a
+// shadow-cache-cold core (the affinity policy's reason to exist; all
+// policies pay it once it is non-zero).
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		sched     = flag.String("sched", tenant.PolicyLeastLag, "pool scheduler: "+strings.Join(tenant.Policies(), " | "))
 		weights   = flag.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
 		deadline  = flag.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
+		migration = flag.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -80,13 +84,14 @@ func main() {
 		if err == nil {
 			var wts []float64
 			if wts, err = tenant.ParseWeights(*weights); err == nil {
-				cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts, DeadlineCycles: *deadline}
+				cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
+					DeadlineCycles: *deadline, MigrationPenalty: *migration}
 				err = runTenants(*tenants, cfg, *scale, *seed, *threads)
 			}
 		}
 	default:
 		// Mirror image: pool flags only mean something with -tenants.
-		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true}
+		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true}
 		flag.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)
@@ -118,7 +123,10 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 
 	fmt.Printf("tenants        %d (suite round-robin)\n", n)
 	fmt.Printf("pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
-	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "cont-x", "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "violations")
+	if pool.MigrationPenalty > 0 {
+		fmt.Printf("migration      %d-cycle cold-core penalty\n", pool.MigrationPenalty)
+	}
+	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "cont-x", "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "migr", "cold-cyc", "violations")
 	for _, tr := range res.Tenants {
 		tb.AddRow(tr.Name, tr.Lifeguard,
 			fmt.Sprintf("%.2fX", tr.Slowdown),
@@ -127,6 +135,8 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 			fmt.Sprintf("%d", tr.DrainCycles),
 			fmt.Sprintf("%.0f", tr.MeanLagCycles),
 			fmt.Sprintf("%d", tr.LagP95Cycles),
+			fmt.Sprintf("%d", tr.Migrations),
+			fmt.Sprintf("%d", tr.ColdServeCycles),
 			fmt.Sprintf("%d", tr.Violations))
 	}
 	fmt.Print(tb.String())

@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/tenant"
+)
+
+// AffinityPenalties is the affinity figure's X axis: migration penalties
+// in lifeguard cycles, from "warmth is free" (the pre-warmth model, the
+// byte-identical baseline) through a few shadow lines' refill (a record's
+// handler cost is single-digit cycles) to a whole working set, where a
+// policy that interleaves tenants across cores pays for every bounce.
+func AffinityPenalties() []uint64 { return []uint64{0, 20, 80, 320} }
+
+// AffinityPolicies are the policies the affinity figure compares: greedy
+// least-lag (interleaves freely, worst case under migration costs), wfq
+// (rank-stable tenant->core mapping, warmth mostly for free) and the
+// warmth-aware affinity policy itself.
+func AffinityPolicies() []string {
+	return []string{tenant.PolicyLeastLag, tenant.PolicyWFQ, tenant.PolicyAffinity}
+}
+
+// AffinityRow is one point of the core-affinity figure: a policy under a
+// migration penalty, with the cell's aggregates and migration accounting.
+type AffinityRow struct {
+	Policy           string
+	MigrationPenalty uint64
+	MeanSlowdown     float64
+	MaxSlowdown      float64
+	Utilisation      float64
+	Migrations       uint64
+	ColdServeCycles  uint64
+}
+
+// AffinitySweep regenerates the core-affinity figure: the tenant set
+// served by one pool under every compared policy across the migration
+// penalty sweep. base supplies the shared pool shape (cores, weights,
+// deadline, warmth half-life); its Policy and MigrationPenalty are
+// overridden per cell. Rows come back in (policy, penalty) order along
+// with the full per-cell detail.
+func AffinitySweep(tenants []tenant.Tenant, penalties []uint64, base tenant.PoolConfig, opts Options) ([]AffinityRow, []*tenant.PoolResult, error) {
+	opts = opts.withDefaults()
+	var pools []tenant.PoolConfig
+	for _, policy := range AffinityPolicies() {
+		for _, penalty := range penalties {
+			pool := base
+			pool.Policy = policy
+			pool.MigrationPenalty = penalty
+			pools = append(pools, pool)
+		}
+	}
+	results, err := tenantEngine(opts).RunMatrix(context.Background(), tenants, pools)
+	if err != nil {
+		return nil, nil, fmt.Errorf("figures: %w", err)
+	}
+	rows := make([]AffinityRow, len(results))
+	for i, r := range results {
+		rows[i] = AffinityRow{
+			Policy:           r.Policy,
+			MigrationPenalty: r.MigrationPenalty,
+			MeanSlowdown:     r.MeanSlowdown,
+			MaxSlowdown:      r.MaxSlowdown,
+			Utilisation:      r.Utilisation,
+			Migrations:       r.Migrations,
+			ColdServeCycles:  r.ColdServeCycles,
+		}
+	}
+	return rows, results, nil
+}
+
+// RenderAffinity draws aggregate slowdown vs migration penalty, one bar
+// row per (policy, penalty) point. Migration accounting is shown per row;
+// it reads zero at penalty 0 because the migration model (and with it the
+// accounting) is off there — that row is the pre-warmth baseline.
+func RenderAffinity(rows []AffinityRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	maxVal := 0.0
+	for _, r := range rows {
+		if r.MeanSlowdown > maxVal {
+			maxVal = r.MeanSlowdown
+		}
+	}
+	if maxVal == 0 {
+		return ""
+	}
+	const barW = 50
+	scale := float64(barW) / maxVal
+
+	var sb strings.Builder
+	sb.WriteString("mean slowdown vs migration penalty (1.0 = unmonitored)\n")
+	lastPolicy := ""
+	for _, r := range rows {
+		if r.Policy != lastPolicy {
+			fmt.Fprintf(&sb, "%s:\n", r.Policy)
+			lastPolicy = r.Policy
+		}
+		bar := int(r.MeanSlowdown*scale + 0.5)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%5d cyc %s %.2fX (max %.2fX, util %.0f%%, %d migrations, %d cold cycles)\n",
+			r.MigrationPenalty, strings.Repeat("█", bar), r.MeanSlowdown, r.MaxSlowdown,
+			100*r.Utilisation, r.Migrations, r.ColdServeCycles)
+	}
+	return sb.String()
+}

@@ -3,6 +3,8 @@ package figures
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/tenant"
 )
 
 // figOpts keeps the figure tests fast while staying past cache warm-up.
@@ -214,6 +216,63 @@ func TestPipelineAblationShape(t *testing.T) {
 	if serial.Slowdown < pipelined.Slowdown {
 		t.Errorf("serialised dispatch must not be faster: %.2f vs %.2f",
 			serial.Slowdown, pipelined.Slowdown)
+	}
+}
+
+// TestAffinitySweepBeatsLeastLag is the core-affinity figure's headline
+// claim: once migrations cost something, the warmth-aware policy beats
+// greedy least-lag on mean slowdown at every non-zero penalty, and at
+// penalty zero every policy is accounting-free (the pre-warmth baseline).
+func TestAffinitySweepBeatsLeastLag(t *testing.T) {
+	set, err := TenantSet(4, Options{Scale: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tenant.PoolConfig{Cores: 2}
+	rows, results, err := AffinitySweep(set, AffinityPenalties(), base, Options{Scale: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AffinityPolicies())*len(AffinityPenalties()) {
+		t.Fatalf("sweep has %d rows, want %d", len(rows), len(AffinityPolicies())*len(AffinityPenalties()))
+	}
+	mean := map[string]map[uint64]float64{}
+	for _, r := range rows {
+		if mean[r.Policy] == nil {
+			mean[r.Policy] = map[uint64]float64{}
+		}
+		mean[r.Policy][r.MigrationPenalty] = r.MeanSlowdown
+		if r.MigrationPenalty == 0 && (r.Migrations != 0 || r.ColdServeCycles != 0) {
+			t.Errorf("%s at penalty 0: migration accounting must be off (%d migrations, %d cold cycles)",
+				r.Policy, r.Migrations, r.ColdServeCycles)
+		}
+		if r.MigrationPenalty > 0 && r.ColdServeCycles == 0 {
+			t.Errorf("%s at penalty %d: no cold cycles charged — the model is not engaged",
+				r.Policy, r.MigrationPenalty)
+		}
+	}
+	for _, penalty := range AffinityPenalties() {
+		if penalty == 0 {
+			continue
+		}
+		aff, ll := mean[tenant.PolicyAffinity][penalty], mean[tenant.PolicyLeastLag][penalty]
+		if aff >= ll {
+			t.Errorf("penalty %d: affinity mean slowdown %.2fX does not beat least-lag's %.2fX",
+				penalty, aff, ll)
+		}
+	}
+	// The per-cell detail mirrors the rows.
+	if len(results) != len(rows) {
+		t.Fatalf("%d cells for %d rows", len(results), len(rows))
+	}
+	out := RenderAffinity(rows)
+	for _, want := range []string{"affinity", "least-lag", "wfq", "migration penalty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	if RenderAffinity(nil) != "" {
+		t.Error("empty sweep renders empty")
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 
 // SchedPoolSizes is the scheduler figure's X axis. It is sparser than the
 // contention figure's 1-8 sweep because the figure's point is the spread
-// *between* the five policies, not the shape of one curve.
+// *between* the registered policies, not the shape of one curve.
 func SchedPoolSizes() []int { return []int{1, 2, 4, 8} }
 
 // DefaultAdmissionSLOs are the contention bounds the admission planner

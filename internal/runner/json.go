@@ -97,6 +97,14 @@ type TenantRow struct {
 	LagP95Cycles  uint64  `json:"lag_p95_cycles"`
 	MaxLagCycles  uint64  `json:"max_lag_cycles"`
 
+	// Migrations counts records served on a different pool core than the
+	// tenant's previous record; ColdServeCycles is the total migration
+	// charge those cold serves cost. Both appear only when the cell ran
+	// with a non-zero migration penalty, so zero-penalty artifacts stay
+	// byte-identical to the pre-warmth schema.
+	Migrations      uint64 `json:"migrations,omitempty"`
+	ColdServeCycles uint64 `json:"cold_serve_cycles,omitempty"`
+
 	Violations int `json:"violations,omitempty"`
 }
 
@@ -106,19 +114,26 @@ type TenantRow struct {
 type TenantCell struct {
 	Cores  int    `json:"cores"`
 	Policy string `json:"policy"`
-	// Weights, Tiers and DeadlineCycles echo the scheduler's policy
-	// inputs when the cell was configured with any, so artifacts stay
-	// self-describing across wfq / priority / deadline runs.
-	Weights         []float64   `json:"weights,omitempty"`
-	Tiers           []int       `json:"tiers,omitempty"`
-	DeadlineCycles  uint64      `json:"deadline_cycles,omitempty"`
-	Tenants         []TenantRow `json:"tenants"`
-	MeanSlowdown    float64     `json:"mean_slowdown"`
-	MaxSlowdown     float64     `json:"max_slowdown"`
-	MeanContentionX float64     `json:"mean_contention_x,omitempty"`
-	MaxContentionX  float64     `json:"max_contention_x,omitempty"`
-	MakespanCycles  uint64      `json:"makespan_cycles"`
-	Utilisation     float64     `json:"utilisation"`
+	// Weights, Tiers, DeadlineCycles, MigrationPenalty and
+	// WarmthHalfLifeBytes echo the scheduler's policy inputs when the
+	// cell was configured with any, so artifacts stay self-describing
+	// across wfq / priority / deadline / affinity runs.
+	Weights             []float64   `json:"weights,omitempty"`
+	Tiers               []int       `json:"tiers,omitempty"`
+	DeadlineCycles      uint64      `json:"deadline_cycles,omitempty"`
+	MigrationPenalty    uint64      `json:"migration_penalty,omitempty"`
+	WarmthHalfLifeBytes uint64      `json:"warmth_half_life_bytes,omitempty"`
+	Tenants             []TenantRow `json:"tenants"`
+	MeanSlowdown        float64     `json:"mean_slowdown"`
+	MaxSlowdown         float64     `json:"max_slowdown"`
+	MeanContentionX     float64     `json:"mean_contention_x,omitempty"`
+	MaxContentionX      float64     `json:"max_contention_x,omitempty"`
+	MakespanCycles      uint64      `json:"makespan_cycles"`
+	Utilisation         float64     `json:"utilisation"`
+	// Migrations and ColdServeCycles aggregate the per-tenant migration
+	// accounting; present only under a non-zero migration penalty.
+	Migrations      uint64 `json:"migrations,omitempty"`
+	ColdServeCycles uint64 `json:"cold_serve_cycles,omitempty"`
 }
 
 // AdmissionPoint is one admission-control answer in the lba-runner/v1

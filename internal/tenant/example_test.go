@@ -11,7 +11,8 @@ import (
 )
 
 // The scheduler registry lists every pool policy in evaluation order; the
-// first two are the PR-2 baselines, the rest the SLA-aware tier.
+// first two are the PR-2 baselines, then the SLA-aware tier, then the
+// warmth-aware affinity policy.
 func ExamplePolicies() {
 	for _, p := range tenant.Policies() {
 		fmt.Println(p)
@@ -22,13 +23,15 @@ func ExamplePolicies() {
 	// deadline
 	// wfq
 	// priority
+	// affinity
 }
 
 // NewScheduler builds a policy from the registry; Pick assigns one record
-// to a pool core given every core's free time and every tenant's live
-// view. Here tenant 0 has consumed far more weighted service (virtual
-// time 4096/2 = 2048 vs 1024), so WFQ pushes its record onto the busier
-// core and keeps the soon-free core for the underserved tenant.
+// to a pool core given every core's live view (free time, the requesting
+// tenant's warmth there) and every tenant's live view. Here tenant 0 has
+// consumed far more weighted service (virtual time 4096/2 = 2048 vs
+// 1024), so WFQ pushes its record onto the busier core and keeps the
+// soon-free core for the underserved tenant.
 func ExampleNewScheduler() {
 	pool := tenant.PoolConfig{Cores: 2, Policy: tenant.PolicyWFQ, Weights: []float64{2, 1}}
 	sched, err := tenant.NewScheduler(pool.Policy, pool, 2)
@@ -39,11 +42,38 @@ func ExampleNewScheduler() {
 		{Weight: 2, ServedBits: 4096},
 		{Weight: 1, ServedBits: 1024},
 	}
+	cores := []tenant.CoreView{
+		{FreeAt: 500, LastTenant: -1},
+		{FreeAt: 90, LastTenant: -1},
+	}
 	core := sched.Pick(tenant.Request{Tenant: 0, Ready: 100, Bits: 32, Cost: 8},
-		[]uint64{500, 90}, views)
+		cores, views)
 	fmt.Println(sched.Name(), "sends tenant 0 to core", core)
 	// Output:
 	// wfq sends tenant 0 to core 0
+}
+
+// The affinity policy weighs shadow-cache warmth against queueing: core 1
+// frees up 160 cycles earlier, but tenant 0's working set is resident on
+// core 0, so serving there avoids the 200-cycle migration charge and wins.
+// Projected finishes: 250+8 = 258 on the warm core vs 100+8+200 = 308 on
+// the cold one — the idle core's clock (90) is gated by the record only
+// becoming ready at cycle 100.
+func ExampleNewScheduler_affinity() {
+	pool := tenant.PoolConfig{Cores: 2, Policy: tenant.PolicyAffinity, MigrationPenalty: 200}
+	sched, err := tenant.NewScheduler(pool.Policy, pool, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cores := []tenant.CoreView{
+		{FreeAt: 250, Warmth: 1, LastTenant: 0},
+		{FreeAt: 90, Warmth: 0, LastTenant: -1},
+	}
+	core := sched.Pick(tenant.Request{Tenant: 0, Ready: 100, Bits: 32, Cost: 8},
+		cores, make([]tenant.TenantView, 1))
+	fmt.Println(sched.Name(), "keeps tenant 0 on its warm core", core)
+	// Output:
+	// affinity keeps tenant 0 on its warm core 0
 }
 
 // An Engine profiles each tenant once (uncontended, memoized) and replays

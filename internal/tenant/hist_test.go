@@ -1,0 +1,62 @@
+package tenant
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLagHistEdgeCases is the table-driven edge-case suite for the lag
+// histogram's quantile and mean: the empty histogram, single-bucket
+// populations (including the zero bucket), and the overflow bucket
+// (lags with bit length 64, whose nominal upper edge 2^64-1 wraps and
+// must clamp to the observed maximum).
+func TestLagHistEdgeCases(t *testing.T) {
+	const huge = uint64(1) << 63 // bit length 64: the overflow bucket
+
+	cases := []struct {
+		name     string
+		lags     []uint64
+		q        float64
+		wantQ    uint64
+		wantMean float64
+	}{
+		{"empty p50", nil, 0.50, 0, 0},
+		{"empty p0", nil, 0, 0, 0},
+		{"empty p100", nil, 1, 0, 0},
+		{"zero-lag bucket", []uint64{0, 0, 0}, 0.95, 0, 0},
+		{"single value single bucket", []uint64{5, 5, 5}, 0.50, 5, 5},
+		// One bucket [4, 8): the quantile reports the bucket's upper edge
+		// clamped to the observed max, for every q.
+		{"single bucket p0", []uint64{4, 5, 6}, 0, 6, 5},
+		{"single bucket p100", []uint64{4, 5, 6}, 1, 6, 5},
+		// q = 1 must clamp the target to the last element, not run off
+		// the counts.
+		{"two buckets p100", []uint64{1, 16}, 1, 16, 8.5},
+		{"two buckets p0", []uint64{1, 16}, 0, 1, 8.5},
+		// Overflow bucket: 2^63 has bit length 64; the nominal upper
+		// edge (1<<64)-1 wraps to MaxUint64 and must clamp to max.
+		{"overflow bucket", []uint64{huge}, 0.50, huge, float64(huge)},
+		{"overflow bucket p100", []uint64{huge + 1}, 1, huge + 1, float64(huge + 1)},
+		// Mixed: small lags dominate, the tail sits in the overflow
+		// bucket; p50 stays small, p100 clamps to the true max.
+		{"mixed with overflow tail", []uint64{1, 1, 1, huge}, 0.50, 1, (3 + float64(huge)) / 4},
+		{"mixed with overflow tail p100", []uint64{1, 1, 1, huge}, 1, huge, (3 + float64(huge)) / 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var h lagHist
+			for _, lag := range c.lags {
+				h.add(lag)
+			}
+			if got := h.quantile(c.q); got != c.wantQ {
+				t.Errorf("quantile(%g) = %d, want %d", c.q, got, c.wantQ)
+			}
+			if got := h.mean(); math.Abs(got-c.wantMean) > 1e-6*math.Max(1, c.wantMean) {
+				t.Errorf("mean() = %g, want %g", got, c.wantMean)
+			}
+			if c.lags == nil && h.max != 0 {
+				t.Errorf("empty histogram reports max %d", h.max)
+			}
+		})
+	}
+}

@@ -28,6 +28,17 @@ type PoolConfig struct {
 	// DeadlineCycles is the lag deadline the deadline policy bounds each
 	// tenant by; 0 selects DefaultDeadlineCycles.
 	DeadlineCycles uint64 `json:"deadline_cycles,omitempty"`
+	// MigrationPenalty is the extra lifeguard cost, in cycles, of serving
+	// a record on a stone-cold core (scaled down linearly as the core
+	// warms; see warmthModel). 0 disables the migration model entirely:
+	// warmth is still tracked and exposed to policies, but no cost is
+	// charged and no migration accounting lands in results, so every
+	// policy's timing is bit-for-bit what it was without the model.
+	MigrationPenalty uint64 `json:"migration_penalty,omitempty"`
+	// WarmthHalfLifeBytes is the shadow-cache warmth half-life: how many
+	// bytes of *other* tenants' log a core must serve to halve a tenant's
+	// warmth there. 0 selects DefaultWarmthHalfLifeBytes.
+	WarmthHalfLifeBytes uint64 `json:"warmth_half_life_bytes,omitempty"`
 }
 
 // tenantViews expands the pool's per-tenant policy inputs to n live
@@ -142,6 +153,13 @@ type TenantResult struct {
 	LagP95Cycles  uint64
 	MaxLagCycles  uint64
 
+	// Migrations counts records served on a different core than the
+	// tenant's previous record; ColdServeCycles is the total migration
+	// charge those cold serves cost. Both are zero while the migration
+	// model is off (PoolConfig.MigrationPenalty == 0).
+	Migrations      uint64
+	ColdServeCycles uint64
+
 	Violations int
 }
 
@@ -150,12 +168,14 @@ type TenantResult struct {
 // DeadlineCycles echo the policy inputs the cell ran with, so a JSON
 // artifact is self-describing.
 type PoolResult struct {
-	Cores          int
-	Policy         string
-	Weights        []float64
-	Tiers          []int
-	DeadlineCycles uint64
-	Tenants        []TenantResult
+	Cores               int
+	Policy              string
+	Weights             []float64
+	Tiers               []int
+	DeadlineCycles      uint64
+	MigrationPenalty    uint64
+	WarmthHalfLifeBytes uint64
+	Tenants             []TenantResult
 
 	MeanSlowdown    float64
 	MaxSlowdown     float64
@@ -164,46 +184,67 @@ type PoolResult struct {
 	MakespanCycles  uint64   // last tenant's wall clock
 	CoreBusyCycles  []uint64 // lifeguard work per pool core
 	Utilisation     float64  // sum(busy) / (cores * makespan)
+
+	// Migrations and ColdServeCycles sum the per-tenant migration
+	// accounting (zero while MigrationPenalty == 0). CoreWarmth is the
+	// final [core][tenant] warmth matrix — always populated, because
+	// warmth is tracked regardless of the penalty; the fuzz tier asserts
+	// its conservation invariants on it. It is deliberately kept out of
+	// the JSON cell.
+	Migrations      uint64
+	ColdServeCycles uint64
+	CoreWarmth      [][]float64
 }
 
 // Cell flattens the result into the lba-runner/v1 JSON schema.
 func (r *PoolResult) Cell() runner.TenantCell {
 	cell := runner.TenantCell{
-		Cores:           r.Cores,
-		Policy:          r.Policy,
-		Weights:         r.Weights,
-		Tiers:           r.Tiers,
-		DeadlineCycles:  r.DeadlineCycles,
-		MeanSlowdown:    r.MeanSlowdown,
-		MaxSlowdown:     r.MaxSlowdown,
-		MeanContentionX: r.MeanContentionX,
-		MaxContentionX:  r.MaxContentionX,
-		MakespanCycles:  r.MakespanCycles,
-		Utilisation:     r.Utilisation,
+		Cores:            r.Cores,
+		Policy:           r.Policy,
+		Weights:          r.Weights,
+		Tiers:            r.Tiers,
+		DeadlineCycles:   r.DeadlineCycles,
+		MigrationPenalty: r.MigrationPenalty,
+		MeanSlowdown:     r.MeanSlowdown,
+		MaxSlowdown:      r.MaxSlowdown,
+		MeanContentionX:  r.MeanContentionX,
+		MaxContentionX:   r.MaxContentionX,
+		MakespanCycles:   r.MakespanCycles,
+		Utilisation:      r.Utilisation,
+		Migrations:       r.Migrations,
+		ColdServeCycles:  r.ColdServeCycles,
+	}
+	// The half-life only shapes results when migrations are priced; echo
+	// it with the rest of the migration schema so zero-penalty artifacts
+	// stay byte-identical to the pre-warmth layout.
+	if r.MigrationPenalty > 0 {
+		cell.WarmthHalfLifeBytes = r.WarmthHalfLifeBytes
 	}
 	for _, t := range r.Tenants {
 		cell.Tenants = append(cell.Tenants, runner.TenantRow{
-			Name:          t.Name,
-			Benchmark:     t.Benchmark,
-			Lifeguard:     t.Lifeguard,
-			Instructions:  t.Instructions,
-			AppCycles:     t.AppCycles,
-			WallCycles:    t.WallCycles,
-			BaseCycles:    t.BaseCycles,
-			LBAWallCycles: t.LBAWallCycles,
-			Slowdown:      t.Slowdown,
-			ContentionX:   t.ContentionX,
-			StallEvents:   t.StallEvents,
-			StallCycles:   t.StallCycles,
-			DrainEvents:   t.DrainEvents,
-			DrainCycles:   t.DrainCycles,
-			Records:       t.Records,
-			LogBits:       t.LogBits,
-			MeanLagCycles: t.MeanLagCycles,
-			LagP50Cycles:  t.LagP50Cycles,
-			LagP95Cycles:  t.LagP95Cycles,
-			MaxLagCycles:  t.MaxLagCycles,
-			Violations:    t.Violations,
+			Name:            t.Name,
+			Benchmark:       t.Benchmark,
+			Lifeguard:       t.Lifeguard,
+			Instructions:    t.Instructions,
+			AppCycles:       t.AppCycles,
+			WallCycles:      t.WallCycles,
+			BaseCycles:      t.BaseCycles,
+			LBAWallCycles:   t.LBAWallCycles,
+			Slowdown:        t.Slowdown,
+			ContentionX:     t.ContentionX,
+			StallEvents:     t.StallEvents,
+			StallCycles:     t.StallCycles,
+			DrainEvents:     t.DrainEvents,
+			DrainCycles:     t.DrainCycles,
+			Records:         t.Records,
+			LogBits:         t.LogBits,
+			MeanLagCycles:   t.MeanLagCycles,
+			LagP50Cycles:    t.LagP50Cycles,
+			LagP95Cycles:    t.LagP95Cycles,
+			MaxLagCycles:    t.MaxLagCycles,
+			Migrations:      t.Migrations,
+			ColdServeCycles: t.ColdServeCycles,
+			Violations:      t.Violations,
 		})
 	}
 	return cell
@@ -227,6 +268,16 @@ func (ts *tenantState) done() bool { return ts.idx >= len(ts.prof.steps) }
 // serves them from the shared pool. It is serial and deterministic: the
 // only inputs are the profiles (immutable) and the pool configuration.
 func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
+	return replayObserved(profiles, pool, nil)
+}
+
+// replayObserved is replay with an optional per-record observer, invoked
+// after each record is assigned with the producing tenant, the serving
+// core, the request, the migration charge and the lifeguard-side finish
+// cycle. The property-test tier uses it to watch service unfold (e.g.
+// bytes finished by a wall-clock horizon); production callers pass nil
+// and pay nothing.
+func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64)) (*PoolResult, error) {
 	if pool.Cores < 1 {
 		return nil, fmt.Errorf("tenant: pool needs at least one core, got %d", pool.Cores)
 	}
@@ -248,8 +299,13 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 		// an eternally-underserved peer (it would shift every real
 		// tenant's wfq/priority rank for the whole replay).
 		views[i].Done = ts.done()
+		views[i].TransportLatency = ts.ch.Config().TransportLatency
 	}
-	freeAt := make([]uint64, pool.Cores)
+	warmth := newWarmthModel(pool.Cores, len(profiles), pool.WarmthHalfLifeBytes)
+	cores := make([]CoreView, pool.Cores)
+	for c := range cores {
+		cores[c].LastTenant = -1
+	}
 	busy := make([]uint64, pool.Cores)
 
 	// Merge by adjusted production time; ties break toward the lowest
@@ -282,60 +338,93 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 			continue
 		}
 
+		// Refresh the requester-relative slices of the live views: the
+		// channel's in-order consumption floor and, per core, the
+		// requesting tenant's warmth there.
+		views[ti].ChannelFree = ts.ch.LifeguardFinish()
+		for c := range cores {
+			cores[c].Warmth = warmth.warmth(c, ti)
+			cores[c].LastTenant = warmth.lastTenant(c)
+		}
+
 		req := Request{Tenant: ti, Ready: now, Bits: uint64(s.bits), Cost: uint64(s.cost)}
-		core := sched.Pick(req, freeAt, views)
+		core := sched.Pick(req, cores, views)
 		if core < 0 || core >= pool.Cores {
 			return nil, fmt.Errorf("tenant: scheduler %s picked core %d of %d", sched.Name(), core, pool.Cores)
 		}
-		stall, finish := ts.ch.ProduceAt(now, req.Bits, req.Cost, freeAt[core])
+		// Charge the migration cost of the chosen core's coldness, then
+		// warm it: the record lands in whatever shadow state the core has
+		// *before* this serve. Warmth itself is tracked unconditionally —
+		// it depends only on assignments and sizes, never on the clock —
+		// so a zero penalty leaves timing bit-for-bit unchanged.
+		charge := migrationCharge(pool.MigrationPenalty, warmth.warmth(core, ti))
+		migrated := warmth.serve(core, ti, req.Bits)
+		cost := req.Cost + charge
+		stall, finish := ts.ch.ProduceAt(now, req.Bits, cost, cores[core].FreeAt)
 		ts.offset += stall
-		freeAt[core] = finish
-		busy[core] += uint64(s.cost)
+		cores[core].FreeAt = finish
+		busy[core] += cost
 		ts.lags.add(finish - now)
 
 		v := &views[ti]
 		v.Records++
 		v.ServedBits += req.Bits
-		v.ServedCost += req.Cost
+		v.ServedCost += cost
 		v.LastLagCycles = finish - now
+		if pool.MigrationPenalty > 0 {
+			if migrated {
+				v.Migrations++
+			}
+			v.ColdServeCycles += charge
+		}
 		v.Done = ts.done()
+		if obs != nil {
+			obs(ti, core, req, charge, finish)
+		}
 	}
 
 	res := &PoolResult{
-		Cores:          pool.Cores,
-		Policy:         sched.Name(),
-		Weights:        pool.Weights,
-		Tiers:          pool.Tiers,
-		DeadlineCycles: pool.DeadlineCycles,
-		CoreBusyCycles: busy,
+		Cores:               pool.Cores,
+		Policy:              sched.Name(),
+		Weights:             pool.Weights,
+		Tiers:               pool.Tiers,
+		DeadlineCycles:      pool.DeadlineCycles,
+		MigrationPenalty:    pool.MigrationPenalty,
+		WarmthHalfLifeBytes: pool.WarmthHalfLifeBytes,
+		CoreBusyCycles:      busy,
+		CoreWarmth:          warmth.snapshot(),
 	}
-	for _, ts := range states {
+	for i, ts := range states {
 		p := ts.prof
 		appFinal := p.Result.AppCycles + ts.offset
 		wall := ts.ch.Finish(appFinal)
 		st := ts.ch.Stats()
 
 		tr := TenantResult{
-			Name:          p.Tenant.Name,
-			Benchmark:     p.Tenant.Benchmark,
-			Lifeguard:     p.Result.Lifeguard,
-			Instructions:  p.Result.Instructions,
-			AppCycles:     appFinal,
-			WallCycles:    wall,
-			BaseCycles:    p.Base.WallCycles,
-			LBAWallCycles: p.DedicatedWall,
-			StallEvents:   st.StallEvents,
-			StallCycles:   st.StallCycles,
-			DrainEvents:   st.DrainEvents,
-			DrainCycles:   st.DrainCycles,
-			Records:       p.Result.Records,
-			LogBits:       p.Result.LogBits,
-			MeanLagCycles: ts.lags.mean(),
-			LagP50Cycles:  ts.lags.quantile(0.50),
-			LagP95Cycles:  ts.lags.quantile(0.95),
-			MaxLagCycles:  ts.lags.max,
-			Violations:    len(p.Result.Violations),
+			Name:            p.Tenant.Name,
+			Benchmark:       p.Tenant.Benchmark,
+			Lifeguard:       p.Result.Lifeguard,
+			Instructions:    p.Result.Instructions,
+			AppCycles:       appFinal,
+			WallCycles:      wall,
+			BaseCycles:      p.Base.WallCycles,
+			LBAWallCycles:   p.DedicatedWall,
+			StallEvents:     st.StallEvents,
+			StallCycles:     st.StallCycles,
+			DrainEvents:     st.DrainEvents,
+			DrainCycles:     st.DrainCycles,
+			Records:         p.Result.Records,
+			LogBits:         p.Result.LogBits,
+			MeanLagCycles:   ts.lags.mean(),
+			LagP50Cycles:    ts.lags.quantile(0.50),
+			LagP95Cycles:    ts.lags.quantile(0.95),
+			MaxLagCycles:    ts.lags.max,
+			Migrations:      views[i].Migrations,
+			ColdServeCycles: views[i].ColdServeCycles,
+			Violations:      len(p.Result.Violations),
 		}
+		res.Migrations += tr.Migrations
+		res.ColdServeCycles += tr.ColdServeCycles
 		if tr.BaseCycles > 0 {
 			tr.Slowdown = float64(tr.WallCycles) / float64(tr.BaseCycles)
 		}

@@ -24,7 +24,10 @@ const (
 	// cores in reserve for tenants about to violate. A record no core can
 	// serve in time falls back to the earliest-free core (best effort).
 	// The effect is to bound each tenant's lag tail (p95) instead of
-	// greedily minimising the mean.
+	// greedily minimising the mean. The lag projection is exact in the
+	// backpressure-free case: it accounts for the transport latency, the
+	// tenant's own in-channel ordering (TenantView.ChannelFree) and any
+	// migration charge, matching logbuf.Channel.ProduceAt term for term.
 	PolicyDeadline = "deadline"
 	// PolicyWFQ is weighted fair queueing across tenants: each tenant
 	// accrues virtual time proportional to its consumed log bytes divided
@@ -38,6 +41,15 @@ const (
 	// inside a tier. Any tenant of a better tier outranks every tenant of
 	// a worse tier when cores are handed out.
 	PolicyPriority = "priority"
+	// PolicyAffinity is warmth-aware least-lag with hysteresis: each
+	// record goes to the core with the earliest *charge-inclusive*
+	// projected finish (queueing plus the migration charge the core's
+	// coldness would incur), and a tenant sticks to its previous core
+	// unless another core wins by more than half the migration penalty.
+	// Under a non-zero PoolConfig.MigrationPenalty this trades a little
+	// queueing lag for shadow-cache warmth; at penalty zero it degrades
+	// to least-lag with stickiness.
+	PolicyAffinity = "affinity"
 )
 
 // DefaultDeadlineCycles is the lag bound the deadline policy assumes when
@@ -55,13 +67,15 @@ type Request struct {
 	Ready uint64
 	// Bits is the record's compressed size.
 	Bits uint64
-	// Cost is the lifeguard processing cost in cycles.
+	// Cost is the lifeguard processing cost in cycles, excluding any
+	// migration charge (the charge depends on which core Pick chooses).
 	Cost uint64
 }
 
 // TenantView is one tenant's live scheduling state, refreshed by the
-// replay before every Pick. The first three fields are the tenant's policy
-// inputs (normalised from PoolConfig); the rest is accumulated service.
+// replay before every Pick. The leading fields are the tenant's policy
+// inputs (normalised from PoolConfig and the tenant's channel design
+// point); the rest is accumulated service.
 type TenantView struct {
 	// Weight is the tenant's WFQ weight (> 0; 1 is the default share).
 	Weight float64
@@ -69,16 +83,36 @@ type TenantView struct {
 	Tier int
 	// DeadlineCycles is the tenant's lag deadline for PolicyDeadline.
 	DeadlineCycles uint64
+	// TransportLatency is the tenant channel's pipeline delay between a
+	// record retiring and becoming visible to a lifeguard core. Policies
+	// need it to project consumption start times exactly.
+	TransportLatency uint64
+
+	// ChannelFree is the lifeguard-side cycle at which the tenant's
+	// channel finishes its newest in-flight record (logbuf's lastFinish).
+	// Records are consumed in order, so no new record of this tenant can
+	// start before ChannelFree on any core — the term the deadline
+	// policy's projection was missing while it was approximate. Like
+	// CoreView.Warmth it is requester-relative: the replay refreshes it
+	// for the tenant being scheduled before its Pick; other tenants'
+	// entries hold the value captured at their own last scheduled record.
+	ChannelFree uint64
 
 	// Records, ServedBits and ServedCost accumulate the tenant's consumed
 	// service: records scheduled, compressed log bytes moved (the WFQ
-	// virtual-time numerator) and lifeguard cycles charged.
+	// virtual-time numerator) and lifeguard cycles charged (migration
+	// charges included).
 	Records    uint64
 	ServedBits uint64
 	ServedCost uint64
 	// LastLagCycles is the queueing lag of the tenant's most recently
 	// scheduled record (finish minus production cycle).
 	LastLagCycles uint64
+	// Migrations and ColdServeCycles accumulate the tenant's migration
+	// count and charged migration cycles (zero while the migration model
+	// is off, i.e. MigrationPenalty == 0).
+	Migrations      uint64
+	ColdServeCycles uint64
 	// Done marks a tenant whose timeline is exhausted; schedulers skip
 	// Done tenants when ranking.
 	Done bool
@@ -88,19 +122,37 @@ type TenantView struct {
 // by weight. Underserved tenants have the smallest virtual time.
 func (v *TenantView) vtime() float64 { return float64(v.ServedBits) / v.Weight }
 
+// CoreView is one pool core's live scheduling state, refreshed by the
+// replay before every Pick. Warmth is relative to the requesting tenant,
+// so a policy comparing cores sees exactly the migration charge each
+// choice would incur.
+type CoreView struct {
+	// FreeAt is the cycle at which the core finishes its last assigned
+	// record (the per-core clock).
+	FreeAt uint64
+	// Warmth is the requesting tenant's shadow-cache warmth on this core,
+	// in [0, 1]: 1 means the tenant's working set is fully resident and a
+	// serve costs no migration charge, 0 means stone cold and a serve
+	// costs the full PoolConfig.MigrationPenalty.
+	Warmth float64
+	// LastTenant is the tenant this core served most recently (-1 if the
+	// core has not served anything yet).
+	LastTenant int
+}
+
 // Scheduler assigns records to pool cores. Pick receives the record being
-// scheduled, the pool's per-core free times (freeAt[i] is the cycle at
-// which core i finishes its last assigned record), and every tenant's live
+// scheduled, every pool core's live view (per-core clock, the requesting
+// tenant's warmth there, last tenant served), and every tenant's live
 // view; it returns the index of the serving core. Implementations may keep
-// state (rotation counters); a fresh instance is built per replay, so runs
-// stay independent and deterministic. Pick must be deterministic in its
-// arguments plus that private state — the replay's parallel == serial
-// byte-identical JSON contract depends on it.
+// state (rotation counters, last-core pointers); a fresh instance is built
+// per replay, so runs stay independent and deterministic. Pick must be
+// deterministic in its arguments plus that private state — the replay's
+// parallel == serial byte-identical JSON contract depends on it.
 type Scheduler interface {
 	// Name identifies the policy in results.
 	Name() string
-	// Pick returns the pool core (index into freeAt) that will serve req.
-	Pick(req Request, freeAt []uint64, tenants []TenantView) int
+	// Pick returns the pool core (index into cores) that will serve req.
+	Pick(req Request, cores []CoreView, tenants []TenantView) int
 }
 
 // Builder constructs a fresh scheduler for one replay of n tenants under
@@ -117,9 +169,10 @@ type registration struct {
 var registry = []registration{
 	{PolicyRoundRobin, func(PoolConfig, int) Scheduler { return &roundRobin{} }},
 	{PolicyLeastLag, func(PoolConfig, int) Scheduler { return leastLag{} }},
-	{PolicyDeadline, func(PoolConfig, int) Scheduler { return deadline{} }},
+	{PolicyDeadline, func(pool PoolConfig, _ int) Scheduler { return deadline{penalty: pool.MigrationPenalty} }},
 	{PolicyWFQ, func(PoolConfig, int) Scheduler { return wfq{} }},
 	{PolicyPriority, func(PoolConfig, int) Scheduler { return priority{} }},
+	{PolicyAffinity, newAffinity},
 }
 
 // Register adds a scheduling policy to the registry. It is intended for
@@ -205,13 +258,30 @@ func ParseWeights(s string) ([]float64, error) {
 	return weights, nil
 }
 
+// projectedFinish is the cycle at which core would finish req, including
+// the migration charge the core's current coldness implies. It mirrors
+// logbuf.Channel.ProduceAt exactly in the backpressure-free case: the
+// record becomes visible after the transport latency, cannot start before
+// the tenant's previous record finishes (in-order channel consumption),
+// nor before the core frees up.
+func projectedFinish(req Request, core CoreView, v *TenantView, penalty uint64) uint64 {
+	start := req.Ready + v.TransportLatency
+	if v.ChannelFree > start {
+		start = v.ChannelFree
+	}
+	if core.FreeAt > start {
+		start = core.FreeAt
+	}
+	return start + req.Cost + migrationCharge(penalty, core.Warmth)
+}
+
 type roundRobin struct{ next int }
 
 func (r *roundRobin) Name() string { return PolicyRoundRobin }
 
-func (r *roundRobin) Pick(_ Request, freeAt []uint64, _ []TenantView) int {
-	c := r.next % len(freeAt)
-	r.next = (r.next + 1) % len(freeAt)
+func (r *roundRobin) Pick(_ Request, cores []CoreView, _ []TenantView) int {
+	c := r.next % len(cores)
+	r.next = (r.next + 1) % len(cores)
 	return c
 }
 
@@ -219,72 +289,68 @@ type leastLag struct{}
 
 func (leastLag) Name() string { return PolicyLeastLag }
 
-func (leastLag) Pick(_ Request, freeAt []uint64, _ []TenantView) int {
-	return earliestFree(freeAt)
+func (leastLag) Pick(_ Request, cores []CoreView, _ []TenantView) int {
+	return earliestFree(cores)
 }
 
 // earliestFree returns the index of the soonest-free core, ties breaking
 // toward the lowest index.
-func earliestFree(freeAt []uint64) int {
+func earliestFree(cores []CoreView) int {
 	best := 0
-	for i := 1; i < len(freeAt); i++ {
-		if freeAt[i] < freeAt[best] {
+	for i := 1; i < len(cores); i++ {
+		if cores[i].FreeAt < cores[best].FreeAt {
 			best = i
 		}
 	}
 	return best
 }
 
-type deadline struct{}
+type deadline struct{ penalty uint64 }
 
 func (deadline) Name() string { return PolicyDeadline }
 
-func (deadline) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
-	// Projected lag on core c is max(freeAt[c], ready) + cost - ready;
-	// transport latency and in-channel ordering add a little on top, so
-	// the bound is approximate — which is fine, the policy shapes the
-	// tail, the channel model measures it. Choose the *latest*-free core
-	// that still meets the deadline so idle cores stay in reserve for
-	// urgent records; when nothing meets it, degrade to least-lag.
-	dl := tenants[req.Tenant].DeadlineCycles
+func (d deadline) Pick(req Request, cores []CoreView, tenants []TenantView) int {
+	// Choose the *latest*-free core whose exact projected lag still meets
+	// the tenant's deadline, so idle cores stay in reserve for urgent
+	// records; when nothing meets it, degrade to least-lag. The
+	// projection (projectedFinish) accounts for transport latency,
+	// in-channel ordering and the migration charge, so the only slack
+	// left is backpressure stalls the policy cannot see.
+	v := &tenants[req.Tenant]
 	best := -1
-	for i, f := range freeAt {
-		start := f
-		if req.Ready > start {
-			start = req.Ready
-		}
-		if start+req.Cost-req.Ready > dl {
+	for i, core := range cores {
+		if projectedFinish(req, core, v, d.penalty)-req.Ready > v.DeadlineCycles {
 			continue
 		}
-		if best < 0 || f > freeAt[best] {
+		if best < 0 || core.FreeAt > cores[best].FreeAt {
 			best = i
 		}
 	}
 	if best >= 0 {
 		return best
 	}
-	return earliestFree(freeAt)
+	return earliestFree(cores)
 }
 
 type wfq struct{}
 
 func (wfq) Name() string { return PolicyWFQ }
 
-func (wfq) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
+func (wfq) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	rank, active := vtimeRank(req.Tenant, tenants, func(a, b *TenantView, ai, bi int) bool {
 		if a.vtime() != b.vtime() {
 			return a.vtime() < b.vtime()
 		}
 		return ai < bi
 	})
-	return coreByRank(rank, active, freeAt)
+	return coreByRank(rank, active, cores)
 }
 
 type priority struct{}
 
 func (priority) Name() string { return PolicyPriority }
 
-func (priority) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
+func (priority) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	// Strict tiers first, WFQ virtual time inside a tier: every tenant of
 	// a better tier outranks every tenant of a worse one, so paid tenants
 	// monopolise the early (soonest-free) cores under contention.
@@ -297,7 +363,47 @@ func (priority) Pick(req Request, freeAt []uint64, tenants []TenantView) int {
 		}
 		return ai < bi
 	})
-	return coreByRank(rank, active, freeAt)
+	return coreByRank(rank, active, cores)
+}
+
+// affinity is warmth-aware least-lag with hysteresis (see PolicyAffinity).
+// last[t] is the core that served tenant t's previous record, -1 before
+// the first — private per-replay state, so determinism holds.
+type affinity struct {
+	penalty uint64
+	last    []int
+}
+
+func newAffinity(pool PoolConfig, n int) Scheduler {
+	a := &affinity{penalty: pool.MigrationPenalty, last: make([]int, n)}
+	for i := range a.last {
+		a.last[i] = -1
+	}
+	return a
+}
+
+func (*affinity) Name() string { return PolicyAffinity }
+
+func (a *affinity) Pick(req Request, cores []CoreView, tenants []TenantView) int {
+	v := &tenants[req.Tenant]
+	best := 0
+	bestFinish := projectedFinish(req, cores[0], v, a.penalty)
+	for i := 1; i < len(cores); i++ {
+		if f := projectedFinish(req, cores[i], v, a.penalty); f < bestFinish {
+			best, bestFinish = i, f
+		}
+	}
+	// Hysteresis: stay on the previous core unless the best alternative
+	// wins by more than half the penalty. The migration charge already
+	// penalises a move inside projectedFinish; the extra margin stops
+	// core ping-pong when queue noise is comparable to the charge.
+	if prev := a.last[req.Tenant]; prev >= 0 && prev != best {
+		if projectedFinish(req, cores[prev], v, a.penalty) <= bestFinish+a.penalty/2 {
+			best = prev
+		}
+	}
+	a.last[req.Tenant] = best
+	return best
 }
 
 // vtimeRank returns the rank of tenant t among the active (not Done)
@@ -325,25 +431,26 @@ func vtimeRank(t int, tenants []TenantView, less func(a, b *TenantView, ai, bi i
 // coreByRank maps a tenant's service rank (0 = most underserved of the
 // active tenants) onto the pool: rank 0 gets the earliest-free core, the
 // last rank the latest-free core, with the rest spread linearly between.
-func coreByRank(rank, active int, freeAt []uint64) int {
-	if active <= 1 || len(freeAt) == 1 {
-		return earliestFree(freeAt)
+func coreByRank(rank, active int, cores []CoreView) int {
+	if active <= 1 || len(cores) == 1 {
+		return earliestFree(cores)
 	}
-	pos := rank * (len(freeAt) - 1) / (active - 1)
-	if pos >= len(freeAt) {
-		pos = len(freeAt) - 1
+	pos := rank * (len(cores) - 1) / (active - 1)
+	if pos >= len(cores) {
+		pos = len(cores) - 1
 	}
-	// Selection scan for the pos-th core in ascending (freeAt, index)
+	// Selection scan for the pos-th core in ascending (FreeAt, index)
 	// order. Pick runs once per scheduled record, and pools are small, so
 	// repeated linear scans beat allocating and sorting an order slice.
 	prev := -1
 	for k := 0; ; k++ {
 		best := -1
-		for i, f := range freeAt {
-			if prev >= 0 && (f < freeAt[prev] || (f == freeAt[prev] && i <= prev)) {
+		for i := range cores {
+			f := cores[i].FreeAt
+			if prev >= 0 && (f < cores[prev].FreeAt || (f == cores[prev].FreeAt && i <= prev)) {
 				continue // selected in an earlier round
 			}
-			if best < 0 || f < freeAt[best] {
+			if best < 0 || f < cores[best].FreeAt {
 				best = i
 			}
 		}

@@ -9,8 +9,18 @@ import (
 	"repro/internal/core"
 )
 
+// coresAt builds core views with the given free times (cold, no history),
+// the shape most Pick unit tests need.
+func coresAt(freeAt ...uint64) []CoreView {
+	cores := make([]CoreView, len(freeAt))
+	for i, f := range freeAt {
+		cores[i] = CoreView{FreeAt: f, LastTenant: -1}
+	}
+	return cores
+}
+
 func TestRegistry(t *testing.T) {
-	want := []string{PolicyRoundRobin, PolicyLeastLag, PolicyDeadline, PolicyWFQ, PolicyPriority}
+	want := []string{PolicyRoundRobin, PolicyLeastLag, PolicyDeadline, PolicyWFQ, PolicyPriority, PolicyAffinity}
 	got := Policies()
 	if len(got) != len(want) {
 		t.Fatalf("Policies() = %v, want %v", got, want)
@@ -125,11 +135,11 @@ func mustSched(t *testing.T, policy string, pool PoolConfig, n int) Scheduler {
 
 func TestRoundRobinPick(t *testing.T) {
 	rr := mustSched(t, PolicyRoundRobin, PoolConfig{}, 1)
-	freeAt := []uint64{100, 0, 50}
+	cores := coresAt(100, 0, 50)
 	views := make([]TenantView, 1)
 	want := []int{0, 1, 2, 0}
 	for i, w := range want {
-		if got := rr.Pick(Request{}, freeAt, views); got != w {
+		if got := rr.Pick(Request{}, cores, views); got != w {
 			t.Errorf("round-robin pick %d = %d, want %d", i, got, w)
 		}
 	}
@@ -138,10 +148,10 @@ func TestRoundRobinPick(t *testing.T) {
 func TestLeastLagPick(t *testing.T) {
 	ll := mustSched(t, PolicyLeastLag, PoolConfig{}, 1)
 	views := make([]TenantView, 1)
-	if c := ll.Pick(Request{}, []uint64{100, 0, 50}, views); c != 1 {
+	if c := ll.Pick(Request{}, coresAt(100, 0, 50), views); c != 1 {
 		t.Errorf("least-lag picked core %d, want the idle core 1", c)
 	}
-	if c := ll.Pick(Request{}, []uint64{7, 7, 7}, views); c != 0 {
+	if c := ll.Pick(Request{}, coresAt(7, 7, 7), views); c != 0 {
 		t.Errorf("least-lag tie must break low, got %d", c)
 	}
 }
@@ -155,18 +165,105 @@ func TestDeadlinePick(t *testing.T) {
 	// Both cores meet the deadline (lags 10 and 110): keep the idle core
 	// in reserve and take the busier one.
 	req := Request{Tenant: 0, Ready: 0, Cost: 10}
-	if c := d.Pick(req, []uint64{0, 100}, views); c != 1 {
+	if c := d.Pick(req, coresAt(0, 100), views); c != 1 {
 		t.Errorf("deadline picked core %d, want the latest feasible core 1", c)
 	}
 	// Only the idle core meets a 50-cycle deadline.
 	views[0].DeadlineCycles = 50
-	if c := d.Pick(req, []uint64{0, 100}, views); c != 0 {
+	if c := d.Pick(req, coresAt(0, 100), views); c != 0 {
 		t.Errorf("deadline picked core %d, want the only feasible core 0", c)
 	}
 	// No core can meet a 5-cycle deadline: degrade to least-lag.
 	views[0].DeadlineCycles = 5
-	if c := d.Pick(req, []uint64{80, 60}, views); c != 1 {
+	if c := d.Pick(req, coresAt(80, 60), views); c != 1 {
 		t.Errorf("deadline picked core %d, want the earliest-free fallback 1", c)
+	}
+}
+
+// TestDeadlinePickExactProjection pins the channel-aware projection: the
+// transport latency and the tenant's own in-channel consumption floor
+// (ChannelFree) now count against the deadline, so a core the old
+// clock-only approximation would have accepted is correctly rejected.
+func TestDeadlinePickExactProjection(t *testing.T) {
+	pool := PoolConfig{Cores: 2}
+	views := pool.tenantViews(1)
+	d := mustSched(t, PolicyDeadline, pool, 1)
+	req := Request{Tenant: 0, Ready: 1000, Cost: 50}
+
+	// Transport latency: core 1 (free at ready+40) projects lag 90 under
+	// the old approximation but 50+40=90 -> with latency 30 the record is
+	// only visible at ready+30, so the true lag is still 90; tighten the
+	// deadline so the latency is what breaks feasibility on the idle core.
+	views[0].DeadlineCycles = 70
+	views[0].TransportLatency = 30
+	// Idle core: true lag = 30 + 50 = 80 > 70; the old projection said 50
+	// <= 70 and would have accepted. Nothing is feasible -> least-lag.
+	if c := d.Pick(req, coresAt(0, 1040), views); c != 0 {
+		t.Errorf("deadline picked core %d, want the earliest-free fallback 0 (latency makes both infeasible)", c)
+	}
+	views[0].DeadlineCycles = 80
+	// Now the idle core is exactly feasible (80 <= 80) and the busy one is
+	// not (1040-1000+50=90 > 80): the projection must separate them.
+	if c := d.Pick(req, coresAt(0, 1040), views); c != 0 {
+		t.Errorf("deadline picked core %d, want the only feasible core 0", c)
+	}
+
+	// In-channel ordering: the tenant's previous record finishes at
+	// ready+100, so no core can start this one before then. The old
+	// approximation saw two feasible cores; the exact one sees none.
+	views[0].TransportLatency = 0
+	views[0].DeadlineCycles = 120
+	views[0].ChannelFree = 1100
+	if c := d.Pick(req, coresAt(0, 1010), views); c != 0 {
+		t.Errorf("deadline picked core %d, want the earliest-free fallback 0 (ChannelFree makes both infeasible)", c)
+	}
+	// Relax the deadline past channel-free + cost: both become feasible
+	// again and the latest-free core is held.
+	views[0].DeadlineCycles = 150
+	if c := d.Pick(req, coresAt(0, 1010), views); c != 1 {
+		t.Errorf("deadline picked core %d, want the latest feasible core 1", c)
+	}
+}
+
+// TestAffinityPick covers the warmth-aware policy's three behaviours:
+// charge-aware projection, stickiness to the previous core under
+// hysteresis, and migration when another core wins decisively.
+func TestAffinityPick(t *testing.T) {
+	pool := PoolConfig{Cores: 2, MigrationPenalty: 100}
+	views := pool.tenantViews(1)
+	a := mustSched(t, PolicyAffinity, pool, 1)
+	req := Request{Tenant: 0, Ready: 0, Cost: 10}
+
+	// No history: the cold idle core projects 10+100=110, the warm busy
+	// core projects 40+10+0=50. Warmth must beat idleness.
+	cores := coresAt(40, 0)
+	cores[0].Warmth = 1
+	if c := a.Pick(req, cores, views); c != 0 {
+		t.Errorf("affinity picked core %d, want the warm core 0 despite its backlog", c)
+	}
+
+	// Stickiness: the tenant is now pinned to core 0. A rival core that
+	// wins by less than penalty/2 must not trigger a migration...
+	cores = coresAt(200, 60)
+	cores[0].Warmth = 1 // projections: stay = 210, move = 170 — wins by 40 < 50
+	if c := a.Pick(req, cores, views); c != 0 {
+		t.Errorf("affinity picked core %d, want to stay on the warm core 0 under hysteresis", c)
+	}
+	// ...but a decisive win (more than penalty/2 cheaper) must.
+	cores = coresAt(300, 0)
+	cores[0].Warmth = 1 // stay = 310, move = 110: 110+50 < 310
+	if c := a.Pick(req, cores, views); c != 1 {
+		t.Errorf("affinity picked core %d, want to migrate to core 1", c)
+	}
+
+	// At penalty 0 it degrades to least-lag with stickiness: ties and
+	// small wins keep the current core, real wins move.
+	zero := mustSched(t, PolicyAffinity, PoolConfig{Cores: 2}, 1)
+	if c := zero.Pick(req, coresAt(0, 50), views); c != 0 {
+		t.Errorf("zero-penalty affinity picked core %d, want least-lag's core 0", c)
+	}
+	if c := zero.Pick(req, coresAt(60, 50), views); c != 1 {
+		t.Errorf("zero-penalty affinity picked core %d, want the earlier core 1 (no charge to save)", c)
 	}
 }
 
@@ -176,25 +273,25 @@ func TestWFQPick(t *testing.T) {
 		{Weight: 1, ServedBits: 4000}, // vtime 4000: overserved
 		{Weight: 1, ServedBits: 100},  // vtime 100: underserved
 	}
-	freeAt := []uint64{500, 90}
-	if c := w.Pick(Request{Tenant: 1}, freeAt, views); c != 1 {
+	cores := coresAt(500, 90)
+	if c := w.Pick(Request{Tenant: 1}, cores, views); c != 1 {
 		t.Errorf("wfq gave the underserved tenant core %d, want the earliest-free core 1", c)
 	}
-	if c := w.Pick(Request{Tenant: 0}, freeAt, views); c != 0 {
+	if c := w.Pick(Request{Tenant: 0}, cores, views); c != 0 {
 		t.Errorf("wfq gave the overserved tenant core %d, want the latest-free core 0", c)
 	}
 	// Weights rescale the virtual clocks: 4000 bits at weight 8 is less
 	// virtual time than 1000 bits at weight 1.
 	views[0].Weight = 8
 	views[1].ServedBits = 1000
-	if c := w.Pick(Request{Tenant: 0}, freeAt, views); c != 1 {
+	if c := w.Pick(Request{Tenant: 0}, cores, views); c != 1 {
 		t.Errorf("weighted wfq gave the heavy tenant core %d, want the earliest-free core 1", c)
 	}
 	// Done tenants drop out of the ranking: alone, the requester gets the
 	// earliest-free core regardless of its clock.
 	views[1].Done = true
 	views[0].Weight = 1
-	if c := w.Pick(Request{Tenant: 0}, freeAt, views); c != 1 {
+	if c := w.Pick(Request{Tenant: 0}, cores, views); c != 1 {
 		t.Errorf("wfq with a lone active tenant picked core %d, want 1", c)
 	}
 }
@@ -205,18 +302,18 @@ func TestPriorityPick(t *testing.T) {
 		{Weight: 1, Tier: 1, ServedBits: 0},    // worse tier, no service yet
 		{Weight: 1, Tier: 0, ServedBits: 9000}, // premium tier, heavily served
 	}
-	freeAt := []uint64{500, 90}
+	cores := coresAt(500, 90)
 	// Strict tiers: the premium tenant outranks the tier-1 tenant even
 	// with far more consumed service.
-	if c := p.Pick(Request{Tenant: 1}, freeAt, views); c != 1 {
+	if c := p.Pick(Request{Tenant: 1}, cores, views); c != 1 {
 		t.Errorf("priority gave the premium tenant core %d, want the earliest-free core 1", c)
 	}
-	if c := p.Pick(Request{Tenant: 0}, freeAt, views); c != 0 {
+	if c := p.Pick(Request{Tenant: 0}, cores, views); c != 0 {
 		t.Errorf("priority gave the tier-1 tenant core %d, want the latest-free core 0", c)
 	}
 	// Inside one tier it degenerates to WFQ.
 	views[0].Tier = 0
-	if c := p.Pick(Request{Tenant: 0}, freeAt, views); c != 1 {
+	if c := p.Pick(Request{Tenant: 0}, cores, views); c != 1 {
 		t.Errorf("priority within a tier gave the underserved tenant core %d, want 1", c)
 	}
 }

@@ -1,0 +1,71 @@
+package tenant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// synthProfile wraps a hand-built timeline in a Profile the replay
+// accepts, deriving the aggregate counters the result invariants check
+// against. pad is the application slack after the last step.
+func synthProfile(name string, steps []step, pad uint64) *Profile {
+	var records, logBits, cost, last uint64
+	for _, s := range steps {
+		if s.cycle > last {
+			last = s.cycle
+		}
+		if s.bits == drainMark {
+			continue
+		}
+		records++
+		logBits += uint64(s.bits)
+		cost += uint64(s.cost)
+	}
+	appCycles := last + pad
+	cfg := core.DefaultConfig()
+	return &Profile{
+		Tenant: Tenant{Name: name, Benchmark: "synthetic", Config: cfg},
+		steps:  steps,
+		Result: &core.Result{AppCycles: appCycles, WallCycles: appCycles,
+			Records: records, LogBits: logBits, LgCycles: cost},
+		Base:          &core.Result{WallCycles: appCycles + 1},
+		DedicatedWall: dedicatedWall(steps, cfg.Channel, appCycles),
+	}
+}
+
+// burstTimeline generates a bursty record timeline: bursts of perBurst
+// records, in-burst production gaps drawn from [gapLo, gapHi], quiet
+// spans of spacing cycles between bursts, costs from [costLo, costHi]
+// and compressed sizes from [16, 144) bits. Deterministic in rng.
+func burstTimeline(rng *rand.Rand, bursts, perBurst int, spacing uint64, gapLo, gapHi, costLo, costHi int) []step {
+	var steps []step
+	var cycle uint64
+	for b := 0; b < bursts; b++ {
+		cycle += spacing
+		c := cycle
+		for k := 0; k < perBurst; k++ {
+			c += uint64(gapLo + rng.Intn(gapHi-gapLo+1))
+			steps = append(steps, step{
+				cycle: c,
+				bits:  uint32(16 + rng.Intn(128)),
+				cost:  uint32(costLo + rng.Intn(costHi-costLo+1)),
+			})
+		}
+	}
+	return steps
+}
+
+// synthSet builds n tenants sharing one timeline generator, each with an
+// independent deterministic stream so tenants are statistically alike but
+// not byte-identical (identical timelines would make the replay's merge
+// tie-break on tenant index, confounding policy effects with index bias).
+func synthSet(seed int64, n int, gen func(rng *rand.Rand) []step) []*Profile {
+	profiles := make([]*Profile, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+		profiles[i] = synthProfile(fmt.Sprintf("synth-%d", i), gen(rng), 5000)
+	}
+	return profiles
+}

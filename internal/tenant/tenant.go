@@ -28,14 +28,28 @@
 // # Scheduling
 //
 // The replay's record-to-core assignment is a pluggable policy behind the
-// Scheduler interface: each Pick receives the record being scheduled, the
-// pool's per-core clocks, and a live TenantView per tenant (weight, tier,
-// lag deadline, accumulated service). Five policies are registered —
-// round-robin and least-lag (the baselines), deadline (bound each
-// tenant's lag tail), wfq (weighted fair queueing over consumed log
-// bytes) and priority (strict SLA tiers with WFQ inside a tier) — and
-// Register accepts experimental ones. See docs/architecture.md for the
-// full scheduler contract.
+// Scheduler interface: each Pick receives the record being scheduled, a
+// live CoreView per pool core (clock, the requesting tenant's
+// shadow-cache warmth there, last tenant served), and a live TenantView
+// per tenant (weight, tier, lag deadline, channel state, accumulated
+// service). Six policies are registered — round-robin and least-lag (the
+// baselines), deadline (bound each tenant's lag tail with an exact
+// channel-aware projection), wfq (weighted fair queueing over consumed
+// log bytes), priority (strict SLA tiers with WFQ inside a tier) and
+// affinity (warmth-aware least-lag with hysteresis) — and Register
+// accepts experimental ones. See docs/architecture.md for the full
+// scheduler contract.
+//
+// # Shadow-cache warmth and migration costs
+//
+// Lifeguard cores are only fast on a tenant whose shadow working set is
+// cache-resident, so each pool core tracks a bounded per-tenant warmth
+// (half-life decay under other tenants' service;
+// PoolConfig.WarmthHalfLifeBytes) and serving a record on a cold core
+// charges PoolConfig.MigrationPenalty scaled by the missing warmth. A
+// zero penalty disables the model without changing any policy's timing;
+// per-tenant migration counts and cold-serve cycles surface in
+// TenantResult and the lba-runner/v1 artifact once it is on.
 //
 // # Admission control
 //

@@ -1,0 +1,111 @@
+package tenant
+
+import "math"
+
+// DefaultWarmthHalfLifeBytes is the shadow-cache warmth half-life assumed
+// when PoolConfig.WarmthHalfLifeBytes is zero: a tenant's warmth on a core
+// halves after the core serves 4 KiB of other tenants' log. Like
+// DefaultDeadlineCycles it is a design knob, not a derived quantity: a few
+// KiB is the scale at which one tenant's shadow working set is evicted
+// from a lifeguard core's private cache by another tenant's records.
+const DefaultWarmthHalfLifeBytes = 4 << 10
+
+// warmthModel tracks per-core, per-tenant shadow-cache warmth for one
+// replay. A lifeguard core is only fast on a tenant whose shadow-memory
+// working set is resident; the model abstracts residency to a bounded
+// warmth value in [0, 1]:
+//
+//   - serving b bytes of tenant t on core c moves t's warmth toward 1
+//     with the configured half-life (w += (1-w) * f, f = 1 - 2^(-b/H));
+//   - the same service evicts every other tenant u on c by the same
+//     factor (w *= 2^(-b/H)).
+//
+// Because the gain and the decay share one factor, the per-core warmth
+// total obeys sum' = sum*(1-f) + f: starting from 0 it converges toward 1
+// and never exceeds it — one core holds at most one working set's worth
+// of warmth. That bound is the warmth-conservation invariant the fuzz and
+// property tiers assert.
+//
+// Warmth depends only on the record-to-core assignment and record sizes,
+// never on the clock, so a timing change (a migration penalty, a policy's
+// cost projection) cannot feed back into the warmth trajectory of a fixed
+// assignment sequence — which is what makes the penalty-monotonicity
+// invariant provable for fixed-assignment policies like round-robin.
+type warmthModel struct {
+	halfLife float64     // bytes of foreign service that halve a warmth
+	warm     [][]float64 // [core][tenant] warmth in [0, 1]
+	lastCore []int       // [tenant] core that served the tenant last, -1 if none
+	lastTen  []int       // [core] tenant served most recently, -1 if none
+}
+
+func newWarmthModel(cores, tenants int, halfLifeBytes uint64) *warmthModel {
+	if halfLifeBytes == 0 {
+		halfLifeBytes = DefaultWarmthHalfLifeBytes
+	}
+	m := &warmthModel{
+		halfLife: float64(halfLifeBytes),
+		warm:     make([][]float64, cores),
+		lastCore: make([]int, tenants),
+		lastTen:  make([]int, cores),
+	}
+	for c := range m.warm {
+		m.warm[c] = make([]float64, tenants)
+		m.lastTen[c] = -1
+	}
+	for t := range m.lastCore {
+		m.lastCore[t] = -1
+	}
+	return m
+}
+
+// warmth returns the tenant's warmth on the core.
+func (m *warmthModel) warmth(core, tenant int) float64 { return m.warm[core][tenant] }
+
+// lastTenant returns the tenant the core served most recently (-1 if the
+// core is untouched).
+func (m *warmthModel) lastTenant(core int) int { return m.lastTen[core] }
+
+// serve records that the core consumed bits of the tenant's log: the
+// tenant warms toward 1, every co-resident tenant decays, and the
+// tenant's last-core pointer advances. It reports whether this serve was
+// a migration — the tenant's previous record went to a different core.
+func (m *warmthModel) serve(core, tenant int, bits uint64) (migrated bool) {
+	f := 1 - math.Exp2(-float64(bits)/(8*m.halfLife))
+	row := m.warm[core]
+	for u := range row {
+		if u == tenant {
+			row[u] += (1 - row[u]) * f
+		} else {
+			row[u] *= 1 - f
+		}
+	}
+	migrated = m.lastCore[tenant] >= 0 && m.lastCore[tenant] != core
+	m.lastCore[tenant] = core
+	m.lastTen[core] = tenant
+	return migrated
+}
+
+// snapshot copies the warmth matrix for results and invariant checks.
+func (m *warmthModel) snapshot() [][]float64 {
+	out := make([][]float64, len(m.warm))
+	for c, row := range m.warm {
+		out[c] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// migrationCharge is the extra lifeguard cost of serving a record on a
+// core at the given warmth: the full penalty on a stone-cold core, zero on
+// a fully warm one, linear in the missing warmth between. It is the single
+// place timing touches the warmth model, so a zero penalty makes the whole
+// model timing-neutral.
+func migrationCharge(penalty uint64, warmth float64) uint64 {
+	if penalty == 0 {
+		return 0
+	}
+	cold := 1 - warmth
+	if cold < 0 {
+		cold = 0
+	}
+	return uint64(math.Round(float64(penalty) * cold))
+}
