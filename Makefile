@@ -14,13 +14,14 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/tenant/...
-	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity' ./internal/tenant
+	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity|TestChurn|TestPropertyBisection|TestApplyChurn|TestPeakConcurrency' ./internal/tenant
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/vpc
 	$(GO) test -run '^$$' -fuzz '^FuzzDecompressTrace$$' -fuzztime 10s ./internal/vpc
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordRoundTrip$$' -fuzztime 10s ./internal/event
 	$(GO) test -run '^FuzzReplayInvariants$$' ./internal/tenant
+	$(GO) test -run '^TestChurnCorpusSeeds$$' ./internal/tenant
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayInvariants$$' -fuzztime 10s ./internal/tenant
 
 docs:
@@ -40,6 +41,8 @@ docs:
 bench:
 	BENCH_JSON=BENCH_results.json $(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/lbabench -n 150000 -json BENCH_lbabench.json
+	$(GO) run ./cmd/lbabench -n 40000 -fig churn -tenants 4 -pool 2 -seeds 2 -json BENCH_churn.json
+	@grep -q '"churn"' BENCH_churn.json && grep -q '"peak_concurrency"' BENCH_churn.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

@@ -11,6 +11,8 @@
 //	lbabench -fig contention      # multi-tenant slowdown vs pool size
 //	lbabench -fig sched           # all six pool schedulers + admission control
 //	lbabench -fig affinity        # affinity vs least-lag vs wfq across migration penalties
+//	lbabench -fig churn           # admissible tenants vs churn rate (bisection admission)
+//	lbabench -fig churn -seeds 5  # ...with repeated-seed confidence bands
 //	lbabench -table chars         # benchmark characteristics (§3)
 //	lbabench -table compress      # VPC compression (§2)
 //	lbabench -table avg           # headline averages (§3)
@@ -24,6 +26,7 @@
 //	lbabench -tenants 6 -pool 2 -sched wfq -weights 4,1    # weighted shares
 //	lbabench -tenants 6 -pool 2 -sched deadline -deadline 2000
 //	lbabench -tenants 6 -pool 2 -sched affinity -migration 1000  # warmth-aware
+//	lbabench -tenants 6 -pool 2 -churn 0.5       # churning cell (staggered arrivals/departures)
 //	lbabench -n 2000000           # instruction scale per run
 //	lbabench -workers 8           # experiment-matrix worker pool width
 //	lbabench -json out.json       # structured results for trajectory tracking
@@ -61,9 +64,14 @@ type session struct {
 	metrics     map[string]float64
 	tenantCells []runner.TenantCell
 	admission   []runner.AdmissionPoint
+	churnPoints []runner.ChurnPoint
 	// basePool carries the -pool/-sched/-weights/-deadline inputs shared
-	// by the single-cell path and the scheduler figure.
+	// by the single-cell path, the scheduler figure and the churn figure.
 	basePool tenant.PoolConfig
+	// churnRate and seeds carry -churn/-seeds: the cell-mode churn layout
+	// and the churn figure's repeated-seed replication count.
+	churnRate float64
+	seeds     int
 }
 
 // defaultContentionTenants sizes the contention figure's tenant set when
@@ -73,7 +81,7 @@ const defaultContentionTenants = 6
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lbabench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "", "2a | 2b | 2c | contention | sched | affinity")
+		fig       = fs.String("fig", "", "2a | 2b | 2c | contention | sched | affinity | churn")
 		table     = fs.String("table", "", "chars | compress | avg")
 		ablation  = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
 		scale     = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
@@ -85,6 +93,8 @@ func run(args []string, out io.Writer) error {
 		weights   = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
 		deadline  = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
 		migration = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
+		churn     = fs.Float64("churn", 0, "tenant churn rate for a single cell: arrival spacing in tenant lifetimes (0 = fixed set; the churn figure sweeps rates itself)")
+		seeds     = fs.Int("seeds", 1, "workload-seed replications for the churn figure's admission confidence bands")
 		jsonPath  = fs.String("json", "", "write structured runner results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,18 +109,26 @@ func run(args []string, out io.Writer) error {
 	if err := tenant.ValidPolicy(*sched); err != nil {
 		return err
 	}
+	if err := (tenant.Churn{Rate: *churn}).Validate(); err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
 	wts, err := tenant.ParseWeights(*weights)
 	if err != nil {
 		return err
 	}
 	// The pool flags are consumed by the single-cell path and (except for
 	// -sched, which the figure sweeps itself) by the sched and affinity
-	// figures; the contention figure sweeps its own pool sizes and
-	// policies, and the affinity figure sweeps migration penalties.
+	// figures; the churn figure plans for one -sched policy but sweeps
+	// churn rates itself; the contention figure sweeps its own pool sizes
+	// and policies, and the affinity figure sweeps migration penalties.
 	// Reject explicit values that would otherwise be dropped silently.
 	schedFig := *fig == "sched"
 	affinityFig := *fig == "affinity"
-	cellMode := *tenants > 0 && *fig != "contention" && !schedFig && !affinityFig
+	churnFig := *fig == "churn"
+	cellMode := *tenants > 0 && *fig != "contention" && !schedFig && !affinityFig && !churnFig
 	var conflict error
 	fs.Visit(func(f *flag.Flag) {
 		if conflict != nil {
@@ -118,23 +136,33 @@ func run(args []string, out io.Writer) error {
 		}
 		switch f.Name {
 		case "sched":
-			if !cellMode {
-				conflict = fmt.Errorf("-sched only applies with -tenants N (single multi-tenant cell); the contention, sched and affinity figures sweep policies themselves")
+			if !cellMode && !churnFig {
+				conflict = fmt.Errorf("-sched only applies with -tenants N (single multi-tenant cell) or -fig churn; the contention, sched and affinity figures sweep policies themselves")
 			}
 		case "pool", "weights":
-			if !cellMode && !schedFig && !affinityFig {
-				conflict = fmt.Errorf("-%s only applies with -tenants N, -fig sched or -fig affinity", f.Name)
+			if !cellMode && !schedFig && !affinityFig && !churnFig {
+				conflict = fmt.Errorf("-%s only applies with -tenants N, -fig sched, -fig affinity or -fig churn", f.Name)
 			}
 		case "deadline":
 			// The affinity figure's policies (least-lag, wfq, affinity)
 			// never read the deadline, so accepting it there would drop
 			// it silently.
-			if !cellMode && !schedFig {
-				conflict = fmt.Errorf("-deadline only applies with -tenants N or -fig sched")
+			if !cellMode && !schedFig && !churnFig {
+				conflict = fmt.Errorf("-deadline only applies with -tenants N, -fig sched or -fig churn")
 			}
 		case "migration":
-			if !cellMode && !schedFig {
-				conflict = fmt.Errorf("-migration only applies with -tenants N or -fig sched (the affinity figure sweeps penalties itself)")
+			if !cellMode && !schedFig && !churnFig {
+				conflict = fmt.Errorf("-migration only applies with -tenants N, -fig sched or -fig churn (the affinity figure sweeps penalties itself)")
+			}
+		case "churn":
+			// The churn figure sweeps rates itself; accepting an explicit
+			// rate there would drop it silently.
+			if !cellMode {
+				conflict = fmt.Errorf("-churn only applies with -tenants N (single multi-tenant cell); the churn figure sweeps rates itself")
+			}
+		case "seeds":
+			if !churnFig {
+				conflict = fmt.Errorf("-seeds only applies with -fig churn (confidence bands for the admission search)")
 			}
 		}
 	})
@@ -148,6 +176,8 @@ func run(args []string, out io.Writer) error {
 		metrics: map[string]float64{},
 		basePool: tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
 			DeadlineCycles: *deadline, MigrationPenalty: *migration},
+		churnRate: *churn,
+		seeds:     *seeds,
 	}
 	s.opts = figures.Options{Scale: *scale, Threads: *threads, Runner: s.eng}
 
@@ -185,11 +215,12 @@ func (s *session) writeJSON(path string) error {
 	}
 	rep.TenantCells = s.tenantCells
 	rep.Admission = s.admission
+	rep.Churn = s.churnPoints
 	return runner.WriteJSONFile(path, rep)
 }
 
 func (s *session) everything() error {
-	for _, f := range []string{"2a", "2b", "2c", "contention", "sched", "affinity"} {
+	for _, f := range []string{"2a", "2b", "2c", "contention", "sched", "affinity", "churn"} {
 		if err := s.figure(f, 0); err != nil {
 			return err
 		}
@@ -223,9 +254,12 @@ func (s *session) figure(fig string, tenants int) error {
 	if fig == "affinity" {
 		return s.affinityFigure(tenants)
 	}
+	if fig == "churn" {
+		return s.churnFigure(tenants)
+	}
 	lifeguard, ok := panelOf[fig]
 	if !ok {
-		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention, sched, affinity)", fig)
+		return fmt.Errorf("unknown figure %q (have 2a, 2b, 2c, contention, sched, affinity, churn)", fig)
 	}
 	rows, err := figures.Figure2Panel(lifeguard, s.opts)
 	if err != nil {
@@ -388,11 +422,61 @@ func (s *session) affinityFigure(n int) error {
 	return nil
 }
 
+// churnFigure regenerates the churn planning figure: admissible tenants
+// vs churn rate for the -pool/-sched pool, each point answered by the
+// bisection-based admission search (with -seeds workload-seed
+// replications for confidence bands) and paired with the admitted
+// population's peak channel concurrency. n bounds the search like the
+// sched figure's admission scan (0 = twice the pool width).
+func (s *session) churnFigure(n int) error {
+	if n <= 0 {
+		n = 2 * s.basePool.Cores
+		if n < 2 {
+			n = 2
+		}
+	}
+	rows, results, err := figures.ChurnSweep(s.basePool, figures.DefaultChurnRates(),
+		figures.DefaultAdmissionSLOs(), n, s.seeds, s.opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "Figure: tenant churn — admissible tenants on %d cores (%s) as arrivals spread out (search 1-%d, %d seed(s))\n",
+		s.basePool.Cores, rows[0].Policy, n, s.seeds)
+	tb := metrics.NewTable("rate", "slo", "max-tenants", "band", "peak-conc", "probes", "search")
+	for _, r := range rows {
+		search := "bisect"
+		if r.Fallback {
+			search = "fallback-scan"
+		}
+		tb.AddRow(fmt.Sprintf("%.2f", r.Rate),
+			fmt.Sprintf("%.2fX", r.SLO),
+			fmt.Sprintf("%d", r.MaxTenants),
+			fmt.Sprintf("%d-%d", r.TenantsLo, r.TenantsHi),
+			fmt.Sprintf("%d", r.PeakConcurrency),
+			fmt.Sprintf("%d", r.Probes),
+			search)
+		s.metrics[fmt.Sprintf("churn_%s_r%.2f_slo%.2f_max_tenants", r.Policy, r.Rate, r.SLO)] = float64(r.MaxTenants)
+		s.churnPoints = append(s.churnPoints, r.Point(s.basePool.Cores))
+	}
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintln(s.out)
+	fmt.Fprint(s.out, figures.RenderChurn(rows))
+	fmt.Fprintln(s.out)
+	for _, r := range results {
+		s.tenantCells = append(s.tenantCells, r.Cell())
+	}
+	return nil
+}
+
 // tenantCell runs one multi-tenant pool configuration and prints the
-// per-tenant breakdown.
+// per-tenant breakdown, optionally under a -churn arrival/departure
+// layout.
 func (s *session) tenantCell(n int, pool tenant.PoolConfig) error {
 	set, err := figures.TenantSet(n, s.opts)
 	if err != nil {
+		return err
+	}
+	if set, err = tenant.ApplyChurn(set, tenant.Churn{Rate: s.churnRate}); err != nil {
 		return err
 	}
 	res, err := figures.RunPoolCell(set, pool, s.opts)
@@ -400,6 +484,9 @@ func (s *session) tenantCell(n int, pool tenant.PoolConfig) error {
 		return err
 	}
 	fmt.Fprintf(s.out, "Multi-tenant cell: %d tenants, %d lifeguard cores, %s\n", n, res.Cores, res.Policy)
+	if res.Churned {
+		fmt.Fprintf(s.out, "churn rate %.2f: peak concurrency %d of %d tenants\n", s.churnRate, res.PeakConcurrency, n)
+	}
 	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "cont-x", "stall-cyc", "drain-cyc", "lag-p95", "violations")
 	for _, tr := range res.Tenants {
 		tb.AddRow(tr.Name, tr.Lifeguard,

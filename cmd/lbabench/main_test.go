@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/figures"
 	"repro/internal/runner"
 )
 
@@ -149,6 +150,134 @@ func TestUnknownSelectorsRejected(t *testing.T) {
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+// TestChurnFlagValidation is the table-driven churn/seeds surface: flag
+// placement, negative times and degenerate replication counts are all
+// rejected before any simulation runs.
+func TestChurnFlagValidation(t *testing.T) {
+	for _, c := range []struct {
+		args []string
+		why  string
+	}{
+		{[]string{"-churn", "0.5"}, "churn needs a tenant cell"},
+		{[]string{"-fig", "churn", "-churn", "0.5"}, "the churn figure sweeps rates itself"},
+		{[]string{"-fig", "contention", "-churn", "0.5"}, "the contention figure has no churn layout"},
+		{[]string{"-tenants", "2", "-churn", "-0.5", "-n", "30000"}, "negative churn rates are negative times"},
+		{[]string{"-tenants", "2", "-churn", "NaN", "-n", "30000"}, "NaN rates are not a layout"},
+		{[]string{"-fig", "churn", "-seeds", "0"}, "a search needs at least one seed"},
+		{[]string{"-fig", "churn", "-seeds", "-3"}, "negative seed counts are rejected"},
+		{[]string{"-tenants", "2", "-seeds", "2", "-n", "30000"}, "lbabench band replication is a churn-figure feature"},
+		{[]string{"-fig", "2a", "-seeds", "2"}, "paper panels take no seeds flag"},
+	} {
+		if err := run(c.args, io.Discard); err == nil {
+			t.Errorf("args %v should fail (%s)", c.args, c.why)
+		}
+	}
+}
+
+// TestAffinityGoldenMatchesPR4 is the churn-off equivalence golden: the
+// checked-in artifact was captured from the PR 4 affinity tier *before*
+// the replay learned tenant churn, so the whole byte-for-byte comparison
+// proves that a tenant set where everyone arrives at 0 and never departs
+// replays exactly like the fixed-set path — churn is a strict no-op when
+// disabled.
+func TestAffinityGoldenMatchesPR4(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "affinity_golden_pr4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "affinity.json")
+	// Mirrors the invocation that captured the golden.
+	if err := run([]string{
+		"-n", "30000", "-fig", "affinity",
+		"-tenants", "3", "-pool", "2",
+		"-workers", "1", "-json", path,
+	}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, blob) {
+		t.Error("affinity artifact diverged from the pre-churn PR 4 golden: churn-off replay is no longer a strict no-op")
+	}
+}
+
+// TestChurnFigureGolden drives the churn figure end to end: the text
+// table and JSON artifact carry the churn schema, and -workers 1 and
+// -workers 4 produce byte-identical artifacts (the worker-count
+// determinism golden for the new figure).
+func TestChurnFigureGolden(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, workers int) (string, []byte) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		err := run([]string{
+			"-n", "30000",
+			"-fig", "churn",
+			"-tenants", "3", "-pool", "2", "-seeds", "2",
+			"-workers", strconv.Itoa(workers),
+			"-json", path,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), blob
+	}
+
+	text, blob := runOnce("serial.json", 1)
+	for _, want := range []string{"tenant churn", "admissible tenants vs churn rate", "peak-conc", "probes", "2 seed(s)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("churn figure output missing %q", want)
+		}
+	}
+	for _, want := range []string{`"churn"`, `"churn_rate"`, `"max_tenants"`, `"seeds": 2`, `"peak_concurrency"`, `"arrive_at"`, `"active_cycles"`} {
+		if !bytes.Contains(blob, []byte(want)) {
+			t.Errorf("churn JSON artifact missing %q", want)
+		}
+	}
+	// One churn point per (rate, SLO).
+	if n := bytes.Count(blob, []byte(`"churn_rate"`)); n != len(figures.DefaultChurnRates())*2 {
+		t.Errorf("churn section has %d points, want %d (rates x 2 SLOs)", n, len(figures.DefaultChurnRates())*2)
+	}
+
+	_, wide := runOnce("workers-4.json", 4)
+	if !bytes.Equal(blob, wide) {
+		t.Error("-workers 4 churn JSON differs from the serial reference run")
+	}
+}
+
+// TestChurnCellRuns smoke-tests a churning single cell through the
+// command surface: the per-tenant table gains the churn columns and the
+// cell reports its peak concurrency.
+func TestChurnCellRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cell.json")
+	var out bytes.Buffer
+	if err := run([]string{"-n", "30000", "-tenants", "3", "-pool", "2", "-churn", "4", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"churn rate 4.00", "peak concurrency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("churn cell output missing %q", want)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"peak_concurrency"`, `"arrive_at"`, `"depart_at"`} {
+		if !bytes.Contains(blob, []byte(want)) {
+			t.Errorf("churn cell artifact missing %q", want)
 		}
 	}
 }

@@ -11,6 +11,8 @@
 //	lbasim -tenants 6 -pool 2 -sched wfq -weights 4,1
 //	lbasim -tenants 6 -pool 2 -sched deadline -deadline 2000
 //	lbasim -tenants 6 -pool 2 -sched affinity -migration 1000
+//	lbasim -tenants 6 -pool 2 -churn 2          # staggered arrivals/departures
+//	lbasim -tenants 6 -pool 2 -seeds 3          # replicate across workload seeds
 //
 // Modes: unmonitored, lba, dbi. Use -list for the benchmark table. With
 // -tenants N the tool instead simulates N monitored applications (drawn
@@ -18,7 +20,11 @@
 // -sched policy; -weights and -deadline feed the wfq/priority and
 // deadline policies, and -migration prices serving a record on a
 // shadow-cache-cold core (the affinity policy's reason to exist; all
-// policies pay it once it is non-zero).
+// policies pay it once it is non-zero). -churn staggers tenant
+// arrivals/departures (arrival spacing in units of the workload scale;
+// departing tenants stop producing, drain, and release their channel)
+// and reports the pool's peak channel concurrency; -seeds replays the
+// cell across replicated workload seeds and reports the slowdown band.
 package main
 
 import (
@@ -50,6 +56,8 @@ func main() {
 		weights   = flag.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
 		deadline  = flag.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
 		migration = flag.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
+		churn     = flag.Float64("churn", 0, "tenant churn rate: arrival spacing in units of the workload scale (0 = fixed set)")
+		seeds     = flag.Int("seeds", 1, "replicate the pool cell across N workload seeds and report the band")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -81,17 +89,23 @@ func main() {
 				err = fmt.Errorf("-%s does not apply with -tenants (the tenant set is drawn from the suite)", f.Name)
 			}
 		})
+		if err == nil && *seeds < 1 {
+			err = fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+		}
+		if err == nil {
+			err = (tenant.Churn{Rate: *churn}).Validate()
+		}
 		if err == nil {
 			var wts []float64
 			if wts, err = tenant.ParseWeights(*weights); err == nil {
 				cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
 					DeadlineCycles: *deadline, MigrationPenalty: *migration}
-				err = runTenants(*tenants, cfg, *scale, *seed, *threads)
+				err = runTenants(*tenants, cfg, *scale, *seed, *threads, *churn, *seeds)
 			}
 		}
 	default:
 		// Mirror image: pool flags only mean something with -tenants.
-		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true}
+		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true, "churn": true, "seeds": true}
 		flag.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)
@@ -107,30 +121,54 @@ func main() {
 	}
 }
 
-// runTenants simulates n suite tenants sharing a lifeguard-core pool and
-// prints the per-tenant breakdown.
-func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads int) error {
-	wcfg := workloads.Config{Scale: scale, Seed: seed, Threads: threads}
-	set, err := tenant.FromSuite(n, wcfg, core.DefaultConfig())
-	if err != nil {
-		return err
-	}
+// runTenants simulates n suite tenants sharing a lifeguard-core pool —
+// optionally under a churn layout, optionally replicated across workload
+// seeds — and prints the per-tenant breakdown (of the base seed) plus the
+// cross-seed slowdown band when seeds > 1.
+func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads int, churn float64, seeds int) error {
 	eng := tenant.NewEngine(0, nil)
-	res, err := eng.RunPool(context.Background(), set, pool)
-	if err != nil {
-		return err
+	results := make([]*tenant.PoolResult, seeds)
+	for k := 0; k < seeds; k++ {
+		wcfg := workloads.Config{Scale: scale, Seed: seed + uint64(k)*tenant.SeedStride, Threads: threads}
+		set, err := tenant.FromSuite(n, wcfg, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if set, err = tenant.ApplyChurn(set, tenant.Churn{Rate: churn}); err != nil {
+			return err
+		}
+		if results[k], err = eng.RunPool(context.Background(), set, pool); err != nil {
+			return err
+		}
 	}
+	res := results[0]
 
 	fmt.Printf("tenants        %d (suite round-robin)\n", n)
 	fmt.Printf("pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
 	if pool.MigrationPenalty > 0 {
 		fmt.Printf("migration      %d-cycle cold-core penalty\n", pool.MigrationPenalty)
 	}
-	tb := metrics.NewTable("tenant", "lifeguard", "slowdown", "cont-x", "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "migr", "cold-cyc", "violations")
+	if res.Churned {
+		fmt.Printf("churn          rate %.2f, peak concurrency %d of %d tenants\n", churn, res.PeakConcurrency, n)
+	}
+	// The arrival/departure columns appear only on churning cells, so a
+	// fixed-set run keeps its pre-churn table shape.
+	cols := []string{"tenant", "lifeguard", "slowdown", "cont-x"}
+	if res.Churned {
+		cols = append(cols, "arrive", "depart-at")
+	}
+	cols = append(cols, "stall-cyc", "drain-cyc", "lag-mean", "lag-p95", "migr", "cold-cyc", "violations")
+	tb := metrics.NewTable(cols...)
 	for _, tr := range res.Tenants {
-		tb.AddRow(tr.Name, tr.Lifeguard,
+		row := []string{tr.Name, tr.Lifeguard,
 			fmt.Sprintf("%.2fX", tr.Slowdown),
-			fmt.Sprintf("%.2fX", tr.ContentionX),
+			fmt.Sprintf("%.2fX", tr.ContentionX)}
+		if res.Churned {
+			row = append(row,
+				fmt.Sprintf("%d", tr.ArriveAtCycles),
+				fmt.Sprintf("%d", tr.DepartAtCycles))
+		}
+		row = append(row,
 			fmt.Sprintf("%d", tr.StallCycles),
 			fmt.Sprintf("%d", tr.DrainCycles),
 			fmt.Sprintf("%.0f", tr.MeanLagCycles),
@@ -138,10 +176,25 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 			fmt.Sprintf("%d", tr.Migrations),
 			fmt.Sprintf("%d", tr.ColdServeCycles),
 			fmt.Sprintf("%d", tr.Violations))
+		tb.AddRow(row...)
 	}
 	fmt.Print(tb.String())
 	fmt.Printf("mean slowdown  %.2fX (max %.2fX)\n", res.MeanSlowdown, res.MaxSlowdown)
 	fmt.Printf("pool util      %.0f%% over %d makespan cycles\n", 100*res.Utilisation, res.MakespanCycles)
+	if seeds > 1 {
+		lo, hi, sum := results[0].MeanSlowdown, results[0].MeanSlowdown, 0.0
+		for _, r := range results {
+			if r.MeanSlowdown < lo {
+				lo = r.MeanSlowdown
+			}
+			if r.MeanSlowdown > hi {
+				hi = r.MeanSlowdown
+			}
+			sum += r.MeanSlowdown
+		}
+		fmt.Printf("seed band      mean slowdown %.2f-%.2fX over %d seeds (mean of means %.2fX)\n",
+			lo, hi, seeds, sum/float64(seeds))
+	}
 	return nil
 }
 

@@ -303,3 +303,51 @@ func TestRenderFigure2(t *testing.T) {
 		t.Error("empty panel renders empty")
 	}
 }
+
+// TestChurnSweepAdmitsMoreUnderChurn is the churn figure's headline
+// claim: spreading arrivals out can only grow (never shrink) the
+// admissible tenant count, and once windows are fully disjoint the
+// admitted population's peak channel concurrency collapses below the
+// tenant count — the provisioning gap churn-aware planning exists to
+// expose.
+func TestChurnSweepAdmitsMoreUnderChurn(t *testing.T) {
+	opts := Options{Scale: 40_000}
+	base := tenant.PoolConfig{Cores: 2}
+	rates := []float64{0, 8}
+	slos := DefaultAdmissionSLOs()
+	rows, results, err := ChurnSweep(base, rates, slos, 4, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates)*len(slos) {
+		t.Fatalf("sweep has %d rows, want %d", len(rows), len(rates)*len(slos))
+	}
+	bySLO := map[float64]map[float64]ChurnRow{}
+	for _, r := range rows {
+		if bySLO[r.SLO] == nil {
+			bySLO[r.SLO] = map[float64]ChurnRow{}
+		}
+		bySLO[r.SLO][r.Rate] = r
+		if r.Searched != 4 {
+			t.Errorf("row %+v searched %d, want 4", r, r.Searched)
+		}
+		if r.MaxTenants > 0 && r.PeakConcurrency < 1 {
+			t.Errorf("row %+v admits tenants but reports no peak concurrency", r)
+		}
+	}
+	for _, slo := range slos {
+		fixed, churned := bySLO[slo][0], bySLO[slo][8]
+		if churned.MaxTenants < fixed.MaxTenants {
+			t.Errorf("SLO %g: rate 8 admits %d tenants, fewer than rate 0's %d", slo, churned.MaxTenants, fixed.MaxTenants)
+		}
+		if churned.MaxTenants > 1 && churned.PeakConcurrency >= churned.MaxTenants {
+			t.Errorf("SLO %g: disjoint windows still peak at %d of %d tenants", slo, churned.PeakConcurrency, churned.MaxTenants)
+		}
+	}
+	// The representative cells carry the churn schema for the artifact.
+	for _, res := range results {
+		if res.Churned && res.PeakConcurrency < 1 {
+			t.Errorf("churned cell reports peak concurrency %d", res.PeakConcurrency)
+		}
+	}
+}

@@ -105,6 +105,16 @@ type TenantRow struct {
 	Migrations      uint64 `json:"migrations,omitempty"`
 	ColdServeCycles uint64 `json:"cold_serve_cycles,omitempty"`
 
+	// Churn accounting, present only when the cell replayed a churning
+	// tenant set (so fixed-set artifacts keep the fixed-set schema):
+	// ArriveAt is the tenant's arrival cycle, DepartAt the wall-clock
+	// cycle at which a departing tenant released its channel, and
+	// ActiveCycles the active span (wall minus arrival) its lag and stall
+	// metrics cover.
+	ArriveAt     uint64 `json:"arrive_at,omitempty"`
+	DepartAt     uint64 `json:"depart_at,omitempty"`
+	ActiveCycles uint64 `json:"active_cycles,omitempty"`
+
 	Violations int `json:"violations,omitempty"`
 }
 
@@ -134,6 +144,10 @@ type TenantCell struct {
 	// accounting; present only under a non-zero migration penalty.
 	Migrations      uint64 `json:"migrations,omitempty"`
 	ColdServeCycles uint64 `json:"cold_serve_cycles,omitempty"`
+	// PeakConcurrency is the largest number of tenants simultaneously
+	// holding a channel; present only when the cell replayed a churning
+	// tenant set.
+	PeakConcurrency int `json:"peak_concurrency,omitempty"`
 }
 
 // AdmissionPoint is one admission-control answer in the lba-runner/v1
@@ -149,6 +163,39 @@ type AdmissionPoint struct {
 	MaxTenants      int     `json:"max_tenants"`
 	ContentionAtMax float64 `json:"contention_at_max,omitempty"`
 	SearchedTenants int     `json:"searched_tenants"`
+	// FallbackScan marks a point whose bisection probes revealed a
+	// non-monotone contention envelope, so the answer was recomputed by
+	// the exhaustive linear scan. Seeds/TenantsLo/TenantsHi carry the
+	// repeated-seed confidence band when the query replicated across
+	// workload seeds (MaxTenants is then the band minimum), and ChurnRate
+	// echoes the churn layout of the candidate populations. All are
+	// omitted for fixed-set single-seed monotone searches, keeping those
+	// artifacts on the linear-scan-era schema.
+	FallbackScan bool    `json:"fallback_scan,omitempty"`
+	Seeds        int     `json:"seeds,omitempty"`
+	TenantsLo    int     `json:"tenants_lo,omitempty"`
+	TenantsHi    int     `json:"tenants_hi,omitempty"`
+	ChurnRate    float64 `json:"churn_rate,omitempty"`
+}
+
+// ChurnPoint is one answer of the churn planning sweep (`lbabench -fig
+// churn`): under a churn rate (arrival spacing in units of a tenant
+// lifetime) and a contention SLO, how many tenants the pool admits, what
+// the admitted population's peak channel concurrency is, and what the
+// bisection spent finding out.
+type ChurnPoint struct {
+	ChurnRate       float64 `json:"churn_rate"`
+	Cores           int     `json:"cores"`
+	Policy          string  `json:"policy"`
+	SLOContentionX  float64 `json:"slo_contention_x"`
+	MaxTenants      int     `json:"max_tenants"`
+	TenantsLo       int     `json:"tenants_lo,omitempty"`
+	TenantsHi       int     `json:"tenants_hi,omitempty"`
+	Seeds           int     `json:"seeds,omitempty"`
+	SearchedTenants int     `json:"searched_tenants"`
+	PeakConcurrency int     `json:"peak_concurrency,omitempty"`
+	Probes          int     `json:"probes,omitempty"`
+	FallbackScan    bool    `json:"fallback_scan,omitempty"`
 }
 
 // Report is the structured result of an engine's lifetime: every unique
@@ -169,6 +216,7 @@ type Report struct {
 	Rows        []Row              `json:"rows"`
 	TenantCells []TenantCell       `json:"tenant_cells,omitempty"`
 	Admission   []AdmissionPoint   `json:"admission,omitempty"`
+	Churn       []ChurnPoint       `json:"churn,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 

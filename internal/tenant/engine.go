@@ -45,8 +45,14 @@ func (e *Engine) Runner() *runner.Engine { return e.exp }
 // Profile returns the tenant's uncontended profile, memoized: equal
 // tenant descriptions across pool cells and policies share one profiling
 // run, the tenant-matrix analogue of the runner's config-hash baselines.
+// Arrival/departure windows are stripped before hashing — an uncontended
+// timeline does not depend on when the tenant arrives — so every churn
+// variant of a tenant shares one profiling run, and the cached Profile
+// always carries the window-free description (RunPool overlays the
+// caller's windows per replay).
 func (e *Engine) Profile(ctx context.Context, t Tenant) (*Profile, error) {
 	t = t.withDefaults()
+	t.ArriveAt, t.DepartAfter = 0, 0
 	return e.profiles.Do(ctx, runner.HashKey(t), func() (*Profile, error) {
 		base, err := e.exp.Run(ctx, runner.Job{
 			Benchmark: t.Benchmark,
@@ -64,14 +70,34 @@ func (e *Engine) Profile(ctx context.Context, t Tenant) (*Profile, error) {
 // RunPool simulates the tenant set sharing one lifeguard-core pool:
 // profiling fans out across the worker pool (memoized), then the serial
 // replay computes the contended timing. Results are independent of the
-// worker count.
+// worker count. Tenants may carry arrival/departure windows
+// (Tenant.ArriveAt/DepartAfter): the replay then serves a churning
+// population — schedulers see only live tenants, departing tenants drain
+// and release their channel, and the result gains active-window and
+// peak-concurrency accounting. Invalid windows (a departure at or before
+// the arrival) are rejected before any profiling runs.
 func (e *Engine) RunPool(ctx context.Context, tenants []Tenant, pool PoolConfig) (*PoolResult, error) {
+	for _, t := range tenants {
+		if err := t.validateWindow(); err != nil {
+			return nil, err
+		}
+	}
 	profiles, err := runner.Map(ctx, e.workers, len(tenants),
 		func(ctx context.Context, i int) (*Profile, error) {
 			return e.Profile(ctx, tenants[i])
 		})
 	if err != nil {
 		return nil, err
+	}
+	// Memoized profiles are shared (and window-free); overlay each
+	// caller's churn window on a shallow copy, never on the cached value.
+	for i := range profiles {
+		if a, d := tenants[i].ArriveAt, tenants[i].DepartAfter; profiles[i].Tenant.ArriveAt != a ||
+			profiles[i].Tenant.DepartAfter != d {
+			p := *profiles[i]
+			p.Tenant.ArriveAt, p.Tenant.DepartAfter = a, d
+			profiles[i] = &p
+		}
 	}
 	return replay(profiles, pool)
 }

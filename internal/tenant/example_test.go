@@ -76,6 +76,37 @@ func ExampleNewScheduler_affinity() {
 	// affinity keeps tenant 0 on its warm core 0
 }
 
+// A churning pool: ApplyChurn staggers arrivals (here one application
+// lifetime spaced four lifetimes apart) so tenants roll through the pool
+// instead of all contending at once. Each departing tenant stops
+// producing at its departure cycle, drains, and releases its channel;
+// the result reports when, plus the pool's peak channel concurrency —
+// the quantity churn-aware provisioning actually needs. Replays are
+// deterministic, so the example output is stable.
+func ExampleEngine_RunPool_churn() {
+	eng := tenant.NewEngine(1, nil)
+	set, err := tenant.FromSuite(3, workloads.Config{Scale: 40_000}, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if set, err = tenant.ApplyChurn(set, tenant.Churn{Rate: 4}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.RunPool(context.Background(), set, tenant.PoolConfig{Cores: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("peak concurrency:", res.PeakConcurrency)
+	for _, tr := range res.Tenants {
+		fmt.Printf("%s arrives at %d, departs at %d\n", tr.Name, tr.ArriveAtCycles, tr.DepartAtCycles)
+	}
+	// Output:
+	// peak concurrency: 2
+	// bc arrives at 0, departs at 221110
+	// gnuplot arrives at 160000, departs at 434105
+	// gs arrives at 320000, departs at 420270
+}
+
 // An Engine profiles each tenant once (uncontended, memoized) and replays
 // the merged timelines against a shared lifeguard-core pool. The whole
 // simulation is deterministic, so examples like this one are stable.

@@ -3,6 +3,7 @@ package tenant
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/logbuf"
 	"repro/internal/runner"
@@ -160,6 +161,23 @@ type TenantResult struct {
 	Migrations      uint64
 	ColdServeCycles uint64
 
+	// Active-window accounting, populated only when the cell replayed a
+	// churning tenant set (any tenant with a non-zero ArriveAt or
+	// DepartAfter), so churn-off results stay byte-identical to the
+	// fixed-set path. ArriveAtCycles echoes the tenant's arrival;
+	// DepartAtCycles is the wall-clock cycle at which a departing tenant
+	// released its channel (0 for tenants that never depart);
+	// ActiveCycles is the tenant's active span — wall clock minus arrival
+	// — the window its lag/stall metrics cover. For a departed tenant,
+	// Records/LogBits count the truncated timeline, ContentionX divides
+	// by a dedicated-core replay of the same truncated window (exact),
+	// and Slowdown pro-rates the unmonitored baseline by the truncated
+	// app span (an approximation, since the baseline cannot be re-run
+	// mid-flight).
+	ArriveAtCycles uint64
+	DepartAtCycles uint64
+	ActiveCycles   uint64
+
 	Violations int
 }
 
@@ -194,6 +212,15 @@ type PoolResult struct {
 	Migrations      uint64
 	ColdServeCycles uint64
 	CoreWarmth      [][]float64
+
+	// Churned records that the cell replayed a churning tenant set;
+	// PeakConcurrency is the largest number of tenants simultaneously
+	// holding a channel (arrival through release). It is always computed
+	// — a fixed set peaks at the full population — but lands in the JSON
+	// cell only when Churned, so churn-off artifacts keep the fixed-set
+	// schema.
+	Churned         bool
+	PeakConcurrency int
 }
 
 // Cell flattens the result into the lba-runner/v1 JSON schema.
@@ -220,6 +247,12 @@ func (r *PoolResult) Cell() runner.TenantCell {
 	if r.MigrationPenalty > 0 {
 		cell.WarmthHalfLifeBytes = r.WarmthHalfLifeBytes
 	}
+	// Churn accounting follows the same rule: present only when the cell
+	// actually replayed a churning set, so churn-off artifacts keep the
+	// fixed-set schema byte for byte.
+	if r.Churned {
+		cell.PeakConcurrency = r.PeakConcurrency
+	}
 	for _, t := range r.Tenants {
 		cell.Tenants = append(cell.Tenants, runner.TenantRow{
 			Name:            t.Name,
@@ -244,6 +277,9 @@ func (r *PoolResult) Cell() runner.TenantCell {
 			MaxLagCycles:    t.MaxLagCycles,
 			Migrations:      t.Migrations,
 			ColdServeCycles: t.ColdServeCycles,
+			ArriveAt:        t.ArriveAtCycles,
+			DepartAt:        t.DepartAtCycles,
+			ActiveCycles:    t.ActiveCycles,
 			Violations:      t.Violations,
 		})
 	}
@@ -255,18 +291,55 @@ type tenantState struct {
 	prof   *Profile
 	ch     *logbuf.Channel
 	idx    int    // next step
+	limit  int    // steps inside the active window (= len(steps) without churn)
 	offset uint64 // accumulated contention stalls (shifts the timeline)
 	lags   lagHist
+
+	arrive uint64 // Tenant.ArriveAt: the whole timeline shifts by this
+	depart uint64 // Tenant.DepartAfter (absolute; 0 = never departs)
+
+	// Departure bookkeeping: a departing tenant is finalised the moment
+	// its truncated timeline is exhausted — stop producing, drain, release
+	// the channel — so releaseWall is known mid-replay and its warmth can
+	// be evicted while other tenants are still running.
+	released    bool
+	appFinal    uint64 // contended app clock at departure
+	releaseWall uint64 // wall clock at channel release
+	dedicated   uint64 // dedicated-core wall of the truncated window
 }
 
 // next returns the adjusted virtual time of the tenant's next step.
-func (ts *tenantState) next() uint64 { return ts.prof.steps[ts.idx].cycle + ts.offset }
+func (ts *tenantState) next() uint64 { return ts.prof.steps[ts.idx].cycle + ts.arrive + ts.offset }
 
-func (ts *tenantState) done() bool { return ts.idx >= len(ts.prof.steps) }
+func (ts *tenantState) done() bool { return ts.idx >= ts.limit }
+
+// activeApp is the tenant's app-clock span inside its active window,
+// relative to its own start (the departure truncates a longer run).
+func (ts *tenantState) activeApp() uint64 {
+	app := ts.prof.Result.AppCycles
+	if ts.depart > 0 && ts.depart-ts.arrive < app {
+		app = ts.depart - ts.arrive
+	}
+	return app
+}
+
+// churnLimit returns how many leading steps of the profile fall inside the
+// tenant's active window: every step whose shifted cycle is at most the
+// departure cycle. Steps are in non-decreasing cycle order, so the window
+// is a prefix.
+func churnLimit(steps []step, arrive, depart uint64) int {
+	if depart == 0 {
+		return len(steps)
+	}
+	return sort.Search(len(steps), func(i int) bool { return steps[i].cycle+arrive > depart })
+}
 
 // replay merges the tenants' uncontended timelines in virtual time and
 // serves them from the shared pool. It is serial and deterministic: the
 // only inputs are the profiles (immutable) and the pool configuration.
+// Arrival/departure windows are read from each profile's Tenant
+// description (Engine.RunPool overlays the caller's windows onto the
+// memoized, window-free profiles before calling in).
 func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 	return replayObserved(profiles, pool, nil)
 }
@@ -289,16 +362,32 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 		return nil, err
 	}
 
+	churned := false
 	states := make([]*tenantState, len(profiles))
 	for i, p := range profiles {
-		states[i] = &tenantState{prof: p, ch: logbuf.New(p.Tenant.Config.Channel)}
+		if err := p.Tenant.validateWindow(); err != nil {
+			return nil, err
+		}
+		arrive, depart := p.Tenant.ArriveAt, p.Tenant.DepartAfter
+		if arrive > 0 || depart > 0 {
+			churned = true
+		}
+		states[i] = &tenantState{
+			prof:   p,
+			ch:     logbuf.New(p.Tenant.Config.Channel),
+			limit:  churnLimit(p.steps, arrive, depart),
+			arrive: arrive,
+			depart: depart,
+		}
 	}
 	views := pool.tenantViews(len(profiles))
 	for i, ts := range states {
 		// A tenant with an empty timeline must not sit in the rankings as
 		// an eternally-underserved peer (it would shift every real
-		// tenant's wfq/priority rank for the whole replay).
+		// tenant's wfq/priority rank for the whole replay); one that has
+		// not arrived yet is invisible for the same reason.
 		views[i].Done = ts.done()
+		views[i].Absent = ts.arrive > 0
 		views[i].TransportLatency = ts.ch.Config().TransportLatency
 	}
 	warmth := newWarmthModel(pool.Cores, len(profiles), pool.WarmthHalfLifeBytes)
@@ -307,6 +396,41 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 		cores[c].LastTenant = -1
 	}
 	busy := make([]uint64, pool.Cores)
+
+	// Arrival agenda: tenant indices in arrival order. The merge processes
+	// steps in non-decreasing adjusted production time (offsets only
+	// grow), so a single cursor flips tenants to present as the replay
+	// clock passes their arrivals.
+	var agenda []int
+	if churned {
+		agenda = make([]int, len(states))
+		for i := range agenda {
+			agenda[i] = i
+		}
+		sort.SliceStable(agenda, func(a, b int) bool {
+			return states[agenda[a]].arrive < states[agenda[b]].arrive
+		})
+	}
+	arrivals := 0
+
+	// retire finalises a departing tenant the moment its truncated
+	// timeline is exhausted: the app stops producing at its departure
+	// cycle, drains (waits for the channel's in-flight records), then
+	// releases the channel and its shadow-cache warmth. The dedicated-core
+	// wall of the same truncated window is computed here so the contention
+	// factor of a departed tenant compares like against like.
+	retire := func(ti int) {
+		ts := states[ti]
+		if ts.released || ts.depart == 0 || !ts.done() {
+			return
+		}
+		ts.appFinal = ts.arrive + ts.activeApp() + ts.offset
+		ts.releaseWall = ts.ch.Finish(ts.appFinal)
+		ts.dedicated = dedicatedWall(ts.prof.steps[:ts.limit], ts.ch.Config(), ts.activeApp())
+		ts.released = true
+		views[ti].Absent = true
+		warmth.release(ti)
+	}
 
 	// Merge by adjusted production time; ties break toward the lowest
 	// tenant index, and a tenant's own steps stay strictly in order.
@@ -327,7 +451,17 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 		ts := states[ti]
 		s := ts.prof.steps[ts.idx]
 		ts.idx++
-		now := s.cycle + ts.offset
+		now := s.cycle + ts.arrive + ts.offset
+
+		// Schedulers see only live tenants: flip everyone whose arrival
+		// the replay clock has now reached.
+		for arrivals < len(agenda) && states[agenda[arrivals]].arrive <= now {
+			j := agenda[arrivals]
+			if !states[j].released {
+				views[j].Absent = false
+			}
+			arrivals++
+		}
 
 		if s.bits == drainMark {
 			// Syscall containment: this tenant waits for its own channel
@@ -335,6 +469,7 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 			// containment, as in the paper).
 			ts.offset += ts.ch.Drain(now)
 			views[ti].Done = ts.done()
+			retire(ti)
 			continue
 		}
 
@@ -378,8 +513,18 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 			v.ColdServeCycles += charge
 		}
 		v.Done = ts.done()
+		retire(ti)
 		if obs != nil {
 			obs(ti, core, req, charge, finish)
+		}
+	}
+
+	// Departing tenants whose active window held no steps at all were
+	// never touched by the merge; retire them now so every departure has
+	// a release time.
+	for i, ts := range states {
+		if ts.depart > 0 && !ts.released {
+			retire(i)
 		}
 	}
 
@@ -393,11 +538,25 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 		WarmthHalfLifeBytes: pool.WarmthHalfLifeBytes,
 		CoreBusyCycles:      busy,
 		CoreWarmth:          warmth.snapshot(),
+		Churned:             churned,
 	}
+	starts := make([]uint64, len(states))
+	ends := make([]uint64, len(states))
 	for i, ts := range states {
 		p := ts.prof
-		appFinal := p.Result.AppCycles + ts.offset
-		wall := ts.ch.Finish(appFinal)
+		appFinal := p.Result.AppCycles + ts.arrive + ts.offset
+		dedicated := p.DedicatedWall
+		records, logBits := p.Result.Records, p.Result.LogBits
+		var wall uint64
+		if ts.released {
+			// Departed mid-replay: the channel was drained and released at
+			// retirement, and the functional counters cover the truncated
+			// timeline only.
+			appFinal, wall, dedicated = ts.appFinal, ts.releaseWall, ts.dedicated
+			records, logBits = views[i].Records, views[i].ServedBits
+		} else {
+			wall = ts.ch.Finish(appFinal)
+		}
 		st := ts.ch.Stats()
 
 		tr := TenantResult{
@@ -408,13 +567,13 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 			AppCycles:       appFinal,
 			WallCycles:      wall,
 			BaseCycles:      p.Base.WallCycles,
-			LBAWallCycles:   p.DedicatedWall,
+			LBAWallCycles:   dedicated,
 			StallEvents:     st.StallEvents,
 			StallCycles:     st.StallCycles,
 			DrainEvents:     st.DrainEvents,
 			DrainCycles:     st.DrainCycles,
-			Records:         p.Result.Records,
-			LogBits:         p.Result.LogBits,
+			Records:         records,
+			LogBits:         logBits,
 			MeanLagCycles:   ts.lags.mean(),
 			LagP50Cycles:    ts.lags.quantile(0.50),
 			LagP95Cycles:    ts.lags.quantile(0.95),
@@ -425,12 +584,32 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 		}
 		res.Migrations += tr.Migrations
 		res.ColdServeCycles += tr.ColdServeCycles
-		if tr.BaseCycles > 0 {
-			tr.Slowdown = float64(tr.WallCycles) / float64(tr.BaseCycles)
+		// The slowdown and contention ratios compare the tenant's active
+		// span (wall minus arrival; the whole wall clock for a fixed set,
+		// where the float math below is bit-for-bit the fixed-set path's).
+		// A truncated departure pro-rates the unmonitored baseline by the
+		// served app span; the dedicated-core denominator needs no such
+		// approximation — retirement replayed the truncated window itself.
+		span := wall - ts.arrive
+		base := float64(tr.BaseCycles)
+		if ts.released && p.Result.AppCycles > 0 && ts.activeApp() < p.Result.AppCycles {
+			base *= float64(ts.activeApp()) / float64(p.Result.AppCycles)
 		}
-		if tr.LBAWallCycles > 0 {
-			tr.ContentionX = float64(tr.WallCycles) / float64(tr.LBAWallCycles)
+		if base > 0 {
+			tr.Slowdown = float64(span) / base
 		}
+		if dedicated > 0 {
+			tr.ContentionX = float64(span) / float64(dedicated)
+		}
+		if churned {
+			tr.ArriveAtCycles = ts.arrive
+			tr.ActiveCycles = span
+			if ts.released {
+				tr.DepartAtCycles = ts.releaseWall
+			}
+		}
+		starts[i] = ts.arrive
+		ends[i] = wall
 		res.Tenants = append(res.Tenants, tr)
 
 		res.MeanSlowdown += tr.Slowdown
@@ -447,6 +626,7 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 	}
 	res.MeanSlowdown /= float64(len(states))
 	res.MeanContentionX /= float64(len(states))
+	res.PeakConcurrency = peakConcurrency(starts, ends)
 
 	var totalBusy uint64
 	for _, b := range busy {
@@ -456,4 +636,34 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 		res.Utilisation = float64(totalBusy) / (float64(pool.Cores) * float64(res.MakespanCycles))
 	}
 	return res, nil
+}
+
+// peakConcurrency returns the maximum number of overlapping channel-hold
+// windows [start, end]: a tenant holds its channel from arrival until
+// release (departing tenants) or its own wall clock (resident tenants).
+// A release and an arrival at the same cycle do not overlap — the
+// departing tenant's channel is free before the newcomer takes one.
+func peakConcurrency(starts, ends []uint64) int {
+	type event struct {
+		at    uint64
+		delta int
+	}
+	events := make([]event, 0, 2*len(starts))
+	for i := range starts {
+		events = append(events, event{starts[i], +1}, event{ends[i], -1})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].delta < events[b].delta
+	})
+	var cur, peak int
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
 }

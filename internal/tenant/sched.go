@@ -116,6 +116,12 @@ type TenantView struct {
 	// Done marks a tenant whose timeline is exhausted; schedulers skip
 	// Done tenants when ranking.
 	Done bool
+	// Absent marks a tenant outside its active window — not yet arrived,
+	// or departed and released (Tenant.ArriveAt/DepartAfter). Schedulers
+	// see only live tenants: ranking policies skip Absent tenants exactly
+	// like Done ones, so a future arrival cannot shift today's ranks.
+	// With a fixed tenant set it is always false.
+	Absent bool
 }
 
 // vtime is the tenant's WFQ virtual clock: consumed log bytes normalised
@@ -406,9 +412,9 @@ func (a *affinity) Pick(req Request, cores []CoreView, tenants []TenantView) int
 	return best
 }
 
-// vtimeRank returns the rank of tenant t among the active (not Done)
-// tenants under the strict order less, plus the active count. The tenant
-// being scheduled is always active.
+// vtimeRank returns the rank of tenant t among the active (not Done, not
+// Absent) tenants under the strict order less, plus the active count. The
+// tenant being scheduled is always active.
 func vtimeRank(t int, tenants []TenantView, less func(a, b *TenantView, ai, bi int) bool) (rank, active int) {
 	self := &tenants[t]
 	for i := range tenants {
@@ -417,7 +423,7 @@ func vtimeRank(t int, tenants []TenantView, less func(a, b *TenantView, ai, bi i
 			continue
 		}
 		v := &tenants[i]
-		if v.Done {
+		if v.Done || v.Absent {
 			continue
 		}
 		active++

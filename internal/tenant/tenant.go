@@ -51,13 +51,32 @@
 // per-tenant migration counts and cold-serve cycles surface in
 // TenantResult and the lba-runner/v1 artifact once it is on.
 //
+// # Dynamic tenant churn
+//
+// Real deployments see tenants arrive and depart rather than a fixed
+// population sized for steady state. A tenant description may therefore
+// carry an active window (Tenant.ArriveAt/DepartAfter, laid out in bulk
+// by ApplyChurn): the replay shifts the tenant's timeline to its
+// arrival, schedulers see only live tenants (TenantView.Absent), and a
+// departing tenant stops producing at its departure cycle, drains its
+// channel, then releases it — evicting its shadow-cache warmth across
+// the vacancy. Results gain active-window accounting (arrival, release
+// cycle, active span) and the pool-level peak channel concurrency, the
+// quantity churn-aware provisioning needs. With every window zero the
+// replay is byte-identical to the fixed-set path (pinned against
+// pre-churn golden artifacts).
+//
 // # Admission control
 //
 // On top of the replay, Engine.PlanAdmission answers the serving-capacity
 // question: the maximum tenant count a pool can serve while every
 // tenant's contention factor (wall cycles over its own dedicated-core
-// monitored run) stays within an SLO. Points are exported in the
-// lba-runner/v1 JSON artifact's admission section.
+// monitored run) stays within an SLO. PlanAdmissionQuery generalises it
+// to churned populations, repeated-seed confidence bands, and a
+// monotone-envelope bisection that probes O(log N) tenant counts with a
+// verified fallback to the exhaustive scan when the probed envelope is
+// non-monotone. Points are exported in the lba-runner/v1 JSON artifact's
+// admission (and churn) sections.
 package tenant
 
 import (
@@ -81,6 +100,20 @@ type Tenant struct {
 	// compression, and its private channel. ParallelLifeguards and
 	// RewindMode are not supported under pooling.
 	Config core.Config `json:"config"`
+
+	// ArriveAt is the virtual cycle at which the tenant arrives: its whole
+	// timeline is shifted by ArriveAt, it holds no channel and is invisible
+	// to schedulers before then. 0 (the default) arrives at the start.
+	ArriveAt uint64 `json:"arrive_at,omitempty"`
+	// DepartAfter is the absolute virtual cycle after which the tenant
+	// stops producing: records past it are never produced, the tenant
+	// drains its channel, then releases it (and its shadow-cache warmth).
+	// 0 means the tenant never departs. A non-zero DepartAfter at or
+	// before ArriveAt is rejected (see ApplyChurn for a generator that
+	// always lays out valid windows). Both fields are ignored by the
+	// profiling stage — a tenant's uncontended timeline does not depend on
+	// when it arrives — so churn variants of one tenant share a profile.
+	DepartAfter uint64 `json:"depart_after,omitempty"`
 }
 
 // withDefaults normalises a tenant description.

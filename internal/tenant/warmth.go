@@ -85,6 +85,23 @@ func (m *warmthModel) serve(core, tenant int, bits uint64) (migrated bool) {
 	return migrated
 }
 
+// release evicts a departed tenant's shadow working set: its warmth on
+// every core drops to zero (the vacancy decay — a released channel's
+// shadow lines are dead and the next tenant's service overwrites them)
+// and any last-tenant pointers at it reset. Releasing only ever lowers
+// per-core warmth totals, so the conservation invariant (sum <= 1) is
+// preserved, and it never touches other tenants' warmth, so a replay
+// without departures cannot observe it.
+func (m *warmthModel) release(tenant int) {
+	for c := range m.warm {
+		m.warm[c][tenant] = 0
+		if m.lastTen[c] == tenant {
+			m.lastTen[c] = -1
+		}
+	}
+	m.lastCore[tenant] = -1
+}
+
 // snapshot copies the warmth matrix for results and invariant checks.
 func (m *warmthModel) snapshot() [][]float64 {
 	out := make([][]float64, len(m.warm))
