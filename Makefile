@@ -30,19 +30,28 @@ docs:
 		echo "example files need gofmt:" >&2; echo "$$diff" >&2; exit 1; \
 	fi
 	@missing=0; \
-	for pkg in $$(grep -oE '(internal|cmd)/[a-z0-9/]+' docs/architecture.md | sed 's:/$$::' | sort -u); do \
+	for doc in docs/architecture.md docs/performance.md; do \
+	for pkg in $$(grep -oE '(internal|cmd)/[a-z0-9/]+' $$doc | sed 's:/$$::' | sort -u); do \
 		if [ ! -d "$$pkg" ] && [ ! -f "$$pkg" ]; then \
-			echo "docs/architecture.md references missing package: $$pkg" >&2; missing=1; \
+			echo "$$doc references missing package: $$pkg" >&2; missing=1; \
 		fi; \
-	done; exit $$missing
+	done; done; exit $$missing
 	@grep -q 'docs/architecture.md' README.md
+	@grep -q 'docs/performance.md' README.md
 	@$(GO) doc ./internal/tenant | grep -qi 'scheduler'
+	@awk '/^```go$$/{buf="package docsnippet\n\n"; in_go=1; next} \
+		/^```$$/{if (in_go) {printf "%s", buf > "/tmp/docsnippet.go"; close("/tmp/docsnippet.go"); \
+		if (system("gofmt /tmp/docsnippet.go > /tmp/docsnippet.fmt && cmp -s /tmp/docsnippet.go /tmp/docsnippet.fmt") != 0) \
+			{print "docs/performance.md: fenced Go block ending at line " NR " is not gofmt-clean" > "/dev/stderr"; bad=1}} \
+		in_go=0; next} in_go{buf=buf $$0 "\n"} END{exit bad}' docs/performance.md
 
 bench:
 	BENCH_JSON=BENCH_results.json $(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/lbabench -n 150000 -json BENCH_lbabench.json
 	$(GO) run ./cmd/lbabench -n 40000 -fig churn -tenants 4 -pool 2 -seeds 2 -json BENCH_churn.json
 	@grep -q '"churn"' BENCH_churn.json && grep -q '"peak_concurrency"' BENCH_churn.json
+	$(GO) run ./cmd/lbabench -bench replay -json BENCH_replay.json
+	@grep -q '"lba-bench-replay/v1"' BENCH_replay.json && grep -q '"speedup_x"' BENCH_replay.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

@@ -1,0 +1,206 @@
+// Replay-benchmark mode: `lbabench -bench replay` times the multi-tenant
+// replay's batched fast path against its per-record oracle on a pinned
+// workload and emits the comparison as BENCH_replay.json (schema
+// lba-bench-replay/v1) for CI's benchmark-trajectory artifacts. The same
+// pairing is measured by BenchmarkReplay in internal/tenant; this command
+// exists so the trajectory lands in one self-describing JSON file rather
+// than in `go test -bench` text output. See docs/performance.md for the
+// field-by-field schema and the CI pinning recipe.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/tenant"
+	"repro/internal/workloads"
+)
+
+// The replay benchmark always runs the canonical 4-tenant suite on a
+// 2-core pool with the default migration penalty — the same cell
+// BenchmarkReplay pins — so BENCH_replay.json artifacts compare across
+// commits. None of the sweep flags apply; run() rejects them.
+const (
+	benchReplaySchema = "lba-bench-replay/v1"
+	benchTenants      = 4
+	benchScale        = 300_000
+	benchCores        = 2
+	benchPenalty      = 320
+	// benchReps replays each (policy, dispatch) cell this many times and
+	// keeps the fastest — the standard guard against scheduler noise on a
+	// shared CI runner.
+	benchReps = 3
+)
+
+// benchDispatchStats is one (policy, dispatch) cell of the report.
+type benchDispatchStats struct {
+	NsPerReplay     float64 `json:"ns_per_replay"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AllocsPerReplay float64 `json:"allocs_per_replay"`
+	BytesPerReplay  float64 `json:"bytes_per_replay"`
+}
+
+// benchPolicyRow pairs both dispatch paths for one scheduling policy.
+type benchPolicyRow struct {
+	Policy    string             `json:"policy"`
+	Batched   benchDispatchStats `json:"batched"`
+	PerRecord benchDispatchStats `json:"per_record"`
+	// SpeedupX is batched records/sec over per-record records/sec.
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// benchHeadline aggregates the trajectory number CI pins: total records
+// replayed across every policy divided by total (fastest-rep) time, per
+// dispatch path.
+type benchHeadline struct {
+	BatchedRecordsPerSec   float64 `json:"batched_records_per_sec"`
+	PerRecordRecordsPerSec float64 `json:"per_record_records_per_sec"`
+	SpeedupX               float64 `json:"speedup_x"`
+}
+
+type benchSuiteDesc struct {
+	Tenants          int    `json:"tenants"`
+	Scale            int    `json:"scale"`
+	Cores            int    `json:"cores"`
+	MigrationPenalty uint64 `json:"migration_penalty"`
+	RecordsPerReplay uint64 `json:"records_per_replay"`
+	Reps             int    `json:"reps"`
+}
+
+type benchReport struct {
+	Schema   string           `json:"schema"`
+	Suite    benchSuiteDesc   `json:"suite"`
+	Policies []benchPolicyRow `json:"policies"`
+	Headline benchHeadline    `json:"headline"`
+}
+
+// benchReplay runs the full benchmark matrix and prints the per-policy
+// table; when jsonPath is non-empty the structured report lands there.
+func (s *session) benchReplay(jsonPath string) error {
+	profiles, err := benchProfiles()
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Schema: benchReplaySchema,
+		Suite: benchSuiteDesc{Tenants: benchTenants, Scale: benchScale, Cores: benchCores,
+			MigrationPenalty: benchPenalty, Reps: benchReps},
+	}
+	var batchedTotal, perRecordTotal time.Duration
+	for _, policy := range tenant.Policies() {
+		pool := tenant.PoolConfig{Cores: benchCores, Policy: policy, MigrationPenalty: benchPenalty}
+		batched, records, err := measureReplay(profiles, pool, tenant.DispatchBatched)
+		if err != nil {
+			return err
+		}
+		perRecord, _, err := measureReplay(profiles, pool, tenant.DispatchPerRecord)
+		if err != nil {
+			return err
+		}
+		rep.Suite.RecordsPerReplay = records
+		batchedTotal += time.Duration(batched.NsPerReplay)
+		perRecordTotal += time.Duration(perRecord.NsPerReplay)
+		rep.Policies = append(rep.Policies, benchPolicyRow{
+			Policy:    policy,
+			Batched:   batched,
+			PerRecord: perRecord,
+			SpeedupX:  batched.RecordsPerSec / perRecord.RecordsPerSec,
+		})
+	}
+	totalRecords := float64(rep.Suite.RecordsPerReplay) * float64(len(rep.Policies))
+	rep.Headline = benchHeadline{
+		BatchedRecordsPerSec:   totalRecords / batchedTotal.Seconds(),
+		PerRecordRecordsPerSec: totalRecords / perRecordTotal.Seconds(),
+	}
+	rep.Headline.SpeedupX = rep.Headline.BatchedRecordsPerSec / rep.Headline.PerRecordRecordsPerSec
+
+	fmt.Fprintf(s.out, "Replay dispatch benchmark: %d tenants, %d cores, %d records/replay, best of %d\n",
+		benchTenants, benchCores, rep.Suite.RecordsPerReplay, benchReps)
+	tb := metrics.NewTable("policy", "batched-Mrec/s", "per-record-Mrec/s", "speedup", "batched-allocs", "per-record-allocs")
+	for _, row := range rep.Policies {
+		tb.AddRow(row.Policy,
+			fmt.Sprintf("%.1f", row.Batched.RecordsPerSec/1e6),
+			fmt.Sprintf("%.1f", row.PerRecord.RecordsPerSec/1e6),
+			fmt.Sprintf("%.2fx", row.SpeedupX),
+			fmt.Sprintf("%.0f", row.Batched.AllocsPerReplay),
+			fmt.Sprintf("%.0f", row.PerRecord.AllocsPerReplay))
+	}
+	fmt.Fprint(s.out, tb.String())
+	fmt.Fprintf(s.out, "headline: %.1f Mrec/s batched vs %.1f Mrec/s per-record = %.2fx\n\n",
+		rep.Headline.BatchedRecordsPerSec/1e6, rep.Headline.PerRecordRecordsPerSec/1e6, rep.Headline.SpeedupX)
+
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
+}
+
+// benchProfiles builds the pinned suite's profiles once; replays reuse
+// them (profiles are immutable), so profiling cost stays out of every
+// measurement.
+func benchProfiles() ([]*tenant.Profile, error) {
+	eng := tenant.NewEngine(0, nil)
+	set, err := tenant.FromSuite(benchTenants, workloads.Config{Scale: benchScale}, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	profiles := make([]*tenant.Profile, len(set))
+	for i, t := range set {
+		p, err := eng.Profile(context.Background(), t)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+	}
+	return profiles, nil
+}
+
+// measureReplay times one (policy, dispatch) cell: an untimed warm-up
+// replay (fills the arena pool and factor memo, and supplies the record
+// count), then benchReps timed replays keeping the fastest. Allocation
+// figures are runtime.MemStats deltas over the timed replays, averaged —
+// the command-line analogue of testing.B's ReportAllocs.
+func measureReplay(profiles []*tenant.Profile, pool tenant.PoolConfig, mode tenant.Dispatch) (benchDispatchStats, uint64, error) {
+	res, err := tenant.ReplayPool(profiles, pool, mode)
+	if err != nil {
+		return benchDispatchStats{}, 0, err
+	}
+	var records uint64
+	for _, tr := range res.Tenants {
+		records += tr.Records
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var best time.Duration
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		if _, err := tenant.ReplayPool(profiles, pool, mode); err != nil {
+			return benchDispatchStats{}, 0, err
+		}
+		if d := time.Since(start); rep == 0 || d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	ns := float64(best.Nanoseconds())
+	return benchDispatchStats{
+		NsPerReplay:     ns,
+		NsPerRecord:     ns / float64(records),
+		RecordsPerSec:   float64(records) / best.Seconds(),
+		AllocsPerReplay: float64(after.Mallocs-before.Mallocs) / benchReps,
+		BytesPerReplay:  float64(after.TotalAlloc-before.TotalAlloc) / benchReps,
+	}, records, nil
+}

@@ -30,6 +30,7 @@
 //	lbabench -n 2000000           # instruction scale per run
 //	lbabench -workers 8           # experiment-matrix worker pool width
 //	lbabench -json out.json       # structured results for trajectory tracking
+//	lbabench -bench replay -json BENCH_replay.json  # batched vs per-record replay throughput
 package main
 
 import (
@@ -95,6 +96,7 @@ func run(args []string, out io.Writer) error {
 		migration = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
 		churn     = fs.Float64("churn", 0, "tenant churn rate for a single cell: arrival spacing in tenant lifetimes (0 = fixed set; the churn figure sweeps rates itself)")
 		seeds     = fs.Int("seeds", 1, "workload-seed replications for the churn figure's admission confidence bands")
+		bench     = fs.String("bench", "", "replay — time the batched replay fast path against the per-record oracle (with -json, writes the lba-bench-replay/v1 report)")
 		jsonPath  = fs.String("json", "", "write structured runner results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -129,9 +131,19 @@ func run(args []string, out io.Writer) error {
 	affinityFig := *fig == "affinity"
 	churnFig := *fig == "churn"
 	cellMode := *tenants > 0 && *fig != "contention" && !schedFig && !affinityFig && !churnFig
+	if *bench != "" && *bench != "replay" {
+		return fmt.Errorf("unknown benchmark %q (have replay)", *bench)
+	}
 	var conflict error
 	fs.Visit(func(f *flag.Flag) {
 		if conflict != nil {
+			return
+		}
+		// The replay benchmark runs a pinned suite (see cmd/lbabench/
+		// bench.go) so its artifacts compare across commits; every sweep
+		// and scale flag would be dropped silently, so reject them.
+		if *bench != "" && f.Name != "bench" && f.Name != "json" {
+			conflict = fmt.Errorf("-%s does not apply with -bench; the replay benchmark runs the pinned %d-tenant suite", f.Name, benchTenants)
 			return
 		}
 		switch f.Name {
@@ -180,6 +192,13 @@ func run(args []string, out io.Writer) error {
 		seeds:     *seeds,
 	}
 	s.opts = figures.Options{Scale: *scale, Threads: *threads, Runner: s.eng}
+
+	if *bench != "" {
+		// The benchmark report has its own schema and is written by
+		// benchReplay itself; the runner-report JSON path below does not
+		// apply.
+		return s.benchReplay(*jsonPath)
+	}
 
 	runAll := *fig == "" && *table == "" && *ablation == "" && *tenants == 0
 	switch {

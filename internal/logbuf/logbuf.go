@@ -16,6 +16,17 @@
 // it is (compressed bits), and how long the lifeguard takes to process it;
 // the Channel computes consumption times, stalls, and the resulting wall
 // clock.
+//
+// # Performance notes
+//
+// Produce/ProduceAt/Drain are the per-record inner loop of every replay
+// (internal/tenant batches millions of them per pool cell), so the Channel
+// is written to stay allocation-free in steady state: the in-flight ring
+// is a power-of-two slice addressed by mask (no modulo in push/pop) that
+// only grows when occupancy exceeds its capacity, and Reset returns a
+// Channel to its initial state while retaining the grown ring — the hook
+// the tenant replay's buffer arena uses to reuse channels across replays.
+// See docs/performance.md for measured costs.
 package logbuf
 
 // Config sizes the transport.
@@ -91,7 +102,10 @@ type Channel struct {
 	cfg          Config
 	capacityBits uint64
 
+	// ring is a power-of-two circular buffer addressed through mask, so
+	// push/pop run without a modulo — they are the replay's innermost ops.
 	ring  []entry
+	mask  int
 	head  int
 	count int
 
@@ -104,12 +118,23 @@ type Channel struct {
 // New returns a channel with the given configuration, normalised per
 // Config.Normalised.
 func New(cfg Config) *Channel {
+	ch := &Channel{ring: make([]entry, 1024), mask: 1023}
+	ch.Reset(cfg)
+	return ch
+}
+
+// Reset returns the channel to its initial state under cfg (normalised per
+// Config.Normalised), retaining the allocated ring. It is the buffer-reuse
+// hook for callers that replay many runs back to back — a reset channel is
+// observationally identical to a freshly constructed one, so reuse cannot
+// change results, only allocation counts.
+func (ch *Channel) Reset(cfg Config) {
 	cfg = cfg.Normalised()
-	return &Channel{
-		cfg:          cfg,
-		capacityBits: cfg.CapacityBytes * 8,
-		ring:         make([]entry, 1024),
-	}
+	ch.cfg = cfg
+	ch.capacityBits = cfg.CapacityBytes * 8
+	ch.head, ch.count = 0, 0
+	ch.inflightBits, ch.lastFinish = 0, 0
+	ch.stats = Stats{}
 }
 
 // Config returns the channel's normalised configuration.
@@ -134,22 +159,29 @@ func (ch *Channel) LifeguardFinish() uint64 { return ch.lastFinish }
 
 func (ch *Channel) push(e entry) {
 	if ch.count == len(ch.ring) {
-		grown := make([]entry, len(ch.ring)*2)
-		for i := 0; i < ch.count; i++ {
-			grown[i] = ch.ring[(ch.head+i)%len(ch.ring)]
-		}
-		ch.ring = grown
-		ch.head = 0
+		ch.grow()
 	}
-	ch.ring[(ch.head+ch.count)%len(ch.ring)] = e
+	ch.ring[(ch.head+ch.count)&ch.mask] = e
 	ch.count++
+}
+
+// grow doubles the ring, unwrapping the live entries to the front. Cold:
+// it runs only when occupancy first exceeds the current ring size.
+func (ch *Channel) grow() {
+	grown := make([]entry, len(ch.ring)*2)
+	for i := 0; i < ch.count; i++ {
+		grown[i] = ch.ring[(ch.head+i)&ch.mask]
+	}
+	ch.ring = grown
+	ch.mask = len(grown) - 1
+	ch.head = 0
 }
 
 func (ch *Channel) front() *entry { return &ch.ring[ch.head] }
 
 func (ch *Channel) pop() {
 	ch.inflightBits -= ch.front().bits
-	ch.head = (ch.head + 1) % len(ch.ring)
+	ch.head = (ch.head + 1) & ch.mask
 	ch.count--
 }
 
@@ -178,17 +210,31 @@ func (ch *Channel) Produce(appCycle uint64, bits uint64, lgCost uint64) (stall u
 // cycle at which the lifeguard finishes the record, which is what a
 // shared-pool scheduler feeds back as the next floor.
 func (ch *Channel) ProduceAt(appCycle, bits, lgCost, startFloor uint64) (stall, finish uint64) {
-	ch.drainConsumed(appCycle)
+	// The ring cursors live in locals for the whole call — drain, stall
+	// and push all mutate them, and this function is the innermost op of
+	// every replay, so a handful of avoided loads and stores per record
+	// is measurable. Written back once before returning.
+	ring, mask := ch.ring, ch.mask
+	head, count, inflight := ch.head, ch.count, ch.inflightBits
+
+	// Drop records the lifeguard has finished by appCycle (drainConsumed).
+	for count > 0 && ring[head].finish <= appCycle {
+		inflight -= ring[head].bits
+		head = (head + 1) & mask
+		count--
+	}
 
 	// Backpressure: wait for the oldest records to be consumed until the
 	// new one fits. A record larger than the whole buffer degenerates to
 	// fully-synchronous operation (wait for empty, then accept).
 	stalledTo := appCycle
-	for ch.count > 0 && ch.inflightBits+bits > ch.capacityBits {
-		if f := ch.front().finish; f > stalledTo {
+	for count > 0 && inflight+bits > ch.capacityBits {
+		if f := ring[head].finish; f > stalledTo {
 			stalledTo = f
 		}
-		ch.pop()
+		inflight -= ring[head].bits
+		head = (head + 1) & mask
+		count--
 	}
 	if stalledTo > appCycle {
 		stall = stalledTo - appCycle
@@ -210,9 +256,17 @@ func (ch *Channel) ProduceAt(appCycle, bits, lgCost, startFloor uint64) (stall, 
 	finish = start + lgCost
 	ch.lastFinish = finish
 
-	ch.push(entry{bits: bits, finish: finish})
-	ch.inflightBits += bits
-	if b := ch.inflightBits / 8; b > ch.stats.MaxOccupancyB {
+	if count == len(ring) {
+		ch.head, ch.count = head, count
+		ch.grow()
+		ring, mask, head = ch.ring, ch.mask, ch.head
+	}
+	ring[(head+count)&mask] = entry{bits: bits, finish: finish}
+	count++
+	inflight += bits
+	ch.head, ch.count, ch.inflightBits = head, count, inflight
+
+	if b := inflight / 8; b > ch.stats.MaxOccupancyB {
 		ch.stats.MaxOccupancyB = b
 	}
 	ch.stats.Produced++

@@ -320,3 +320,66 @@ func TestProduceAtFloorDelaysConsumption(t *testing.T) {
 		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
 	}
 }
+
+// TestResetEquivalentToFresh pins the buffer-reuse contract the tenant
+// replay's arena depends on: a channel that has been driven hard (ring
+// growth, backpressure, drains) and then Reset must be observationally
+// identical to a freshly constructed one — same stalls, same finish
+// times, same stats — under a new configuration. Reuse can only change
+// allocation counts, never results.
+func TestResetEquivalentToFresh(t *testing.T) {
+	reused := New(smallConfig())
+	// Drive the first life hard enough to grow the ring and hit every
+	// stats counter.
+	var app uint64
+	for i := 0; i < 2000; i++ {
+		app += 3
+		app += reused.Produce(app, 64, 7)
+		if i%97 == 0 {
+			app += reused.Drain(app)
+		}
+	}
+	if reused.Stats().StallEvents == 0 {
+		t.Fatal("first life never stalled; the reset test needs a dirty channel")
+	}
+
+	cfg := Config{CapacityBytes: 128, TransportLatency: 25}
+	reused.Reset(cfg)
+	fresh := New(cfg)
+	if reused.Config() != fresh.Config() {
+		t.Fatalf("reset config %+v != fresh config %+v", reused.Config(), fresh.Config())
+	}
+
+	var appR, appF uint64
+	for i := 0; i < 3000; i++ {
+		bits := uint64(8 + (i%13)*16)
+		cost := uint64(i % 9)
+		appR += 2
+		appF += 2
+		sr, fr := reused.ProduceAt(appR, bits, cost, uint64(i%5)*100)
+		sf, ff := fresh.ProduceAt(appF, bits, cost, uint64(i%5)*100)
+		if sr != sf || fr != ff {
+			t.Fatalf("record %d: reused (stall %d, finish %d) != fresh (stall %d, finish %d)",
+				i, sr, fr, sf, ff)
+		}
+		appR += sr
+		appF += sf
+		if i%211 == 0 {
+			dr, df := reused.Drain(appR), fresh.Drain(appF)
+			if dr != df {
+				t.Fatalf("drain %d: reused stall %d != fresh stall %d", i, dr, df)
+			}
+			appR += dr
+			appF += df
+		}
+		if or, of := reused.Occupancy(appR), fresh.Occupancy(appF); or != of {
+			t.Fatalf("record %d: occupancy %d != %d", i, or, of)
+		}
+	}
+	if reused.Finish(appR) != fresh.Finish(appF) {
+		t.Errorf("wall clocks diverged: %d vs %d", reused.Finish(appR), fresh.Finish(appF))
+	}
+	if reused.Stats() != fresh.Stats() {
+		t.Errorf("stats diverged:\nreused: %+v\nfresh:  %+v", reused.Stats(), fresh.Stats())
+	}
+}

@@ -193,7 +193,7 @@ func (p *liveProbe) Pick(req Request, cores []CoreView, tenants []TenantView) in
 			p.t.Errorf("tenant %d visible at cycle %d before its arrival at %d", i, req.Ready, p.arrives[i])
 		}
 	}
-	return leastLag{}.Pick(req, cores, tenants)
+	return (&leastLag{}).Pick(req, cores, tenants)
 }
 
 // TestChurnReplayInvariants drives a staggered synthetic population

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"repro/internal/logbuf"
 	"repro/internal/runner"
@@ -45,7 +46,17 @@ type PoolConfig struct {
 // tenantViews expands the pool's per-tenant policy inputs to n live
 // scheduler views, applying the cycling and defaulting rules above.
 func (pool PoolConfig) tenantViews(n int) []TenantView {
-	views := make([]TenantView, n)
+	return pool.tenantViewsInto(nil, n)
+}
+
+// tenantViewsInto is tenantViews reusing views' backing array when it is
+// large enough; every element is fully overwritten, so a reused slice is
+// indistinguishable from a fresh one.
+func (pool PoolConfig) tenantViewsInto(views []TenantView, n int) []TenantView {
+	if cap(views) < n {
+		views = make([]TenantView, n)
+	}
+	views = views[:n]
 	deadline := pool.DeadlineCycles
 	if deadline == 0 {
 		deadline = DefaultDeadlineCycles
@@ -334,6 +345,34 @@ func churnLimit(steps []step, arrive, depart uint64) int {
 	return sort.Search(len(steps), func(i int) bool { return steps[i].cycle+arrive > depart })
 }
 
+// Dispatch selects the replay's record-dispatch path; see ReplayPool.
+type Dispatch int
+
+const (
+	// DispatchBatched is the production fast path: the merge groups
+	// consecutive records of one tenant into runs, schedulers that
+	// implement BatchPicker amortise their ranking over each run, and a
+	// pooled arena reuses the replay's working memory. Byte-identical to
+	// DispatchPerRecord by construction (and by differential test).
+	DispatchBatched Dispatch = iota
+	// DispatchPerRecord is the pre-optimization reference path and the
+	// fast path's differential oracle: one scheduler Pick per record with
+	// a full view refresh and re-ranking from scratch, fresh buffers, no
+	// arena, no factor memo. Benchmarks report the fast path's speedup
+	// against it.
+	DispatchPerRecord
+)
+
+// ReplayPool replays already-built profiles (Engine.Profile) against one
+// pool configuration under the chosen dispatch path. Arrival/departure
+// windows are read from each profile's Tenant description. Both paths
+// return byte-identical results; DispatchPerRecord exists as the
+// differential oracle and benchmark baseline (see docs/performance.md),
+// so production callers want Engine.RunPool instead.
+func ReplayPool(profiles []*Profile, pool PoolConfig, mode Dispatch) (*PoolResult, error) {
+	return replayMode(profiles, pool, nil, mode)
+}
+
 // replay merges the tenants' uncontended timelines in virtual time and
 // serves them from the shared pool. It is serial and deterministic: the
 // only inputs are the profiles (immutable) and the pool configuration.
@@ -341,7 +380,7 @@ func churnLimit(steps []step, arrive, depart uint64) int {
 // description (Engine.RunPool overlays the caller's windows onto the
 // memoized, window-free profiles before calling in).
 func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
-	return replayObserved(profiles, pool, nil)
+	return replayMode(profiles, pool, nil, DispatchBatched)
 }
 
 // replayObserved is replay with an optional per-record observer, invoked
@@ -351,6 +390,53 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 // bytes finished by a wall-clock horizon); production callers pass nil
 // and pay nothing.
 func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64)) (*PoolResult, error) {
+	return replayMode(profiles, pool, obs, DispatchBatched)
+}
+
+// replayArena is one replay's reusable working memory. Replays run per
+// matrix cell — thousands per sweep — and their working state (tenant
+// states, views, channels, warmth matrix) is shaped only by the tenant
+// and core counts, so a sync.Pool of arenas cuts steady-state replay
+// allocations to near zero. Reuse is invisible by construction: every
+// slice is re-dimensioned and overwritten in setup, channels go through
+// logbuf.Channel.Reset, and the warmth model through warmthModel.reset —
+// each documented to restore as-new state. The per-record oracle path
+// never uses an arena (fresh allocations are part of the baseline it
+// preserves).
+type replayArena struct {
+	states   []tenantState
+	views    []TenantView
+	cores    []CoreView
+	busy     []uint64
+	agenda   []int
+	channels []*logbuf.Channel
+	warmth   warmthModel
+	scratch  *logbuf.Channel // retire()'s dedicated-core replays
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(replayArena) }}
+
+// replayer is one replay's live state plus the dispatch machinery. The
+// hot-path layout and the batched/per-record contract are documented in
+// docs/architecture.md ("The replay hot path").
+type replayer struct {
+	pool    PoolConfig
+	sched   Scheduler
+	batch   BatchPicker // non-nil only on the batched path when sched opts in
+	obs     func(tenant, core int, req Request, charge, finish uint64)
+	churned bool
+
+	states   []tenantState
+	views    []TenantView
+	cores    []CoreView
+	busy     []uint64
+	warmth   *warmthModel
+	agenda   []int // tenant indices in arrival order (churn only)
+	arrivals int   // agenda cursor
+	arena    *replayArena
+}
+
+func replayMode(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64), mode Dispatch) (*PoolResult, error) {
 	if pool.Cores < 1 {
 		return nil, fmt.Errorf("tenant: pool needs at least one core, got %d", pool.Cores)
 	}
@@ -361,188 +447,475 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 	if err != nil {
 		return nil, err
 	}
+	r := replayer{pool: pool, sched: sched, obs: obs}
+	if mode != DispatchPerRecord {
+		if bp, ok := sched.(BatchPicker); ok {
+			r.batch = bp
+		}
+		r.arena = arenaPool.Get().(*replayArena)
+		defer arenaPool.Put(r.arena)
+	}
+	if err := r.setup(profiles); err != nil {
+		return nil, err
+	}
+	if mode == DispatchPerRecord {
+		err = r.runPerRecord()
+	} else {
+		err = r.runBatched()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(), nil
+}
 
-	churned := false
-	states := make([]*tenantState, len(profiles))
+// setup dimensions the replay state for the profiles, drawing working
+// memory from the arena when one is attached (batched path) and
+// allocating fresh otherwise (per-record oracle).
+func (r *replayer) setup(profiles []*Profile) error {
+	n := len(profiles)
+	if a := r.arena; a != nil {
+		if cap(a.states) < n {
+			a.states = make([]tenantState, n)
+		}
+		r.states = a.states[:n]
+		if cap(a.channels) < n {
+			a.channels = append(a.channels[:cap(a.channels)], make([]*logbuf.Channel, n-cap(a.channels))...)
+		}
+		a.channels = a.channels[:n]
+		r.views = a.views
+		r.cores = a.cores[:0]
+		r.busy = a.busy
+		r.warmth = &a.warmth
+	} else {
+		r.states = make([]tenantState, n)
+	}
 	for i, p := range profiles {
 		if err := p.Tenant.validateWindow(); err != nil {
-			return nil, err
+			return err
 		}
 		arrive, depart := p.Tenant.ArriveAt, p.Tenant.DepartAfter
 		if arrive > 0 || depart > 0 {
-			churned = true
+			r.churned = true
 		}
-		states[i] = &tenantState{
+		var ch *logbuf.Channel
+		if r.arena != nil && r.arena.channels[i] != nil {
+			ch = r.arena.channels[i]
+			ch.Reset(p.Tenant.Config.Channel)
+		} else {
+			ch = logbuf.New(p.Tenant.Config.Channel)
+			if r.arena != nil {
+				r.arena.channels[i] = ch
+			}
+		}
+		r.states[i] = tenantState{
 			prof:   p,
-			ch:     logbuf.New(p.Tenant.Config.Channel),
+			ch:     ch,
 			limit:  churnLimit(p.steps, arrive, depart),
 			arrive: arrive,
 			depart: depart,
 		}
 	}
-	views := pool.tenantViews(len(profiles))
-	for i, ts := range states {
+	r.views = r.pool.tenantViewsInto(r.views, n)
+	for i := range r.states {
+		ts := &r.states[i]
 		// A tenant with an empty timeline must not sit in the rankings as
 		// an eternally-underserved peer (it would shift every real
 		// tenant's wfq/priority rank for the whole replay); one that has
 		// not arrived yet is invisible for the same reason.
-		views[i].Done = ts.done()
-		views[i].Absent = ts.arrive > 0
-		views[i].TransportLatency = ts.ch.Config().TransportLatency
+		r.views[i].Done = ts.done()
+		r.views[i].Absent = ts.arrive > 0
+		r.views[i].TransportLatency = ts.ch.Config().TransportLatency
 	}
-	warmth := newWarmthModel(pool.Cores, len(profiles), pool.WarmthHalfLifeBytes)
-	cores := make([]CoreView, pool.Cores)
-	for c := range cores {
-		cores[c].LastTenant = -1
+	if r.warmth != nil {
+		r.warmth.reset(r.pool.Cores, n, r.pool.WarmthHalfLifeBytes)
+	} else {
+		r.warmth = newWarmthModel(r.pool.Cores, n, r.pool.WarmthHalfLifeBytes)
+		// The oracle keeps the pre-optimization cost profile (direct
+		// Exp2, branchy decay, library rounding). Bit-identical either
+		// way; see warmthModel.legacy.
+		r.warmth.legacy = true
 	}
-	busy := make([]uint64, pool.Cores)
+	if cap(r.cores) < r.pool.Cores {
+		r.cores = make([]CoreView, r.pool.Cores)
+	}
+	r.cores = r.cores[:r.pool.Cores]
+	for c := range r.cores {
+		r.cores[c] = CoreView{LastTenant: -1}
+	}
+	if cap(r.busy) < r.pool.Cores {
+		r.busy = make([]uint64, r.pool.Cores)
+	}
+	r.busy = r.busy[:r.pool.Cores]
+	for c := range r.busy {
+		r.busy[c] = 0
+	}
+	if a := r.arena; a != nil {
+		a.views, a.cores, a.busy = r.views, r.cores, r.busy
+	}
 
 	// Arrival agenda: tenant indices in arrival order. The merge processes
 	// steps in non-decreasing adjusted production time (offsets only
 	// grow), so a single cursor flips tenants to present as the replay
 	// clock passes their arrivals.
-	var agenda []int
-	if churned {
-		agenda = make([]int, len(states))
-		for i := range agenda {
-			agenda[i] = i
+	if r.churned {
+		if r.arena != nil {
+			r.agenda = resetInts(r.arena.agenda, n, 0)
+			r.arena.agenda = r.agenda
+		} else {
+			r.agenda = make([]int, n)
 		}
-		sort.SliceStable(agenda, func(a, b int) bool {
-			return states[agenda[a]].arrive < states[agenda[b]].arrive
+		for i := range r.agenda {
+			r.agenda[i] = i
+		}
+		sort.SliceStable(r.agenda, func(a, b int) bool {
+			return r.states[r.agenda[a]].arrive < r.states[r.agenda[b]].arrive
 		})
+	} else {
+		r.agenda = nil
 	}
-	arrivals := 0
+	return nil
+}
 
-	// retire finalises a departing tenant the moment its truncated
-	// timeline is exhausted: the app stops producing at its departure
-	// cycle, drains (waits for the channel's in-flight records), then
-	// releases the channel and its shadow-cache warmth. The dedicated-core
-	// wall of the same truncated window is computed here so the contention
-	// factor of a departed tenant compares like against like.
-	retire := func(ti int) {
-		ts := states[ti]
-		if ts.released || ts.depart == 0 || !ts.done() {
-			return
+// flipArrivals makes every tenant whose arrival the replay clock has
+// reached visible to schedulers, reporting whether any view flipped.
+func (r *replayer) flipArrivals(now uint64) bool {
+	flipped := false
+	for r.arrivals < len(r.agenda) && r.states[r.agenda[r.arrivals]].arrive <= now {
+		j := r.agenda[r.arrivals]
+		if !r.states[j].released {
+			r.views[j].Absent = false
+			flipped = true
 		}
-		ts.appFinal = ts.arrive + ts.activeApp() + ts.offset
-		ts.releaseWall = ts.ch.Finish(ts.appFinal)
-		ts.dedicated = dedicatedWall(ts.prof.steps[:ts.limit], ts.ch.Config(), ts.activeApp())
-		ts.released = true
-		views[ti].Absent = true
-		warmth.release(ti)
+		r.arrivals++
 	}
+	return flipped
+}
 
-	// Merge by adjusted production time; ties break toward the lowest
-	// tenant index, and a tenant's own steps stay strictly in order.
+// retire finalises a departing tenant the moment its truncated timeline
+// is exhausted: the app stops producing at its departure cycle, drains
+// (waits for the channel's in-flight records), then releases the channel
+// and its shadow-cache warmth. The dedicated-core wall of the same
+// truncated window is computed here so the contention factor of a
+// departed tenant compares like against like.
+func (r *replayer) retire(ti int) {
+	ts := &r.states[ti]
+	if ts.released || ts.depart == 0 || !ts.done() {
+		return
+	}
+	ts.appFinal = ts.arrive + ts.activeApp() + ts.offset
+	ts.releaseWall = ts.ch.Finish(ts.appFinal)
+	steps := ts.prof.steps[:ts.limit]
+	if a := r.arena; a != nil {
+		if a.scratch == nil {
+			a.scratch = logbuf.New(ts.ch.Config())
+		} else {
+			a.scratch.Reset(ts.ch.Config())
+		}
+		ts.dedicated = dedicatedWallOn(a.scratch, steps, ts.activeApp())
+	} else {
+		ts.dedicated = dedicatedWall(steps, ts.ch.Config(), ts.activeApp())
+	}
+	ts.released = true
+	r.views[ti].Absent = true
+	r.warmth.release(ti)
+}
+
+// refresh updates the requester-relative slices of the live views before
+// a per-record Pick: the channel's in-order consumption floor and, per
+// core, the requesting tenant's warmth there. The batched path calls it
+// only for schedulers outside the BatchPicker contract — the per-core
+// warmth walk on every record is exactly the overhead batching removes.
+func (r *replayer) refresh(ti int) {
+	r.views[ti].ChannelFree = r.states[ti].ch.LifeguardFinish()
+	for c := range r.cores {
+		r.cores[c].Warmth = r.warmth.warmth(c, ti)
+		r.cores[c].LastTenant = r.warmth.lastTenant(c)
+	}
+}
+
+// commit lands a scheduling decision: charge the migration cost of the
+// chosen core's coldness, then warm it — the record lands in whatever
+// shadow state the core has *before* this serve. Warmth itself is
+// tracked unconditionally (it depends only on assignments and sizes,
+// never on the clock), so a zero penalty leaves timing bit-for-bit
+// unchanged. This is the reference form of the per-record accounting:
+// runBatched carries a hand-inlined copy (fused warmth pass, hoisted
+// state) that must stay in lockstep with it, and the differential
+// dispatch test pins the two byte-identical. Only runPerRecord calls it,
+// so the warmth model is in legacy mode here (see warmthModel.legacy).
+func (r *replayer) commit(ti, core int, now uint64, req Request) error {
+	if core < 0 || core >= r.pool.Cores {
+		return fmt.Errorf("tenant: scheduler %s picked core %d of %d", r.sched.Name(), core, r.pool.Cores)
+	}
+	ts := &r.states[ti]
+	var charge uint64
+	var migrated bool
+	if w := r.warmth; w.legacy {
+		charge = legacyMigrationCharge(r.pool.MigrationPenalty, w.warmth(core, ti))
+		migrated = w.legacyServe(core, ti, req.Bits)
+	} else {
+		charge = migrationCharge(r.pool.MigrationPenalty, w.warmth(core, ti))
+		migrated = w.serve(core, ti, req.Bits)
+	}
+	cost := req.Cost + charge
+	stall, finish := ts.ch.ProduceAt(now, req.Bits, cost, r.cores[core].FreeAt)
+	ts.offset += stall
+	r.cores[core].FreeAt = finish
+	r.busy[core] += cost
+	ts.lags.add(finish - now)
+
+	v := &r.views[ti]
+	v.Records++
+	v.ServedBits += req.Bits
+	v.ServedCost += cost
+	v.LastLagCycles = finish - now
+	if r.pool.MigrationPenalty > 0 {
+		if migrated {
+			v.Migrations++
+		}
+		v.ColdServeCycles += charge
+	}
+	v.Done = ts.done()
+	if ts.depart != 0 {
+		r.retire(ti) // only departing tenants can retire; skip the call otherwise
+	}
+	if r.obs != nil {
+		r.obs(ti, core, req, charge, finish)
+	}
+	return nil
+}
+
+// runPerRecord is the oracle merge loop: one full O(tenants) scan and
+// one scheduler Pick (with a full view refresh) per record — the code
+// shape the replay had before the batched fast path existed.
+func (r *replayer) runPerRecord() error {
 	for {
+		// Merge by adjusted production time; ties break toward the lowest
+		// tenant index, and a tenant's own steps stay strictly in order.
 		ti := -1
 		var tmin uint64
-		for i, ts := range states {
+		for i := range r.states {
+			ts := &r.states[i]
 			if ts.done() {
 				continue
 			}
-			if ti < 0 || ts.next() < tmin {
-				ti, tmin = i, ts.next()
+			if n := ts.next(); ti < 0 || n < tmin {
+				ti, tmin = i, n
 			}
 		}
 		if ti < 0 {
-			break
+			return nil
 		}
-		ts := states[ti]
+		ts := &r.states[ti]
 		s := ts.prof.steps[ts.idx]
 		ts.idx++
 		now := s.cycle + ts.arrive + ts.offset
-
-		// Schedulers see only live tenants: flip everyone whose arrival
-		// the replay clock has now reached.
-		for arrivals < len(agenda) && states[agenda[arrivals]].arrive <= now {
-			j := agenda[arrivals]
-			if !states[j].released {
-				views[j].Absent = false
-			}
-			arrivals++
+		if r.arrivals < len(r.agenda) {
+			r.flipArrivals(now)
 		}
-
 		if s.bits == drainMark {
 			// Syscall containment: this tenant waits for its own channel
 			// only; other tenants are unaffected (per-application
 			// containment, as in the paper).
 			ts.offset += ts.ch.Drain(now)
-			views[ti].Done = ts.done()
-			retire(ti)
+			r.views[ti].Done = ts.done()
+			if ts.depart != 0 {
+				r.retire(ti)
+			}
 			continue
 		}
-
-		// Refresh the requester-relative slices of the live views: the
-		// channel's in-order consumption floor and, per core, the
-		// requesting tenant's warmth there.
-		views[ti].ChannelFree = ts.ch.LifeguardFinish()
-		for c := range cores {
-			cores[c].Warmth = warmth.warmth(c, ti)
-			cores[c].LastTenant = warmth.lastTenant(c)
-		}
-
+		r.refresh(ti)
 		req := Request{Tenant: ti, Ready: now, Bits: uint64(s.bits), Cost: uint64(s.cost)}
-		core := sched.Pick(req, cores, views)
-		if core < 0 || core >= pool.Cores {
-			return nil, fmt.Errorf("tenant: scheduler %s picked core %d of %d", sched.Name(), core, pool.Cores)
-		}
-		// Charge the migration cost of the chosen core's coldness, then
-		// warm it: the record lands in whatever shadow state the core has
-		// *before* this serve. Warmth itself is tracked unconditionally —
-		// it depends only on assignments and sizes, never on the clock —
-		// so a zero penalty leaves timing bit-for-bit unchanged.
-		charge := migrationCharge(pool.MigrationPenalty, warmth.warmth(core, ti))
-		migrated := warmth.serve(core, ti, req.Bits)
-		cost := req.Cost + charge
-		stall, finish := ts.ch.ProduceAt(now, req.Bits, cost, cores[core].FreeAt)
-		ts.offset += stall
-		cores[core].FreeAt = finish
-		busy[core] += cost
-		ts.lags.add(finish - now)
-
-		v := &views[ti]
-		v.Records++
-		v.ServedBits += req.Bits
-		v.ServedCost += cost
-		v.LastLagCycles = finish - now
-		if pool.MigrationPenalty > 0 {
-			if migrated {
-				v.Migrations++
-			}
-			v.ColdServeCycles += charge
-		}
-		v.Done = ts.done()
-		retire(ti)
-		if obs != nil {
-			obs(ti, core, req, charge, finish)
+		if err := r.commit(ti, r.sched.Pick(req, r.cores, r.views), now, req); err != nil {
+			return err
 		}
 	}
+}
 
+// runBatched is the fast-path merge loop. One O(tenants) scan finds both
+// the leader (the tenant with the lexicographically smallest
+// (next cycle, index), exactly the per-record winner) and the runner-up
+// bound (the smallest such pair among the others); the leader then keeps
+// the merge — a *run* — for as long as its next record still wins that
+// comparison. Rivals' clocks cannot move while they are not being
+// served, so the bound stays valid for the whole run and each in-run
+// record costs O(1) merge work instead of a fresh O(tenants) scan.
+// Record dispatch inside a run goes through BatchPicker when the
+// scheduler opts in (no per-core warmth refresh, incremental ranks) and
+// through the ordinary refresh+Pick otherwise; either way every decision
+// is, by construction, the one the per-record loop would have made.
+func (r *replayer) runBatched() error {
+	// Replay-stable state, hoisted so the in-run loop reloads nothing
+	// through r after opaque calls. The batched path never runs the
+	// warmth model in legacy mode (setup only sets it on the oracle), so
+	// the inlined commit below takes the fast branch unconditionally.
+	cores, busy, views := r.cores, r.busy, r.views
+	w, penalty, obs := r.warmth, r.pool.MigrationPenalty, r.obs
+	// Warmth-sensitive BatchPickers get refreshed warmth views at run
+	// start and picked-core maintenance per record (see WarmthBatchPicker).
+	warmBatch := false
+	if r.batch != nil {
+		_, warmBatch = r.batch.(WarmthBatchPicker)
+	}
+	for {
+		ti, j2 := -1, -1
+		var tmin, t2 uint64
+		for i := range r.states {
+			ts := &r.states[i]
+			if ts.done() {
+				continue
+			}
+			n := ts.next()
+			if ti < 0 || n < tmin {
+				ti, j2 = i, ti
+				tmin, t2 = n, tmin
+			} else if j2 < 0 || n < t2 {
+				j2, t2 = i, n
+			}
+		}
+		if ti < 0 {
+			return nil
+		}
+		ts := &r.states[ti]
+		v := &views[ti]
+		steps, arrive := ts.prof.steps, ts.arrive // immutable across the run
+		if r.batch != nil {
+			if warmBatch {
+				r.refresh(ti)
+			}
+			r.batch.BeginRun(ti, cores, views)
+		}
+		for !ts.done() {
+			s := steps[ts.idx]
+			now := s.cycle + arrive + ts.offset
+			// The runner-up overtakes (or ties with a lower index): back
+			// to the merge scan.
+			if j2 >= 0 && (now > t2 || (now == t2 && j2 < ti)) {
+				break
+			}
+			ts.idx++
+			if r.arrivals < len(r.agenda) && r.flipArrivals(now) && r.batch != nil {
+				// The live-tenant set changed mid-run; rank snapshots
+				// taken at BeginRun are stale, so start a new run in
+				// place. Core clocks are unaffected by arrivals.
+				r.batch.BeginRun(ti, cores, views)
+			}
+			if s.bits == drainMark {
+				// Syscall containment, as in runPerRecord. A drain only
+				// moves the leader's own clock, so the run survives it.
+				ts.offset += ts.ch.Drain(now)
+				v.Done = ts.done()
+				if ts.depart != 0 {
+					r.retire(ti)
+				}
+				continue
+			}
+			req := Request{Tenant: ti, Ready: now, Bits: uint64(s.bits), Cost: uint64(s.cost)}
+			var core int
+			if r.batch != nil {
+				v.ChannelFree = ts.ch.LifeguardFinish()
+				core = r.batch.PickNext(req, cores, views)
+			} else {
+				r.refresh(ti)
+				core = r.sched.Pick(req, cores, views)
+			}
+			// What follows is commit(), hand-inlined (minus the oracle's
+			// legacy branch) so the per-record accounting runs on hoisted
+			// state with no call overhead — profiling showed the call and
+			// the post-call reloads as the largest cost left in the loop.
+			// Keep it in lockstep with commit; the differential dispatch
+			// test pins the two paths byte-identical.
+			if core < 0 || core >= len(cores) {
+				return fmt.Errorf("tenant: scheduler %s picked core %d of %d", r.sched.Name(), core, r.pool.Cores)
+			}
+			base := core * w.stride
+			row := w.warm[base : base+w.stride]
+			charge := migrationCharge(penalty, row[ti])
+			var f float64
+			if req.Bits < factorCacheBits && w.factors != nil {
+				f = w.factors[req.Bits]
+			}
+			if f == 0 {
+				f = w.factor(req.Bits)
+			}
+			d := 1 - f
+			for u := range row[:ti] {
+				row[u] *= d
+			}
+			row[ti] += (1 - row[ti]) * f
+			for u := ti + 1; u < len(row); u++ {
+				row[u] *= d
+			}
+			migrated := w.lastCore[ti] >= 0 && w.lastCore[ti] != core
+			w.lastCore[ti] = core
+			w.lastTen[core] = ti
+			if warmBatch {
+				// Keep the warmth-sensitive views exact: this serve
+				// changed the running tenant's warmth on this core only.
+				cores[core].Warmth = row[ti]
+				cores[core].LastTenant = ti
+			}
+
+			cost := req.Cost + charge
+			stall, finish := ts.ch.ProduceAt(now, req.Bits, cost, cores[core].FreeAt)
+			ts.offset += stall
+			cores[core].FreeAt = finish
+			busy[core] += cost
+			ts.lags.add(finish - now)
+
+			v.Records++
+			v.ServedBits += req.Bits
+			v.ServedCost += cost
+			v.LastLagCycles = finish - now
+			if penalty > 0 {
+				if migrated {
+					v.Migrations++
+				}
+				v.ColdServeCycles += charge
+			}
+			v.Done = ts.done()
+			if ts.depart != 0 {
+				r.retire(ti)
+			}
+			if obs != nil {
+				obs(ti, core, req, charge, finish)
+			}
+		}
+	}
+}
+
+// finish assembles the PoolResult after the merge has drained. Shared by
+// both dispatch paths, and must not retain arena-owned memory: slices
+// that outlive the replay (per-core busy cycles, the warmth snapshot)
+// are copied out.
+func (r *replayer) finish() *PoolResult {
 	// Departing tenants whose active window held no steps at all were
 	// never touched by the merge; retire them now so every departure has
 	// a release time.
-	for i, ts := range states {
-		if ts.depart > 0 && !ts.released {
-			retire(i)
+	for i := range r.states {
+		if ts := &r.states[i]; ts.depart > 0 && !ts.released {
+			r.retire(i)
 		}
 	}
 
 	res := &PoolResult{
-		Cores:               pool.Cores,
-		Policy:              sched.Name(),
-		Weights:             pool.Weights,
-		Tiers:               pool.Tiers,
-		DeadlineCycles:      pool.DeadlineCycles,
-		MigrationPenalty:    pool.MigrationPenalty,
-		WarmthHalfLifeBytes: pool.WarmthHalfLifeBytes,
-		CoreBusyCycles:      busy,
-		CoreWarmth:          warmth.snapshot(),
-		Churned:             churned,
+		Cores:               r.pool.Cores,
+		Policy:              r.sched.Name(),
+		Weights:             r.pool.Weights,
+		Tiers:               r.pool.Tiers,
+		DeadlineCycles:      r.pool.DeadlineCycles,
+		MigrationPenalty:    r.pool.MigrationPenalty,
+		WarmthHalfLifeBytes: r.pool.WarmthHalfLifeBytes,
+		CoreBusyCycles:      append([]uint64(nil), r.busy...),
+		CoreWarmth:          r.warmth.snapshot(),
+		Churned:             r.churned,
 	}
-	starts := make([]uint64, len(states))
-	ends := make([]uint64, len(states))
-	for i, ts := range states {
+	views, churned := r.views, r.churned
+	starts := make([]uint64, len(r.states))
+	ends := make([]uint64, len(r.states))
+	for i := range r.states {
+		ts := &r.states[i]
 		p := ts.prof
 		appFinal := p.Result.AppCycles + ts.arrive + ts.offset
 		dedicated := p.DedicatedWall
@@ -624,18 +997,18 @@ func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core 
 			res.MakespanCycles = wall
 		}
 	}
-	res.MeanSlowdown /= float64(len(states))
-	res.MeanContentionX /= float64(len(states))
+	res.MeanSlowdown /= float64(len(r.states))
+	res.MeanContentionX /= float64(len(r.states))
 	res.PeakConcurrency = peakConcurrency(starts, ends)
 
 	var totalBusy uint64
-	for _, b := range busy {
+	for _, b := range r.busy {
 		totalBusy += b
 	}
 	if res.MakespanCycles > 0 {
-		res.Utilisation = float64(totalBusy) / (float64(pool.Cores) * float64(res.MakespanCycles))
+		res.Utilisation = float64(totalBusy) / (float64(r.pool.Cores) * float64(res.MakespanCycles))
 	}
-	return res, nil
+	return res
 }
 
 // peakConcurrency returns the maximum number of overlapping channel-hold

@@ -86,7 +86,13 @@ func buildProfile(t Tenant, base *core.Result) (*Profile, error) {
 // one-core pool are equivalent because a lone channel's in-order
 // consumption (lastFinish) already serialises its records.
 func dedicatedWall(steps []step, cfg logbuf.Config, appCycles uint64) uint64 {
-	ch := logbuf.New(cfg)
+	return dedicatedWallOn(logbuf.New(cfg), steps, appCycles)
+}
+
+// dedicatedWallOn is dedicatedWall against a caller-supplied channel,
+// already configured (or Reset) for the tenant. The replay arena uses it
+// so mid-replay retirements do not allocate a channel per departure.
+func dedicatedWallOn(ch *logbuf.Channel, steps []step, appCycles uint64) uint64 {
 	var offset uint64
 	for _, s := range steps {
 		now := s.cycle + offset

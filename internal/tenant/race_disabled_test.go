@@ -1,0 +1,5 @@
+//go:build !race
+
+package tenant
+
+const raceEnabled = false

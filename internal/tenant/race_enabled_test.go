@@ -1,0 +1,8 @@
+//go:build race
+
+package tenant
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-ceiling regression test skips under it, since race
+// instrumentation allocates on its own account.
+const raceEnabled = true

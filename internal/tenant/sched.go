@@ -174,10 +174,10 @@ type registration struct {
 
 var registry = []registration{
 	{PolicyRoundRobin, func(PoolConfig, int) Scheduler { return &roundRobin{} }},
-	{PolicyLeastLag, func(PoolConfig, int) Scheduler { return leastLag{} }},
+	{PolicyLeastLag, func(PoolConfig, int) Scheduler { return &leastLag{} }},
 	{PolicyDeadline, func(pool PoolConfig, _ int) Scheduler { return deadline{penalty: pool.MigrationPenalty} }},
-	{PolicyWFQ, func(PoolConfig, int) Scheduler { return wfq{} }},
-	{PolicyPriority, func(PoolConfig, int) Scheduler { return priority{} }},
+	{PolicyWFQ, func(PoolConfig, int) Scheduler { return &wfq{} }},
+	{PolicyPriority, func(PoolConfig, int) Scheduler { return &priority{} }},
 	{PolicyAffinity, newAffinity},
 }
 
@@ -291,11 +291,13 @@ func (r *roundRobin) Pick(_ Request, cores []CoreView, _ []TenantView) int {
 	return c
 }
 
-type leastLag struct{}
+// leastLag's only state is the batch path's incremental core order
+// (batch.go); per-record Pick never touches it.
+type leastLag struct{ ord coreOrder }
 
-func (leastLag) Name() string { return PolicyLeastLag }
+func (*leastLag) Name() string { return PolicyLeastLag }
 
-func (leastLag) Pick(_ Request, cores []CoreView, _ []TenantView) int {
+func (*leastLag) Pick(_ Request, cores []CoreView, _ []TenantView) int {
 	return earliestFree(cores)
 }
 
@@ -338,11 +340,16 @@ func (d deadline) Pick(req Request, cores []CoreView, tenants []TenantView) int 
 	return earliestFree(cores)
 }
 
-type wfq struct{}
+// wfq's fields are the batch path's incremental structures (batch.go);
+// per-record Pick re-ranks from scratch and never touches them.
+type wfq struct {
+	ord  coreOrder
+	rank vtimeTracker
+}
 
-func (wfq) Name() string { return PolicyWFQ }
+func (*wfq) Name() string { return PolicyWFQ }
 
-func (wfq) Pick(req Request, cores []CoreView, tenants []TenantView) int {
+func (*wfq) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	rank, active := vtimeRank(req.Tenant, tenants, func(a, b *TenantView, ai, bi int) bool {
 		if a.vtime() != b.vtime() {
 			return a.vtime() < b.vtime()
@@ -352,11 +359,16 @@ func (wfq) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	return coreByRank(rank, active, cores)
 }
 
-type priority struct{}
+// priority's fields are the batch path's incremental structures
+// (batch.go), exactly as in wfq.
+type priority struct {
+	ord  coreOrder
+	rank vtimeTracker
+}
 
-func (priority) Name() string { return PolicyPriority }
+func (*priority) Name() string { return PolicyPriority }
 
-func (priority) Pick(req Request, cores []CoreView, tenants []TenantView) int {
+func (*priority) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	// Strict tiers first, WFQ virtual time inside a tier: every tenant of
 	// a better tier outranks every tenant of a worse one, so paid tenants
 	// monopolise the early (soonest-free) cores under contention.

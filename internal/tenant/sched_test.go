@@ -50,7 +50,7 @@ func TestRegistry(t *testing.T) {
 
 func TestRegisterReplacesInPlace(t *testing.T) {
 	before := Policies()
-	Register(PolicyWFQ, func(PoolConfig, int) Scheduler { return wfq{} })
+	Register(PolicyWFQ, func(PoolConfig, int) Scheduler { return &wfq{} })
 	after := Policies()
 	if len(after) != len(before) {
 		t.Fatalf("re-registering an existing policy must not grow the registry: %v -> %v", before, after)

@@ -77,6 +77,22 @@
 // verified fallback to the exhaustive scan when the probed envelope is
 // non-monotone. Points are exported in the lba-runner/v1 JSON artifact's
 // admission (and churn) sections.
+//
+// # Performance
+//
+// The replay is the package's hot path — sweeps and admission searches
+// replay millions of records per pool cell — and ships two dispatch
+// paths pinned byte-identical to each other (ReplayPool's Dispatch
+// argument). DispatchBatched, the default and what Engine.RunPool uses,
+// groups consecutive same-tenant records into runs so schedulers that
+// implement BatchPicker (all six built-ins) amortise their ranking work
+// per run instead of per record, and draws its working memory from a
+// pooled arena so steady-state replays allocate only their results
+// (logbuf.Channel.Reset is the channel-reuse hook). DispatchPerRecord
+// is the pre-optimization reference kept as the differential oracle and
+// benchmark baseline. BenchmarkReplay and `lbabench -bench replay`
+// measure the pair; docs/performance.md documents the schema, profiling
+// recipes and the measured ≥2x records/sec gap.
 package tenant
 
 import (

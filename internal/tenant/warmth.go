@@ -10,6 +10,11 @@ import "math"
 // from a lifeguard core's private cache by another tenant's records.
 const DefaultWarmthHalfLifeBytes = 4 << 10
 
+// factorCacheBits bounds the memoized gain/decay factor table. Records are
+// at most a few hundred compressed bits, so in practice every serve hits
+// the table; larger sizes fall back to computing the factor directly.
+const factorCacheBits = 4096
+
 // warmthModel tracks per-core, per-tenant shadow-cache warmth for one
 // replay. A lifeguard core is only fast on a tenant whose shadow-memory
 // working set is resident; the model abstracts residency to a bounded
@@ -31,35 +36,104 @@ const DefaultWarmthHalfLifeBytes = 4 << 10
 // cost projection) cannot feed back into the warmth trajectory of a fixed
 // assignment sequence — which is what makes the penalty-monotonicity
 // invariant provable for fixed-assignment policies like round-robin.
+//
+// serve runs once per replayed record, so the model is written for the
+// hot path: warmth lives in one flat row-major [core*stride+tenant] slice
+// (one allocation, cache-friendly row walks), and the 2^(-b/H) factor —
+// a transcendental that profiling showed dominating the whole replay — is
+// memoized per record size in factors. math.Exp2 is deterministic, so the
+// cached factor is bit-identical to recomputing it and results cannot
+// change; reset lets a replay arena reuse the slices run over run.
 type warmthModel struct {
-	halfLife float64     // bytes of foreign service that halve a warmth
-	warm     [][]float64 // [core][tenant] warmth in [0, 1]
-	lastCore []int       // [tenant] core that served the tenant last, -1 if none
-	lastTen  []int       // [core] tenant served most recently, -1 if none
+	halfLife float64   // bytes of foreign service that halve a warmth
+	warm     []float64 // row-major [core*stride + tenant] warmth in [0, 1]
+	stride   int       // tenants per row
+	factors  []float64 // memoized gain/decay factor by record bits; 0 = unset
+	lastCore []int     // [tenant] core that served the tenant last, -1 if none
+	lastTen  []int     // [core] tenant served most recently, -1 if none
+
+	// legacy makes the replay commit path replicate the pre-fast-path
+	// instruction sequence (legacyServe + legacyMigrationCharge):
+	// math.Exp2 recomputed on every serve (no factor memo), the branchy
+	// decay walk, and library rounding for the migration charge. Every
+	// alternative is bit-identical in results — only the cost profile
+	// differs — and the per-record oracle replay (DispatchPerRecord) sets
+	// it so the benchmark baseline stays the pre-optimization baseline
+	// rather than silently inheriting the fast path's shared wins. See
+	// docs/performance.md.
+	legacy bool
 }
 
 func newWarmthModel(cores, tenants int, halfLifeBytes uint64) *warmthModel {
-	if halfLifeBytes == 0 {
-		halfLifeBytes = DefaultWarmthHalfLifeBytes
-	}
-	m := &warmthModel{
-		halfLife: float64(halfLifeBytes),
-		warm:     make([][]float64, cores),
-		lastCore: make([]int, tenants),
-		lastTen:  make([]int, cores),
-	}
-	for c := range m.warm {
-		m.warm[c] = make([]float64, tenants)
-		m.lastTen[c] = -1
-	}
-	for t := range m.lastCore {
-		m.lastCore[t] = -1
-	}
+	m := &warmthModel{}
+	m.reset(cores, tenants, halfLifeBytes)
 	return m
 }
 
+// reset re-dimensions the model for a replay of cores x tenants and clears
+// every warmth, reusing the backing slices when they are large enough. The
+// factor cache survives only when the half-life is unchanged (the factor
+// depends on it).
+func (m *warmthModel) reset(cores, tenants int, halfLifeBytes uint64) {
+	if halfLifeBytes == 0 {
+		halfLifeBytes = DefaultWarmthHalfLifeBytes
+	}
+	if h := float64(halfLifeBytes); h != m.halfLife {
+		m.halfLife = h
+		m.factors = nil
+	}
+	m.stride = tenants
+	m.warm = resetFloats(m.warm, cores*tenants)
+	m.lastCore = resetInts(m.lastCore, tenants, -1)
+	m.lastTen = resetInts(m.lastTen, cores, -1)
+}
+
+// resetFloats returns a zeroed float slice of length n, reusing s's
+// backing array when it is large enough.
+func resetFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resetInts returns an int slice of length n filled with v, reusing s's
+// backing array when it is large enough.
+func resetInts(s []int, n, v int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// factor returns the gain/decay factor f = 1 - 2^(-bits/(8*halfLife)),
+// memoized by record size.
+func (m *warmthModel) factor(bits uint64) float64 {
+	if bits < factorCacheBits && !m.legacy {
+		if m.factors == nil {
+			m.factors = make([]float64, factorCacheBits)
+		}
+		if f := m.factors[bits]; f != 0 {
+			return f
+		}
+		f := 1 - math.Exp2(-float64(bits)/(8*m.halfLife))
+		m.factors[bits] = f
+		return f
+	}
+	return 1 - math.Exp2(-float64(bits)/(8*m.halfLife))
+}
+
 // warmth returns the tenant's warmth on the core.
-func (m *warmthModel) warmth(core, tenant int) float64 { return m.warm[core][tenant] }
+func (m *warmthModel) warmth(core, tenant int) float64 { return m.warm[core*m.stride+tenant] }
 
 // lastTenant returns the tenant the core served most recently (-1 if the
 // core is untouched).
@@ -70,8 +144,32 @@ func (m *warmthModel) lastTenant(core int) int { return m.lastTen[core] }
 // tenant's last-core pointer advances. It reports whether this serve was
 // a migration — the tenant's previous record went to a different core.
 func (m *warmthModel) serve(core, tenant int, bits uint64) (migrated bool) {
+	f := m.factor(bits)
+	d := 1 - f
+	row := m.warm[core*m.stride : core*m.stride+m.stride]
+	// Split at the served tenant so the decay walks run branch-free; the
+	// float expressions are unchanged, so the trajectory is bit-identical
+	// to the single branchy loop.
+	for u := range row[:tenant] {
+		row[u] *= d
+	}
+	row[tenant] += (1 - row[tenant]) * f
+	for u := tenant + 1; u < len(row); u++ {
+		row[u] *= d
+	}
+	migrated = m.lastCore[tenant] >= 0 && m.lastCore[tenant] != core
+	m.lastCore[tenant] = core
+	m.lastTen[core] = tenant
+	return migrated
+}
+
+// legacyServe is serve as it existed before the fast path: the
+// transcendental recomputed per record and the decay factor recomputed
+// per row element. Bit-identical to serve (math.Exp2 is deterministic
+// and the float expressions are unchanged), deliberately not faster.
+func (m *warmthModel) legacyServe(core, tenant int, bits uint64) (migrated bool) {
 	f := 1 - math.Exp2(-float64(bits)/(8*m.halfLife))
-	row := m.warm[core]
+	row := m.warm[core*m.stride : core*m.stride+m.stride]
 	for u := range row {
 		if u == tenant {
 			row[u] += (1 - row[u]) * f
@@ -93,8 +191,9 @@ func (m *warmthModel) serve(core, tenant int, bits uint64) (migrated bool) {
 // preserved, and it never touches other tenants' warmth, so a replay
 // without departures cannot observe it.
 func (m *warmthModel) release(tenant int) {
-	for c := range m.warm {
-		m.warm[c][tenant] = 0
+	cores := len(m.warm) / m.stride
+	for c := 0; c < cores; c++ {
+		m.warm[c*m.stride+tenant] = 0
 		if m.lastTen[c] == tenant {
 			m.lastTen[c] = -1
 		}
@@ -104,9 +203,10 @@ func (m *warmthModel) release(tenant int) {
 
 // snapshot copies the warmth matrix for results and invariant checks.
 func (m *warmthModel) snapshot() [][]float64 {
-	out := make([][]float64, len(m.warm))
-	for c, row := range m.warm {
-		out[c] = append([]float64(nil), row...)
+	cores := len(m.warm) / m.stride
+	out := make([][]float64, cores)
+	for c := range out {
+		out[c] = append([]float64(nil), m.warm[c*m.stride:c*m.stride+m.stride]...)
 	}
 	return out
 }
@@ -117,6 +217,35 @@ func (m *warmthModel) snapshot() [][]float64 {
 // place timing touches the warmth model, so a zero penalty makes the whole
 // model timing-neutral.
 func migrationCharge(penalty uint64, warmth float64) uint64 {
+	cold := 1 - warmth
+	if cold < 0 {
+		cold = 0
+	}
+	x := float64(penalty) * cold
+	// Branch-on-magnitude rounding, equal to math.Round(x) bit for bit:
+	// for x in [0, 2^52), x+0.5 is exactly representable (no double
+	// rounding), truncation of a non-negative value is floor, and
+	// half-away-from-zero equals half-up, so trunc(x+0.5) == Round(x);
+	// at or beyond 2^52 a float64 has no fractional part, so Round
+	// returns x unchanged and uint64(x) is the identical conversion the
+	// pre-fast-path uint64(math.Round(x)) performed. The int64 conversion
+	// is a single instruction where math.Round is a library call, and
+	// avoiding any call here keeps the whole function within the
+	// compiler's inlining budget — it runs once per replayed record plus
+	// once per core in the deadline/affinity projections, so both
+	// distinctions are measurable. A zero penalty falls through to x == 0
+	// and returns 0, as before.
+	if x < 1<<52 {
+		return uint64(int64(x + 0.5))
+	}
+	return uint64(x)
+}
+
+// legacyMigrationCharge is migrationCharge as it existed before the fast
+// path (library rounding, no representability fast case) — bit-identical
+// output, pre-optimization cost. The per-record oracle's commit path
+// uses it (see warmthModel.legacy).
+func legacyMigrationCharge(penalty uint64, warmth float64) uint64 {
 	if penalty == 0 {
 		return 0
 	}
