@@ -14,7 +14,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/tenant/...
-	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity|TestChurn|TestPropertyBisection|TestApplyChurn|TestPeakConcurrency' ./internal/tenant
+	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity|TestChurn|TestPropertyBisection|TestApplyChurn|TestPeakConcurrency|TestSharded|TestShardPlan' ./internal/tenant
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/vpc
@@ -52,6 +52,7 @@ bench:
 	@grep -q '"churn"' BENCH_churn.json && grep -q '"peak_concurrency"' BENCH_churn.json
 	$(GO) run ./cmd/lbabench -bench replay -json BENCH_replay.json
 	@grep -q '"lba-bench-replay/v1"' BENCH_replay.json && grep -q '"speedup_x"' BENCH_replay.json
+	@grep -q '"sharded"' BENCH_replay.json && grep -q '"shards": 4' BENCH_replay.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

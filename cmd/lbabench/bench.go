@@ -38,6 +38,26 @@ const (
 	benchReps = 3
 )
 
+// The sharded section scales the pinned cell up — twice the tenants on a
+// paper-sized 8-core pool — so a 4-way static partition has enough
+// independent work per shard for the parallel replay to show its slope.
+// The policy is pinned to affinity with the migration model on: its
+// per-record warmth scan walks every core, so it is the policy whose
+// cost grows fastest with pool width — the speedup rows capture both the
+// per-shard state shrink (each sub-pool scans only its own cores and
+// tenants, measurable even on one hardware thread) and, on multi-core
+// runners, the concurrent shard replays on top.
+const (
+	benchShardTenants = 8
+	benchShardCores   = 8
+	benchShardPolicy  = tenant.PolicyAffinity
+)
+
+// benchShardCounts are the partition widths the trajectory tracks;
+// shards=1 IS the batched fast path (the plan short-circuits), so the
+// first row doubles as the section's serial baseline.
+var benchShardCounts = []int{1, 2, 4}
+
 // benchDispatchStats is one (policy, dispatch) cell of the report.
 type benchDispatchStats struct {
 	NsPerReplay     float64 `json:"ns_per_replay"`
@@ -74,17 +94,39 @@ type benchSuiteDesc struct {
 	Reps             int    `json:"reps"`
 }
 
+// benchShardRow is one partition width of the sharded section; SpeedupX
+// is this row's records/sec over the shards=1 (batched) row's.
+type benchShardRow struct {
+	Shards   int                `json:"shards"`
+	Stats    benchDispatchStats `json:"stats"`
+	SpeedupX float64            `json:"speedup_x"`
+}
+
+// benchShardedSection is the multi-core replay trajectory: the same
+// records replayed under static partitioning at each shard count.
+type benchShardedSection struct {
+	Tenants          int             `json:"tenants"`
+	Scale            int             `json:"scale"`
+	Cores            int             `json:"cores"`
+	MigrationPenalty uint64          `json:"migration_penalty"`
+	Policy           string          `json:"policy"`
+	RecordsPerReplay uint64          `json:"records_per_replay"`
+	Reps             int             `json:"reps"`
+	Rows             []benchShardRow `json:"rows"`
+}
+
 type benchReport struct {
-	Schema   string           `json:"schema"`
-	Suite    benchSuiteDesc   `json:"suite"`
-	Policies []benchPolicyRow `json:"policies"`
-	Headline benchHeadline    `json:"headline"`
+	Schema   string              `json:"schema"`
+	Suite    benchSuiteDesc      `json:"suite"`
+	Policies []benchPolicyRow    `json:"policies"`
+	Sharded  benchShardedSection `json:"sharded"`
+	Headline benchHeadline       `json:"headline"`
 }
 
 // benchReplay runs the full benchmark matrix and prints the per-policy
 // table; when jsonPath is non-empty the structured report lands there.
 func (s *session) benchReplay(jsonPath string) error {
-	profiles, err := benchProfiles()
+	profiles, err := benchProfiles(benchTenants)
 	if err != nil {
 		return err
 	}
@@ -121,6 +163,29 @@ func (s *session) benchReplay(jsonPath string) error {
 	}
 	rep.Headline.SpeedupX = rep.Headline.BatchedRecordsPerSec / rep.Headline.PerRecordRecordsPerSec
 
+	shardProfiles, err := benchProfiles(benchShardTenants)
+	if err != nil {
+		return err
+	}
+	rep.Sharded = benchShardedSection{
+		Tenants: benchShardTenants, Scale: benchScale, Cores: benchShardCores,
+		MigrationPenalty: benchPenalty, Policy: benchShardPolicy, Reps: benchReps,
+	}
+	for _, shards := range benchShardCounts {
+		pool := tenant.PoolConfig{Cores: benchShardCores, Policy: benchShardPolicy,
+			MigrationPenalty: benchPenalty, Shards: shards}
+		stats, records, err := measureReplay(shardProfiles, pool, tenant.DispatchSharded)
+		if err != nil {
+			return err
+		}
+		rep.Sharded.RecordsPerReplay = records
+		row := benchShardRow{Shards: shards, Stats: stats, SpeedupX: 1}
+		if len(rep.Sharded.Rows) > 0 {
+			row.SpeedupX = stats.RecordsPerSec / rep.Sharded.Rows[0].Stats.RecordsPerSec
+		}
+		rep.Sharded.Rows = append(rep.Sharded.Rows, row)
+	}
+
 	fmt.Fprintf(s.out, "Replay dispatch benchmark: %d tenants, %d cores, %d records/replay, best of %d\n",
 		benchTenants, benchCores, rep.Suite.RecordsPerReplay, benchReps)
 	tb := metrics.NewTable("policy", "batched-Mrec/s", "per-record-Mrec/s", "speedup", "batched-allocs", "per-record-allocs")
@@ -136,6 +201,17 @@ func (s *session) benchReplay(jsonPath string) error {
 	fmt.Fprintf(s.out, "headline: %.1f Mrec/s batched vs %.1f Mrec/s per-record = %.2fx\n\n",
 		rep.Headline.BatchedRecordsPerSec/1e6, rep.Headline.PerRecordRecordsPerSec/1e6, rep.Headline.SpeedupX)
 
+	fmt.Fprintf(s.out, "Sharded replay benchmark: %d tenants, %d cores, %s, %d records/replay, best of %d\n",
+		benchShardTenants, benchShardCores, benchShardPolicy, rep.Sharded.RecordsPerReplay, benchReps)
+	st := metrics.NewTable("shards", "Mrec/s", "speedup-vs-1")
+	for _, row := range rep.Sharded.Rows {
+		st.AddRow(fmt.Sprintf("%d", row.Shards),
+			fmt.Sprintf("%.1f", row.Stats.RecordsPerSec/1e6),
+			fmt.Sprintf("%.2fx", row.SpeedupX))
+	}
+	fmt.Fprint(s.out, st.String())
+	fmt.Fprintln(s.out)
+
 	if jsonPath == "" {
 		return nil
 	}
@@ -146,12 +222,12 @@ func (s *session) benchReplay(jsonPath string) error {
 	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
 }
 
-// benchProfiles builds the pinned suite's profiles once; replays reuse
-// them (profiles are immutable), so profiling cost stays out of every
-// measurement.
-func benchProfiles() ([]*tenant.Profile, error) {
+// benchProfiles builds the pinned n-tenant suite's profiles once; replays
+// reuse them (profiles are immutable), so profiling cost stays out of
+// every measurement.
+func benchProfiles(n int) ([]*tenant.Profile, error) {
 	eng := tenant.NewEngine(0, nil)
-	set, err := tenant.FromSuite(benchTenants, workloads.Config{Scale: benchScale}, core.DefaultConfig())
+	set, err := tenant.FromSuite(n, workloads.Config{Scale: benchScale}, core.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}

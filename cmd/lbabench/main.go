@@ -27,6 +27,7 @@
 //	lbabench -tenants 6 -pool 2 -sched deadline -deadline 2000
 //	lbabench -tenants 6 -pool 2 -sched affinity -migration 1000  # warmth-aware
 //	lbabench -tenants 6 -pool 2 -churn 0.5       # churning cell (staggered arrivals/departures)
+//	lbabench -tenants 8 -pool 4 -shards 4        # statically-partitioned pool, shards replayed in parallel
 //	lbabench -n 2000000           # instruction scale per run
 //	lbabench -workers 8           # experiment-matrix worker pool width
 //	lbabench -json out.json       # structured results for trajectory tracking
@@ -95,6 +96,7 @@ func run(args []string, out io.Writer) error {
 		deadline  = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
 		migration = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
 		churn     = fs.Float64("churn", 0, "tenant churn rate for a single cell: arrival spacing in tenant lifetimes (0 = fixed set; the churn figure sweeps rates itself)")
+		shards    = fs.Int("shards", 0, "partition a single cell's pool into K sub-pools replayed in parallel (0/1 = unsharded)")
 		seeds     = fs.Int("seeds", 1, "workload-seed replications for the churn figure's admission confidence bands")
 		bench     = fs.String("bench", "", "replay — time the batched replay fast path against the per-record oracle (with -json, writes the lba-bench-replay/v1 report)")
 		jsonPath  = fs.String("json", "", "write structured runner results to this file")
@@ -172,6 +174,12 @@ func run(args []string, out io.Writer) error {
 			if !cellMode {
 				conflict = fmt.Errorf("-churn only applies with -tenants N (single multi-tenant cell); the churn figure sweeps rates itself")
 			}
+		case "shards":
+			// The figures' artifacts pin the global (unsharded) replay;
+			// sharding is a single-cell knob.
+			if !cellMode {
+				conflict = fmt.Errorf("-shards only applies with -tenants N (single multi-tenant cell)")
+			}
 		case "seeds":
 			if !churnFig {
 				conflict = fmt.Errorf("-seeds only applies with -fig churn (confidence bands for the admission search)")
@@ -187,7 +195,7 @@ func run(args []string, out io.Writer) error {
 		eng:     runner.New(*workers),
 		metrics: map[string]float64{},
 		basePool: tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
-			DeadlineCycles: *deadline, MigrationPenalty: *migration},
+			DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards},
 		churnRate: *churn,
 		seeds:     *seeds,
 	}
@@ -503,6 +511,9 @@ func (s *session) tenantCell(n int, pool tenant.PoolConfig) error {
 		return err
 	}
 	fmt.Fprintf(s.out, "Multi-tenant cell: %d tenants, %d lifeguard cores, %s\n", n, res.Cores, res.Policy)
+	if res.Shards > 1 {
+		fmt.Fprintf(s.out, "shards: %d statically-partitioned sub-pools, replayed in parallel\n", res.Shards)
+	}
 	if res.Churned {
 		fmt.Fprintf(s.out, "churn rate %.2f: peak concurrency %d of %d tenants\n", s.churnRate, res.PeakConcurrency, n)
 	}

@@ -138,15 +138,18 @@ func TestUnknownSelectorsRejected(t *testing.T) {
 		{"-tenants", "2", "-pool", "2", "-sched", "nope", "-n", "30000"},
 		{"-tenants", "2", "-weights", "1,zero", "-n", "30000"},
 		{"-tenants", "2", "-weights", "-1", "-n", "30000"},
-		{"-weights", "2,1"},                         // pool flags need -tenants or a pool figure
-		{"-deadline", "100"},                        // ditto
-		{"-migration", "100"},                       // ditto
-		{"-fig", "sched", "-sched", "least-lag"},    // the sched figure sweeps all policies
-		{"-fig", "contention", "-pool", "2"},        // the contention figure sweeps pools
-		{"-fig", "affinity", "-sched", "affinity"},  // the affinity figure sweeps policies
-		{"-fig", "affinity", "-migration", "100"},   // ...and penalties
-		{"-fig", "affinity", "-deadline", "2000"},   // ...and none of its policies read a deadline
-		{"-fig", "contention", "-migration", "100"}, // contention has no migration model
+		{"-weights", "2,1"},                                             // pool flags need -tenants or a pool figure
+		{"-deadline", "100"},                                            // ditto
+		{"-migration", "100"},                                           // ditto
+		{"-fig", "sched", "-sched", "least-lag"},                        // the sched figure sweeps all policies
+		{"-fig", "contention", "-pool", "2"},                            // the contention figure sweeps pools
+		{"-fig", "affinity", "-sched", "affinity"},                      // the affinity figure sweeps policies
+		{"-fig", "affinity", "-migration", "100"},                       // ...and penalties
+		{"-fig", "affinity", "-deadline", "2000"},                       // ...and none of its policies read a deadline
+		{"-fig", "contention", "-migration", "100"},                     // contention has no migration model
+		{"-shards", "2"},                                                // sharding is a single-cell knob
+		{"-fig", "sched", "-shards", "2"},                               // the figures pin the global replay
+		{"-tenants", "2", "-pool", "2", "-shards", "-1", "-n", "30000"}, // negative shard counts are rejected
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v should fail", args)
@@ -183,7 +186,11 @@ func TestChurnFlagValidation(t *testing.T) {
 // the replay learned tenant churn, so the whole byte-for-byte comparison
 // proves that a tenant set where everyone arrives at 0 and never departs
 // replays exactly like the fixed-set path — churn is a strict no-op when
-// disabled.
+// disabled. The wfq cells at penalties 20/80/320 were re-captured when
+// rank-mapped policies learned the warmth-aware tie-break (equal
+// projected finishes now prefer the warmer core); every penalty-0 cell
+// and all least-lag/affinity cells are byte-identical to the PR 4
+// capture, which is the tie-break's own no-op guarantee.
 func TestAffinityGoldenMatchesPR4(t *testing.T) {
 	golden, err := os.ReadFile(filepath.Join("testdata", "affinity_golden_pr4.json"))
 	if err != nil {
@@ -253,6 +260,55 @@ func TestChurnFigureGolden(t *testing.T) {
 	_, wide := runOnce("workers-4.json", 4)
 	if !bytes.Equal(blob, wide) {
 		t.Error("-workers 4 churn JSON differs from the serial reference run")
+	}
+}
+
+// TestShardedCellGolden pins the sharding determinism contract at the
+// command surface: a cell replayed with -shards 1 produces a JSON
+// artifact byte-identical to the unsharded run (one shard IS the global
+// batched replay), and a -shards 2 artifact is byte-stable across
+// repeated runs — the shards replay on concurrent goroutines, so this is
+// the parallel-merge determinism golden — and carries the shards echo in
+// its tenant cell.
+func TestShardedCellGolden(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name string, extra ...string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		args := append([]string{
+			"-n", "30000",
+			"-tenants", "4", "-pool", "2",
+			"-json", path,
+		}, extra...)
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("lbabench %v: %v", args, err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	flat := runOnce("flat.json")
+	one := runOnce("one-shard.json", "-shards", "1")
+	if !bytes.Equal(flat, one) {
+		t.Error("-shards 1 JSON differs from the unsharded run")
+	}
+	if bytes.Contains(flat, []byte(`"shards"`)) {
+		t.Error("unsharded artifact should not carry a shards echo")
+	}
+
+	two := runOnce("two-shards.json", "-shards", "2")
+	again := runOnce("two-shards-again.json", "-shards", "2")
+	if !bytes.Equal(two, again) {
+		t.Error("repeated -shards 2 runs produced different JSON (parallel merge is not deterministic)")
+	}
+	if !bytes.Contains(two, []byte(`"shards": 2`)) {
+		t.Error("sharded artifact is missing the shards echo")
+	}
+	if bytes.Equal(flat, two) {
+		t.Error("-shards 2 artifact is identical to the unsharded run; static partitioning should be a visibly different scheduling point")
 	}
 }
 

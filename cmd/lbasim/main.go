@@ -13,6 +13,7 @@
 //	lbasim -tenants 6 -pool 2 -sched affinity -migration 1000
 //	lbasim -tenants 6 -pool 2 -churn 2          # staggered arrivals/departures
 //	lbasim -tenants 6 -pool 2 -seeds 3          # replicate across workload seeds
+//	lbasim -tenants 8 -pool 4 -shards 4         # partition the pool, replay shards in parallel
 //
 // Modes: unmonitored, lba, dbi. Use -list for the benchmark table. With
 // -tenants N the tool instead simulates N monitored applications (drawn
@@ -25,6 +26,10 @@
 // departing tenants stop producing, drain, and release their channel)
 // and reports the pool's peak channel concurrency; -seeds replays the
 // cell across replicated workload seeds and reports the slowdown band.
+// -shards K statically partitions the pool into K independent sub-pools
+// (contiguous core groups, load-balanced tenant assignment) replayed in
+// parallel — 1 shard is exactly the unsharded replay; K >= 2 is the
+// static-partitioning scheduling point, deterministic for a given K.
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 		migration = flag.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
 		churn     = flag.Float64("churn", 0, "tenant churn rate: arrival spacing in units of the workload scale (0 = fixed set)")
 		seeds     = flag.Int("seeds", 1, "replicate the pool cell across N workload seeds and report the band")
+		shards    = flag.Int("shards", 0, "partition the pool into K sub-pools replayed in parallel (0/1 = unsharded)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -99,13 +105,13 @@ func main() {
 			var wts []float64
 			if wts, err = tenant.ParseWeights(*weights); err == nil {
 				cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
-					DeadlineCycles: *deadline, MigrationPenalty: *migration}
+					DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards}
 				err = runTenants(*tenants, cfg, *scale, *seed, *threads, *churn, *seeds)
 			}
 		}
 	default:
 		// Mirror image: pool flags only mean something with -tenants.
-		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true, "churn": true, "seeds": true}
+		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true, "churn": true, "seeds": true, "shards": true}
 		flag.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)
@@ -145,6 +151,9 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 
 	fmt.Printf("tenants        %d (suite round-robin)\n", n)
 	fmt.Printf("pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
+	if res.Shards > 1 {
+		fmt.Printf("shards         %d statically-partitioned sub-pools, replayed in parallel\n", res.Shards)
+	}
 	if pool.MigrationPenalty > 0 {
 		fmt.Printf("migration      %d-cycle cold-core penalty\n", pool.MigrationPenalty)
 	}

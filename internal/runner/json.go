@@ -140,6 +140,10 @@ type TenantCell struct {
 	MaxContentionX      float64     `json:"max_contention_x,omitempty"`
 	MakespanCycles      uint64      `json:"makespan_cycles"`
 	Utilisation         float64     `json:"utilisation"`
+	// Shards is the sub-pool count of a sharded replay; present only when
+	// the cell actually partitioned (>= 2 shards, static-partitioning
+	// semantics), so single-pool artifacts keep the unsharded schema.
+	Shards int `json:"shards,omitempty"`
 	// Migrations and ColdServeCycles aggregate the per-tenant migration
 	// accounting; present only under a non-zero migration penalty.
 	Migrations      uint64 `json:"migrations,omitempty"`

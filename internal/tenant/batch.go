@@ -45,20 +45,27 @@ type BatchPicker interface {
 	PickNext(req Request, cores []CoreView, tenants []TenantView) int
 }
 
-// WarmthBatchPicker marks a BatchPicker whose PickNext reads
-// CoreView.Warmth or CoreView.LastTenant (the deadline and affinity
-// policies, whose cost projections price a cold core). For these the
-// batched replay refreshes every core's warmth once at BeginRun and then
-// maintains only the *picked* core's fields after each record — O(1) per
-// record against the per-record path's every-core walk. That maintenance
-// is exact, not an approximation: during a run only the running tenant is
-// served, so its warmth can change only on the cores that served it, and
-// the replay updates exactly those. Policies that never read warmth stay
-// plain BatchPickers and skip the per-run refresh entirely.
+// WarmthBatchPicker marks a BatchPicker whose PickNext may read
+// CoreView.Warmth or CoreView.LastTenant (deadline and affinity, whose
+// cost projections price a cold core; wfq and priority, whose rank
+// mapping breaks FreeAt ties warmest-first once migrations are priced).
+// For these the batched replay refreshes every core's warmth once at
+// BeginRun and then maintains only the *picked* core's fields after each
+// record — O(1) per record against the per-record path's every-core walk.
+// That maintenance is exact, not an approximation: during a run only the
+// running tenant is served, so its warmth can change only on the cores
+// that served it (idle decay included — it lands on the serving core at
+// serve time), and the replay updates exactly those. Policies that never
+// read warmth stay plain BatchPickers and skip the per-run refresh
+// entirely.
 type WarmthBatchPicker interface {
 	BatchPicker
-	// WarmthSensitive is a marker; it is never called.
-	WarmthSensitive()
+	// WarmthSensitive reports whether this replay's PickNext will read
+	// the warmth fields: constant true for deadline and affinity, and
+	// penalty-gated for wfq and priority, whose warmth tie-break is
+	// active only when the migration model is on. A false return lets
+	// the replay skip the per-run warmth refresh entirely.
+	WarmthSensitive() bool
 }
 
 // coreOrder maintains the pool's cores sorted ascending by
@@ -108,6 +115,66 @@ func (o *coreOrder) sync(cores []CoreView) {
 func (o *coreOrder) at(pos int) int {
 	o.pending = pos
 	return o.order[pos]
+}
+
+// atWarm returns the pos-th core in ascending (FreeAt, Warmth descending,
+// index) order — coreViewLess's warm order — given an order maintained on
+// (FreeAt, index). FreeAt is the primary key of both orders, so positions
+// partition into the same equal-FreeAt groups; the warmth tie-break only
+// permutes cores *within* the group containing pos, and the group members
+// sit index-ascending in the maintained order. The group is scanned by
+// selection exactly like coreByRank's per-record walk, so the two paths
+// pick the same core from the same views.
+func (o *coreOrder) atWarm(pos int, cores []CoreView) int {
+	lo, hi := pos, pos+1
+	f := cores[o.order[pos]].FreeAt
+	for lo > 0 && cores[o.order[lo-1]].FreeAt == f {
+		lo--
+	}
+	for hi < len(o.order) && cores[o.order[hi]].FreeAt == f {
+		hi++
+	}
+	if hi-lo == 1 {
+		o.pending = pos
+		return o.order[pos]
+	}
+	group := o.order[lo:hi]
+	prev, pick := -1, -1
+	for k := lo; ; k++ {
+		best := -1
+		for _, c := range group {
+			if c == prev || (prev >= 0 && warmTieLess(cores, c, prev)) {
+				continue // selected in an earlier round
+			}
+			if best < 0 || warmTieLess(cores, c, best) {
+				best = c
+			}
+		}
+		if k == pos {
+			pick = best
+			break
+		}
+		prev = best
+	}
+	// pending must be the pick's true position in the maintained order —
+	// the bubble repair starts there — which within a tie group is not
+	// necessarily pos.
+	for q := range group {
+		if group[q] == pick {
+			o.pending = lo + q
+			break
+		}
+	}
+	return pick
+}
+
+// warmTieLess orders cores of one equal-FreeAt tie group: warmest first,
+// ties toward the lowest index — coreViewLess with the FreeAt key equal.
+func warmTieLess(cores []CoreView, a, b int) bool {
+	if cores[a].Warmth != cores[b].Warmth {
+		return cores[a].Warmth > cores[b].Warmth
+	}
+	return a < b
 }
 
 // coreLess orders core indices by (FreeAt, index) ascending — the exact
@@ -234,8 +301,16 @@ func (w *wfq) BeginRun(t int, _ []CoreView, tenants []TenantView) {
 func (w *wfq) PickNext(req Request, cores []CoreView, tenants []TenantView) int {
 	w.ord.sync(cores)
 	rank, active := w.rank.rank(&tenants[req.Tenant])
-	return w.ord.at(rankPos(rank, active, len(cores)))
+	pos := rankPos(rank, active, len(cores))
+	if w.penalty > 0 {
+		return w.ord.atWarm(pos, cores)
+	}
+	return w.ord.at(pos)
 }
+
+// WarmthSensitive gates the replay's warmth upkeep on the tie-break
+// actually being live: at penalty zero wfq never reads CoreView.Warmth.
+func (w *wfq) WarmthSensitive() bool { return w.penalty > 0 }
 
 func (p *priority) BeginRun(t int, _ []CoreView, tenants []TenantView) {
 	p.rank.begin(t, tenants, true)
@@ -244,8 +319,15 @@ func (p *priority) BeginRun(t int, _ []CoreView, tenants []TenantView) {
 func (p *priority) PickNext(req Request, cores []CoreView, tenants []TenantView) int {
 	p.ord.sync(cores)
 	rank, active := p.rank.rank(&tenants[req.Tenant])
-	return p.ord.at(rankPos(rank, active, len(cores)))
+	pos := rankPos(rank, active, len(cores))
+	if p.penalty > 0 {
+		return p.ord.atWarm(pos, cores)
+	}
+	return p.ord.at(pos)
 }
+
+// WarmthSensitive mirrors wfq's penalty gate.
+func (p *priority) WarmthSensitive() bool { return p.penalty > 0 }
 
 // deadline and affinity rank cores by projected finish, which prices the
 // migration charge from CoreView.Warmth — so they join the batch path as
@@ -258,7 +340,7 @@ func (d deadline) PickNext(req Request, cores []CoreView, tenants []TenantView) 
 	return d.Pick(req, cores, tenants)
 }
 
-func (deadline) WarmthSensitive() {}
+func (deadline) WarmthSensitive() bool { return true }
 
 func (a *affinity) BeginRun(int, []CoreView, []TenantView) {}
 
@@ -266,7 +348,7 @@ func (a *affinity) PickNext(req Request, cores []CoreView, tenants []TenantView)
 	return a.Pick(req, cores, tenants)
 }
 
-func (*affinity) WarmthSensitive() {}
+func (*affinity) WarmthSensitive() bool { return true }
 
 // rankPos maps a service rank onto a position in the ascending core
 // order — the closed form of coreByRank's placement rule.

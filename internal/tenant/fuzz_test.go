@@ -397,6 +397,9 @@ func FuzzReplayInvariants(f *testing.F) {
 		// the pointwise guarantee (each charge, and with it every clock,
 		// non-decreasing in the penalty) holds exactly when no run
 		// stalled; stalling inputs are covered by the invariants above.
+		// Churned replays also decay warmth across idle core gaps, which
+		// couples charges to wall-clock timing and with it to the penalty,
+		// so the guarantee is only claimed for fixed-set replays.
 		penalties := []uint64{0, penalty, 4 * penalty}
 		rrRes := make([]*PoolResult, len(penalties))
 		clean := true
@@ -408,6 +411,9 @@ func FuzzReplayInvariants(f *testing.F) {
 				t.Fatalf("round-robin: replay failed: %v", err)
 			}
 			rrRes[pi] = res
+			if res.Churned {
+				clean = false
+			}
 			for _, tr := range res.Tenants {
 				if tr.StallCycles != 0 || tr.DrainCycles != 0 {
 					clean = false

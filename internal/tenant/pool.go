@@ -41,6 +41,20 @@ type PoolConfig struct {
 	// bytes of *other* tenants' log a core must serve to halve a tenant's
 	// warmth there. 0 selects DefaultWarmthHalfLifeBytes.
 	WarmthHalfLifeBytes uint64 `json:"warmth_half_life_bytes,omitempty"`
+	// WarmthIdleHalfLifeCycles is the wall-clock warmth half-life applied
+	// while a core sits idle on a *churned* replay (idle vacancies age the
+	// resident tenants' shadow working sets; fixed-set replays never decay
+	// in wall time). 0 selects DefaultWarmthIdleHalfLifeCycles.
+	WarmthIdleHalfLifeCycles uint64 `json:"warmth_idle_half_life_cycles,omitempty"`
+	// Shards partitions the pool's cores (and its tenants, balanced by
+	// profiled lifeguard load) into that many sub-pools, each replayed
+	// independently on its own goroutine and deterministically merged —
+	// the static-partitioning regime, reached through ReplayPool's
+	// DispatchSharded or directly by Engine.RunPool when > 1. 0 and 1 both
+	// select the single global pool (byte-identical to DispatchBatched);
+	// values above min(Cores, tenants) are clamped down to it. See
+	// shard.go for the partitioning and merge contract.
+	Shards int `json:"shards,omitempty"`
 }
 
 // tenantViews expands the pool's per-tenant policy inputs to n live
@@ -232,6 +246,12 @@ type PoolResult struct {
 	// schema.
 	Churned         bool
 	PeakConcurrency int
+
+	// Shards is the effective sub-pool count of a sharded replay, set
+	// only when the replay actually partitioned (>= 2): a 1-shard replay
+	// is the global batched replay and its result — this field included —
+	// is identical to DispatchBatched's.
+	Shards int
 }
 
 // Cell flattens the result into the lba-runner/v1 JSON schema.
@@ -263,6 +283,12 @@ func (r *PoolResult) Cell() runner.TenantCell {
 	// fixed-set schema byte for byte.
 	if r.Churned {
 		cell.PeakConcurrency = r.PeakConcurrency
+	}
+	// And once more for sharding: only a replay that actually partitioned
+	// (>= 2 sub-pools) marks its cell, so 1-shard artifacts stay
+	// byte-identical to the unsharded schema.
+	if r.Shards > 1 {
+		cell.Shards = r.Shards
 	}
 	for _, t := range r.Tenants {
 		cell.Tenants = append(cell.Tenants, runner.TenantRow{
@@ -361,25 +387,44 @@ const (
 	// arena, no factor memo. Benchmarks report the fast path's speedup
 	// against it.
 	DispatchPerRecord
+	// DispatchSharded is the multi-core path: the pool's cores and
+	// tenants are partitioned into PoolConfig.Shards sub-pools, each
+	// replayed with DispatchBatched on its own goroutine, and the
+	// per-shard results deterministically merged (shard.go). One shard is
+	// exactly the global batched replay, byte for byte; two or more model
+	// *static partitioning* — each sub-pool schedules only its own
+	// tenants, which is what makes the shards independent and the replay
+	// parallel. The merge is pinned byte-identical to a serial replay of
+	// the same shards regardless of GOMAXPROCS, and the 1-shard case is
+	// pinned deep-equal to DispatchBatched by the differential suite.
+	DispatchSharded
 )
 
 // ReplayPool replays already-built profiles (Engine.Profile) against one
 // pool configuration under the chosen dispatch path. Arrival/departure
-// windows are read from each profile's Tenant description. Both paths
-// return byte-identical results; DispatchPerRecord exists as the
-// differential oracle and benchmark baseline (see docs/performance.md),
-// so production callers want Engine.RunPool instead.
+// windows are read from each profile's Tenant description.
+// DispatchBatched and DispatchPerRecord return byte-identical results;
+// DispatchPerRecord exists as the differential oracle and benchmark
+// baseline (see docs/performance.md), and DispatchSharded partitions the
+// replay across goroutines (identical to DispatchBatched at one shard;
+// static-partitioning semantics above that — see shard.go). Production
+// callers want Engine.RunPool instead.
 func ReplayPool(profiles []*Profile, pool PoolConfig, mode Dispatch) (*PoolResult, error) {
 	return replayMode(profiles, pool, nil, mode)
 }
 
 // replay merges the tenants' uncontended timelines in virtual time and
-// serves them from the shared pool. It is serial and deterministic: the
-// only inputs are the profiles (immutable) and the pool configuration.
-// Arrival/departure windows are read from each profile's Tenant
-// description (Engine.RunPool overlays the caller's windows onto the
-// memoized, window-free profiles before calling in).
+// serves them from the shared pool. It is deterministic: the only inputs
+// are the profiles (immutable) and the pool configuration — a PoolConfig
+// asking for two or more shards takes the sharded path, whose merge is
+// byte-identical regardless of scheduling interleavings. Arrival/
+// departure windows are read from each profile's Tenant description
+// (Engine.RunPool overlays the caller's windows onto the memoized,
+// window-free profiles before calling in).
 func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
+	if pool.Shards > 1 || pool.Shards < 0 {
+		return replaySharded(profiles, pool, true)
+	}
 	return replayMode(profiles, pool, nil, DispatchBatched)
 }
 
@@ -437,6 +482,12 @@ type replayer struct {
 }
 
 func replayMode(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64), mode Dispatch) (*PoolResult, error) {
+	if mode == DispatchSharded {
+		if obs != nil {
+			return nil, fmt.Errorf("tenant: per-record observers are not supported under sharded dispatch")
+		}
+		return replaySharded(profiles, pool, true)
+	}
 	if pool.Cores < 1 {
 		return nil, fmt.Errorf("tenant: pool needs at least one core, got %d", pool.Cores)
 	}
@@ -528,9 +579,9 @@ func (r *replayer) setup(profiles []*Profile) error {
 		r.views[i].TransportLatency = ts.ch.Config().TransportLatency
 	}
 	if r.warmth != nil {
-		r.warmth.reset(r.pool.Cores, n, r.pool.WarmthHalfLifeBytes)
+		r.warmth.reset(r.pool.Cores, n, r.pool.WarmthHalfLifeBytes, r.pool.WarmthIdleHalfLifeCycles)
 	} else {
-		r.warmth = newWarmthModel(r.pool.Cores, n, r.pool.WarmthHalfLifeBytes)
+		r.warmth = newWarmthModel(r.pool.Cores, n, r.pool.WarmthHalfLifeBytes, r.pool.WarmthIdleHalfLifeCycles)
 		// The oracle keeps the pre-optimization cost profile (direct
 		// Exp2, branchy decay, library rounding). Bit-identical either
 		// way; see warmthModel.legacy.
@@ -636,19 +687,24 @@ func (r *replayer) refresh(ti int) {
 
 // commit lands a scheduling decision: charge the migration cost of the
 // chosen core's coldness, then warm it — the record lands in whatever
-// shadow state the core has *before* this serve. Warmth itself is
-// tracked unconditionally (it depends only on assignments and sizes,
-// never on the clock), so a zero penalty leaves timing bit-for-bit
-// unchanged. This is the reference form of the per-record accounting:
-// runBatched carries a hand-inlined copy (fused warmth pass, hoisted
-// state) that must stay in lockstep with it, and the differential
-// dispatch test pins the two byte-identical. Only runPerRecord calls it,
-// so the warmth model is in legacy mode here (see warmthModel.legacy).
+// shadow state the core has *before* this serve, aged first by any idle
+// vacancy on a churned replay (warmthModel.idleDecay; fixed-set warmth
+// stays purely assignment-driven, never clock-driven), so a zero penalty
+// leaves timing bit-for-bit unchanged. This is the reference form of the
+// per-record accounting: runBatched carries a hand-inlined copy (fused
+// warmth pass, hoisted state) that must stay in lockstep with it, and the
+// differential dispatch test pins the two byte-identical. Only
+// runPerRecord calls it, so the warmth model is in legacy mode here (see
+// warmthModel.legacy) — idle decay is new with churned replays and has no
+// legacy variant; both paths share the one method.
 func (r *replayer) commit(ti, core int, now uint64, req Request) error {
 	if core < 0 || core >= r.pool.Cores {
 		return fmt.Errorf("tenant: scheduler %s picked core %d of %d", r.sched.Name(), core, r.pool.Cores)
 	}
 	ts := &r.states[ti]
+	if r.churned && now > r.cores[core].FreeAt {
+		r.warmth.idleDecay(core, now-r.cores[core].FreeAt)
+	}
 	var charge uint64
 	var migrated bool
 	if w := r.warmth; w.legacy {
@@ -752,11 +808,16 @@ func (r *replayer) runBatched() error {
 	// the inlined commit below takes the fast branch unconditionally.
 	cores, busy, views := r.cores, r.busy, r.views
 	w, penalty, obs := r.warmth, r.pool.MigrationPenalty, r.obs
+	churned := r.churned
 	// Warmth-sensitive BatchPickers get refreshed warmth views at run
 	// start and picked-core maintenance per record (see WarmthBatchPicker).
+	// Sensitivity is per-replay, not per-type: wfq and priority read
+	// warmth only when the migration model prices their rank tie-break.
 	warmBatch := false
 	if r.batch != nil {
-		_, warmBatch = r.batch.(WarmthBatchPicker)
+		if wb, ok := r.batch.(WarmthBatchPicker); ok {
+			warmBatch = wb.WarmthSensitive()
+		}
 	}
 	for {
 		ti, j2 := -1, -1
@@ -828,6 +889,9 @@ func (r *replayer) runBatched() error {
 			// test pins the two paths byte-identical.
 			if core < 0 || core >= len(cores) {
 				return fmt.Errorf("tenant: scheduler %s picked core %d of %d", r.sched.Name(), core, r.pool.Cores)
+			}
+			if churned && now > cores[core].FreeAt {
+				w.idleDecay(core, now-cores[core].FreeAt)
 			}
 			base := core * w.stride
 			row := w.warm[base : base+w.stride]

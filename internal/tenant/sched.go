@@ -176,8 +176,8 @@ var registry = []registration{
 	{PolicyRoundRobin, func(PoolConfig, int) Scheduler { return &roundRobin{} }},
 	{PolicyLeastLag, func(PoolConfig, int) Scheduler { return &leastLag{} }},
 	{PolicyDeadline, func(pool PoolConfig, _ int) Scheduler { return deadline{penalty: pool.MigrationPenalty} }},
-	{PolicyWFQ, func(PoolConfig, int) Scheduler { return &wfq{} }},
-	{PolicyPriority, func(PoolConfig, int) Scheduler { return &priority{} }},
+	{PolicyWFQ, func(pool PoolConfig, _ int) Scheduler { return &wfq{penalty: pool.MigrationPenalty} }},
+	{PolicyPriority, func(pool PoolConfig, _ int) Scheduler { return &priority{penalty: pool.MigrationPenalty} }},
 	{PolicyAffinity, newAffinity},
 }
 
@@ -340,35 +340,42 @@ func (d deadline) Pick(req Request, cores []CoreView, tenants []TenantView) int 
 	return earliestFree(cores)
 }
 
-// wfq's fields are the batch path's incremental structures (batch.go);
-// per-record Pick re-ranks from scratch and never touches them.
+// wfq's incremental fields are the batch path's structures (batch.go);
+// per-record Pick re-ranks from scratch and never touches them. penalty
+// mirrors the pool's migration penalty: once migrations are priced, the
+// rank-to-core mapping breaks FreeAt ties toward the warmest core
+// (coreByRank's warm order) instead of blindly toward the lowest index —
+// at penalty zero the mapping (and every artifact) is exactly the
+// warmth-blind original.
 type wfq struct {
-	ord  coreOrder
-	rank vtimeTracker
+	penalty uint64
+	ord     coreOrder
+	rank    vtimeTracker
 }
 
 func (*wfq) Name() string { return PolicyWFQ }
 
-func (*wfq) Pick(req Request, cores []CoreView, tenants []TenantView) int {
+func (w *wfq) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	rank, active := vtimeRank(req.Tenant, tenants, func(a, b *TenantView, ai, bi int) bool {
 		if a.vtime() != b.vtime() {
 			return a.vtime() < b.vtime()
 		}
 		return ai < bi
 	})
-	return coreByRank(rank, active, cores)
+	return coreByRank(rank, active, cores, w.penalty > 0)
 }
 
-// priority's fields are the batch path's incremental structures
-// (batch.go), exactly as in wfq.
+// priority's fields are the batch path's incremental structures plus the
+// warmth tie-break penalty, exactly as in wfq.
 type priority struct {
-	ord  coreOrder
-	rank vtimeTracker
+	penalty uint64
+	ord     coreOrder
+	rank    vtimeTracker
 }
 
 func (*priority) Name() string { return PolicyPriority }
 
-func (*priority) Pick(req Request, cores []CoreView, tenants []TenantView) int {
+func (p *priority) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 	// Strict tiers first, WFQ virtual time inside a tier: every tenant of
 	// a better tier outranks every tenant of a worse one, so paid tenants
 	// monopolise the early (soonest-free) cores under contention.
@@ -381,7 +388,7 @@ func (*priority) Pick(req Request, cores []CoreView, tenants []TenantView) int {
 		}
 		return ai < bi
 	})
-	return coreByRank(rank, active, cores)
+	return coreByRank(rank, active, cores, p.penalty > 0)
 }
 
 // affinity is warmth-aware least-lag with hysteresis (see PolicyAffinity).
@@ -449,26 +456,27 @@ func vtimeRank(t int, tenants []TenantView, less func(a, b *TenantView, ai, bi i
 // coreByRank maps a tenant's service rank (0 = most underserved of the
 // active tenants) onto the pool: rank 0 gets the earliest-free core, the
 // last rank the latest-free core, with the rest spread linearly between.
-func coreByRank(rank, active int, cores []CoreView) int {
-	if active <= 1 || len(cores) == 1 {
+// warm selects the warmth-aware tie-break the ranked policies use once
+// migrations are priced: cores whose projected finishes tie (equal
+// FreeAt) are taken warmest-first, so a rank landing in a tie group no
+// longer pays a cold serve it could have avoided for free. With warm
+// false the order is the original (FreeAt, index) and nothing changes.
+func coreByRank(rank, active int, cores []CoreView, warm bool) int {
+	pos := rankPos(rank, active, len(cores))
+	if pos == 0 && !warm {
 		return earliestFree(cores)
 	}
-	pos := rank * (len(cores) - 1) / (active - 1)
-	if pos >= len(cores) {
-		pos = len(cores) - 1
-	}
-	// Selection scan for the pos-th core in ascending (FreeAt, index)
-	// order. Pick runs once per scheduled record, and pools are small, so
+	// Selection scan for the pos-th core in ascending coreViewLess order.
+	// Pick runs once per scheduled record, and pools are small, so
 	// repeated linear scans beat allocating and sorting an order slice.
 	prev := -1
 	for k := 0; ; k++ {
 		best := -1
 		for i := range cores {
-			f := cores[i].FreeAt
-			if prev >= 0 && (f < cores[prev].FreeAt || (f == cores[prev].FreeAt && i <= prev)) {
+			if i == prev || (prev >= 0 && coreViewLess(cores, i, prev, warm)) {
 				continue // selected in an earlier round
 			}
-			if best < 0 || f < cores[best].FreeAt {
+			if best < 0 || coreViewLess(cores, i, best, warm) {
 				best = i
 			}
 		}
@@ -477,4 +485,18 @@ func coreByRank(rank, active int, cores []CoreView) int {
 		}
 		prev = best
 	}
+}
+
+// coreViewLess orders cores ascending by FreeAt with ties broken toward
+// the warmest (requester-relative CoreView.Warmth) when warm, then the
+// lowest index — coreByRank's scan order, and the order coreOrder.atWarm
+// reproduces within a tie group on the batched path.
+func coreViewLess(cores []CoreView, a, b int, warm bool) bool {
+	if cores[a].FreeAt != cores[b].FreeAt {
+		return cores[a].FreeAt < cores[b].FreeAt
+	}
+	if warm && cores[a].Warmth != cores[b].Warmth {
+		return cores[a].Warmth > cores[b].Warmth
+	}
+	return a < b
 }

@@ -49,6 +49,13 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestRegisterReplacesInPlace(t *testing.T) {
+	// Register swaps builders inside the shared backing array, so restoring
+	// the registry needs an element copy, not just the slice header —
+	// otherwise every later test's wfq silently drops its migration
+	// penalty.
+	saved := append([]registration(nil), registry...)
+	defer func() { registry = saved }()
+
 	before := Policies()
 	Register(PolicyWFQ, func(PoolConfig, int) Scheduler { return &wfq{} })
 	after := Policies()
@@ -315,6 +322,36 @@ func TestPriorityPick(t *testing.T) {
 	views[0].Tier = 0
 	if c := p.Pick(Request{Tenant: 0}, cores, views); c != 1 {
 		t.Errorf("priority within a tier gave the underserved tenant core %d, want 1", c)
+	}
+}
+
+// TestRankWarmTieBreak pins the rank-mapping bugfix: once migrations are
+// priced, wfq and priority break equal-FreeAt ties toward the requester's
+// warmest core instead of blindly toward the lowest index; at penalty
+// zero the mapping (and every penalty-0 artifact) stays the warmth-blind
+// original, and warmth never overrides a strictly earlier FreeAt.
+func TestRankWarmTieBreak(t *testing.T) {
+	views := []TenantView{{Weight: 1}}
+	for _, policy := range []string{PolicyWFQ, PolicyPriority} {
+		tied := coresAt(40, 40, 40)
+		tied[1].Warmth = 0.3
+		tied[2].Warmth = 0.8
+
+		cold := mustSched(t, policy, PoolConfig{}, 1)
+		if c := cold.Pick(Request{Tenant: 0}, tied, views); c != 0 {
+			t.Errorf("%s at penalty 0 picked core %d, want the lowest-index core 0", policy, c)
+		}
+		warm := mustSched(t, policy, PoolConfig{MigrationPenalty: 320}, 1)
+		if c := warm.Pick(Request{Tenant: 0}, tied, views); c != 2 {
+			t.Errorf("%s at penalty 320 picked core %d, want the warmest tied core 2", policy, c)
+		}
+
+		// Warmth only breaks ties: a strictly earlier-free cold core wins.
+		early := coresAt(10, 40, 40)
+		early[2].Warmth = 0.8
+		if c := warm.Pick(Request{Tenant: 0}, early, views); c != 0 {
+			t.Errorf("%s let warmth override an earlier FreeAt: picked core %d, want 0", policy, c)
+		}
 	}
 }
 

@@ -49,7 +49,11 @@
 // charges PoolConfig.MigrationPenalty scaled by the missing warmth. A
 // zero penalty disables the model without changing any policy's timing;
 // per-tenant migration counts and cold-serve cycles surface in
-// TenantResult and the lba-runner/v1 artifact once it is on.
+// TenantResult and the lba-runner/v1 artifact once it is on. On churned
+// replays warmth additionally decays across a core's idle wall-clock
+// gaps (PoolConfig.WarmthIdleHalfLifeCycles) — real caches cool while a
+// core sits vacant between departures and arrivals — so only fixed-set
+// warmth is a pure function of the record-to-core assignment.
 //
 // # Dynamic tenant churn
 //
@@ -93,6 +97,17 @@
 // benchmark baseline. BenchmarkReplay and `lbabench -bench replay`
 // measure the pair; docs/performance.md documents the schema, profiling
 // recipes and the measured ≥2x records/sec gap.
+//
+// DispatchSharded (PoolConfig.Shards, `-shards` on the commands) is the
+// multi-core half of the fast path: the pool splits into K statically-
+// partitioned sub-pools — contiguous core groups with an LPT-balanced
+// tenant assignment — each replayed with the batched path on its own
+// goroutine and merged deterministically. One shard is byte-identical to
+// the global batched replay; K >= 2 is a deliberately coarser scheduling
+// point (each sub-pool's scheduler sees only its own tenants and cores —
+// the paper's dedicated-core regime), pinned parallel == serial rather
+// than sharded == global. See internal/tenant/shard.go for the full
+// contract.
 package tenant
 
 import (

@@ -10,6 +10,14 @@ import "math"
 // from a lifeguard core's private cache by another tenant's records.
 const DefaultWarmthHalfLifeBytes = 4 << 10
 
+// DefaultWarmthIdleHalfLifeCycles is the wall-clock warmth half-life
+// assumed when PoolConfig.WarmthIdleHalfLifeCycles is zero: every
+// tenant's warmth on a core halves across 32Ki cycles the core sits idle.
+// Idle decay only applies to churned replays (see warmthModel.idleDecay);
+// like the byte half-life it is a design knob — the scale at which OS and
+// sibling-workload activity evicts an unserved shadow working set.
+const DefaultWarmthIdleHalfLifeCycles = 32 << 10
+
 // factorCacheBits bounds the memoized gain/decay factor table. Records are
 // at most a few hundred compressed bits, so in practice every serve hits
 // the table; larger sizes fall back to computing the factor directly.
@@ -31,11 +39,18 @@ const factorCacheBits = 4096
 // of warmth. That bound is the warmth-conservation invariant the fuzz and
 // property tiers assert.
 //
-// Warmth depends only on the record-to-core assignment and record sizes,
-// never on the clock, so a timing change (a migration penalty, a policy's
-// cost projection) cannot feed back into the warmth trajectory of a fixed
-// assignment sequence — which is what makes the penalty-monotonicity
-// invariant provable for fixed-assignment policies like round-robin.
+// On a fixed tenant set warmth depends only on the record-to-core
+// assignment and record sizes, never on the clock, so a timing change (a
+// migration penalty, a policy's cost projection) cannot feed back into
+// the warmth trajectory of a fixed assignment sequence — which is what
+// makes the penalty-monotonicity invariant provable for fixed-assignment
+// policies like round-robin. Churned replays give up that clock
+// independence deliberately: a departed tenant's cores sit idle in wall
+// time, and freezing every resident tenant's warmth across the vacancy
+// overstates affinity's win, so the replay calls idleDecay for the idle
+// span before a serve lands on a core (gated on the churned flag, which
+// keeps fixed-set trajectories — and the fixed-set provability argument —
+// exactly as before).
 //
 // serve runs once per replayed record, so the model is written for the
 // hot path: warmth lives in one flat row-major [core*stride+tenant] slice
@@ -45,12 +60,13 @@ const factorCacheBits = 4096
 // cached factor is bit-identical to recomputing it and results cannot
 // change; reset lets a replay arena reuse the slices run over run.
 type warmthModel struct {
-	halfLife float64   // bytes of foreign service that halve a warmth
-	warm     []float64 // row-major [core*stride + tenant] warmth in [0, 1]
-	stride   int       // tenants per row
-	factors  []float64 // memoized gain/decay factor by record bits; 0 = unset
-	lastCore []int     // [tenant] core that served the tenant last, -1 if none
-	lastTen  []int     // [core] tenant served most recently, -1 if none
+	halfLife     float64   // bytes of foreign service that halve a warmth
+	idleHalfLife float64   // idle cycles that halve a warmth (churned replays)
+	warm         []float64 // row-major [core*stride + tenant] warmth in [0, 1]
+	stride       int       // tenants per row
+	factors      []float64 // memoized gain/decay factor by record bits; 0 = unset
+	lastCore     []int     // [tenant] core that served the tenant last, -1 if none
+	lastTen      []int     // [core] tenant served most recently, -1 if none
 
 	// legacy makes the replay commit path replicate the pre-fast-path
 	// instruction sequence (legacyServe + legacyMigrationCharge):
@@ -64,9 +80,9 @@ type warmthModel struct {
 	legacy bool
 }
 
-func newWarmthModel(cores, tenants int, halfLifeBytes uint64) *warmthModel {
+func newWarmthModel(cores, tenants int, halfLifeBytes, idleHalfLifeCycles uint64) *warmthModel {
 	m := &warmthModel{}
-	m.reset(cores, tenants, halfLifeBytes)
+	m.reset(cores, tenants, halfLifeBytes, idleHalfLifeCycles)
 	return m
 }
 
@@ -74,14 +90,18 @@ func newWarmthModel(cores, tenants int, halfLifeBytes uint64) *warmthModel {
 // every warmth, reusing the backing slices when they are large enough. The
 // factor cache survives only when the half-life is unchanged (the factor
 // depends on it).
-func (m *warmthModel) reset(cores, tenants int, halfLifeBytes uint64) {
+func (m *warmthModel) reset(cores, tenants int, halfLifeBytes, idleHalfLifeCycles uint64) {
 	if halfLifeBytes == 0 {
 		halfLifeBytes = DefaultWarmthHalfLifeBytes
+	}
+	if idleHalfLifeCycles == 0 {
+		idleHalfLifeCycles = DefaultWarmthIdleHalfLifeCycles
 	}
 	if h := float64(halfLifeBytes); h != m.halfLife {
 		m.halfLife = h
 		m.factors = nil
 	}
+	m.idleHalfLife = float64(idleHalfLifeCycles)
 	m.stride = tenants
 	m.warm = resetFloats(m.warm, cores*tenants)
 	m.lastCore = resetInts(m.lastCore, tenants, -1)
@@ -181,6 +201,22 @@ func (m *warmthModel) legacyServe(core, tenant int, bits uint64) (migrated bool)
 	m.lastCore[tenant] = core
 	m.lastTen[core] = tenant
 	return migrated
+}
+
+// idleDecay ages every tenant's warmth on a core that sat idle for the
+// given wall-clock span: the whole row decays by 2^(-idle/idleHalfLife).
+// The replay calls it only on churned replays (see the model doc), from
+// both dispatch paths with identical float operations, immediately before
+// a serve lands on a core whose last finish predates the record — so the
+// migration charge prices the post-vacancy warmth. A uniform scale can
+// only lower the per-core warmth total, preserving the conservation
+// invariant (sum <= 1), and it never reorders tenants within the row.
+func (m *warmthModel) idleDecay(core int, idle uint64) {
+	g := math.Exp2(-float64(idle) / m.idleHalfLife)
+	row := m.warm[core*m.stride : core*m.stride+m.stride]
+	for u := range row {
+		row[u] *= g
+	}
 }
 
 // release evicts a departed tenant's shadow working set: its warmth on

@@ -3,6 +3,7 @@ package tenant
 import (
 	"encoding/json"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -59,7 +60,7 @@ func TestPropertyWarmthConservation(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 4, 5} {
 		rng := rand.New(rand.NewSource(seed))
 		cores, tenants := 1+rng.Intn(4), 1+rng.Intn(5)
-		m := newWarmthModel(cores, tenants, 512)
+		m := newWarmthModel(cores, tenants, 512, 0)
 		lastCore := make([]int, tenants)
 		for i := range lastCore {
 			lastCore[i] = -1
@@ -97,7 +98,7 @@ func TestPropertyWarmthConservation(t *testing.T) {
 // tenant itself moves it halfway to 1.
 func TestWarmthHalfLife(t *testing.T) {
 	const half = 1024
-	m := newWarmthModel(1, 2, half)
+	m := newWarmthModel(1, 2, half, 0)
 	// Tenant 0 serves one half-life of bytes: warmth 0 -> 0.5 exactly.
 	m.serve(0, 0, half*8)
 	if w := m.warmth(0, 0); w != 0.5 {
@@ -119,7 +120,7 @@ func TestWarmthHalfLife(t *testing.T) {
 		t.Fatalf("warmth after sustained service = %g, want in (0.99, 1]", w)
 	}
 	// The zero half-life config falls back to the default.
-	d := newWarmthModel(1, 1, 0)
+	d := newWarmthModel(1, 1, 0, 0)
 	d.serve(0, 0, DefaultWarmthHalfLifeBytes*8)
 	if w := d.warmth(0, 0); w != 0.5 {
 		t.Fatalf("default half-life: warmth = %g, want 0.5", w)
@@ -210,5 +211,72 @@ func TestInvariantZeroPenaltyCellSchema(t *testing.T) {
 		if !strings.Contains(string(blob), `"`+field+`"`) {
 			t.Errorf("penalty-50 cell JSON missing %q:\n%.300s", field, blob)
 		}
+	}
+}
+
+// TestWarmthIdleDecay pins the vacancy-decay arithmetic: an idle span
+// ages every tenant on the core by 2^(-idle/idleHalfLife) — one
+// half-life exactly halves the whole row, zero idle is a no-op, relative
+// order within the row is preserved, and other cores are untouched.
+func TestWarmthIdleDecay(t *testing.T) {
+	m := newWarmthModel(2, 3, 0, 0)
+	m.serve(0, 0, 4096)
+	m.serve(0, 1, 2048)
+	m.serve(1, 2, 4096)
+	before := m.snapshot()
+
+	m.idleDecay(0, 0)
+	if !reflect.DeepEqual(m.snapshot(), before) {
+		t.Fatal("zero idle span changed warmth")
+	}
+
+	m.idleDecay(0, DefaultWarmthIdleHalfLifeCycles)
+	after := m.snapshot()
+	for tn, w := range after[0] {
+		if want := before[0][tn] / 2; w != want {
+			t.Errorf("tenant %d on core 0: warmth %g after one idle half-life, want exactly %g", tn, w, want)
+		}
+	}
+	if !reflect.DeepEqual(after[1], before[1]) {
+		t.Errorf("idle decay on core 0 touched core 1: %v -> %v", before[1], after[1])
+	}
+}
+
+// TestWarmthIdleDecayReplayGating pins the bugfix's replay-level gate:
+// fixed-set replays never invoke idle decay — the half-life knob cannot
+// change a single byte of them — while churned replays do, so the same
+// knob must move their warmth/migration accounting (pre-fix, warmth froze
+// across vacancies and the knob was unobservable everywhere).
+func TestWarmthIdleDecayReplayGating(t *testing.T) {
+	// 4 cores over 4 staggered tenants leave idle gaps on served cores;
+	// at 2 cores affinity packs work densely enough that no gap surfaces.
+	pool := PoolConfig{Cores: 4, Policy: PolicyAffinity, MigrationPenalty: 320}
+	slow := pool
+	slow.WarmthIdleHalfLifeCycles = 1 << 40 // effectively no idle decay
+
+	fixed := dispatchSuiteProfiles(t, 4, Churn{})
+	a, err := ReplayPool(fixed, pool, DispatchBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayPool(fixed, slow, DispatchBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("idle half-life changed a fixed-set replay; decay must gate on churn")
+	}
+
+	churned := dispatchSuiteProfiles(t, 4, Churn{Rate: 0.5})
+	c, err := ReplayPool(churned, pool, DispatchBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReplayPool(churned, slow, DispatchBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(c, d) {
+		t.Error("churned replay ignored the idle half-life knob; vacancies no longer decay warmth")
 	}
 }
