@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench fmt vet docs ci
+.PHONY: build test race fuzz bench harness fmt vet docs ci
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ docs:
 		echo "example files need gofmt:" >&2; echo "$$diff" >&2; exit 1; \
 	fi
 	@missing=0; \
-	for doc in docs/architecture.md docs/performance.md; do \
+	for doc in docs/architecture.md docs/performance.md docs/harness.md; do \
 	for pkg in $$(grep -oE '(internal|cmd)/[a-z0-9/]+' $$doc | sed 's:/$$::' | sort -u); do \
 		if [ ! -d "$$pkg" ] && [ ! -f "$$pkg" ]; then \
 			echo "$$doc references missing package: $$pkg" >&2; missing=1; \
@@ -38,12 +38,15 @@ docs:
 	done; done; exit $$missing
 	@grep -q 'docs/architecture.md' README.md
 	@grep -q 'docs/performance.md' README.md
+	@grep -q 'docs/harness.md' README.md
 	@$(GO) doc ./internal/tenant | grep -qi 'scheduler'
-	@awk '/^```go$$/{buf="package docsnippet\n\n"; in_go=1; next} \
+	@for doc in docs/performance.md docs/harness.md; do \
+	awk '/^```go$$/{buf="package docsnippet\n\n"; in_go=1; next} \
 		/^```$$/{if (in_go) {printf "%s", buf > "/tmp/docsnippet.go"; close("/tmp/docsnippet.go"); \
 		if (system("gofmt /tmp/docsnippet.go > /tmp/docsnippet.fmt && cmp -s /tmp/docsnippet.go /tmp/docsnippet.fmt") != 0) \
-			{print "docs/performance.md: fenced Go block ending at line " NR " is not gofmt-clean" > "/dev/stderr"; bad=1}} \
-		in_go=0; next} in_go{buf=buf $$0 "\n"} END{exit bad}' docs/performance.md
+			{print FILENAME ": fenced Go block ending at line " NR " is not gofmt-clean" > "/dev/stderr"; bad=1}} \
+		in_go=0; next} in_go{buf=buf $$0 "\n"} END{exit bad}' $$doc || exit 1; \
+	done
 
 bench:
 	BENCH_JSON=BENCH_results.json $(GO) test -run '^$$' -bench=. -benchtime=1x ./...
@@ -54,6 +57,11 @@ bench:
 	@grep -q '"lba-bench-replay/v1"' BENCH_replay.json && grep -q '"speedup_x"' BENCH_replay.json
 	@grep -q '"sharded"' BENCH_replay.json && grep -q '"shards": 4' BENCH_replay.json
 
+harness:
+	$(GO) run ./cmd/lbaharness -runlist corpus/runlist.csv -json HARNESS_corpus.json -artifacts harness-artifacts
+	@grep -q '"lba-harness/v1"' HARNESS_corpus.json && grep -q '"failed": 0' HARNESS_corpus.json
+	@grep -q '"lba-harness-artifact/v1"' harness-artifacts/uaf-bc.json
+
 fmt:
 	@diff=$$(gofmt -l .); \
 	if [ -n "$$diff" ]; then \
@@ -63,4 +71,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race docs fuzz bench
+ci: fmt vet build test race docs fuzz bench harness

@@ -110,6 +110,15 @@ func run(args []string, out io.Writer) error {
 	if *tenants < 0 {
 		return fmt.Errorf("-tenants must be >= 0, got %d", *tenants)
 	}
+	// The pool shape must be coherent before any experiment runs: a
+	// zero-core pool cannot serve, a negative shard count is meaningless,
+	// and more shards than cores cannot partition the pool.
+	if *pool < 1 {
+		return fmt.Errorf("-pool must be >= 1 lifeguard core, got %d", *pool)
+	}
+	if *shards < 0 || *shards > *pool {
+		return fmt.Errorf("-shards must be in 0..pool (%d cores), got %d", *pool, *shards)
+	}
 	if err := tenant.ValidPolicy(*sched); err != nil {
 		return err
 	}

@@ -181,6 +181,26 @@ func TestChurnFlagValidation(t *testing.T) {
 	}
 }
 
+// TestPoolFlagValidation pins the up-front pool-shape rejections: a pool
+// without cores, negative shard counts, and more shards than cores must
+// all fail before any experiment runs.
+func TestPoolFlagValidation(t *testing.T) {
+	for _, c := range []struct {
+		args []string
+		why  string
+	}{
+		{[]string{"-tenants", "2", "-pool", "0", "-n", "30000"}, "a zero-core pool cannot serve"},
+		{[]string{"-tenants", "2", "-pool", "-3", "-n", "30000"}, "negative core counts are rejected"},
+		{[]string{"-fig", "sched", "-pool", "0"}, "figure sweeps need a real pool too"},
+		{[]string{"-tenants", "4", "-pool", "2", "-shards", "-1", "-n", "30000"}, "negative shard counts are rejected"},
+		{[]string{"-tenants", "4", "-pool", "2", "-shards", "3", "-n", "30000"}, "more shards than cores cannot partition"},
+	} {
+		if err := run(c.args, io.Discard); err == nil {
+			t.Errorf("args %v should fail (%s)", c.args, c.why)
+		}
+	}
+}
+
 // TestAffinityGoldenMatchesPR4 is the churn-off equivalence golden: the
 // checked-in artifact was captured from the PR 4 affinity tier *before*
 // the replay learned tenant churn, so the whole byte-for-byte comparison

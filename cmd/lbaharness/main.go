@@ -1,0 +1,129 @@
+// Command lbaharness executes a declarative scenario corpus: a CSV
+// runlist of scenarios (workload × lifeguard × injected bug × policy ×
+// pool shape × churn × shards), one criteria file of expectations per
+// scenario, and an lba-harness/v1 pass/fail summary. The checked-in seed
+// corpus lives under corpus/ and doubles as the project's open-ended
+// regression suite (TestScenarioCorpus); see docs/harness.md for the
+// runlist and criteria schema.
+//
+// Usage:
+//
+//	lbaharness -runlist corpus/runlist.csv                     # run and print the table
+//	lbaharness -runlist corpus/runlist.csv -json HARNESS.json  # plus the machine-readable summary
+//	lbaharness -runlist corpus/runlist.csv -artifacts out/     # plus one artifact JSON per scenario
+//	lbaharness -runlist corpus/runlist.csv -workers 1          # serial reference (same bytes as parallel)
+//
+// The exit status is 0 only when every scenario passes its criteria;
+// any fail row (or a malformed runlist/criteria file) exits nonzero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbaharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lbaharness", flag.ContinueOnError)
+	var (
+		runlist   = fs.String("runlist", "", "CSV scenario runlist (required)")
+		criteria  = fs.String("criteria", "", "criteria directory, one <id>.criteria per scenario (default: <runlist dir>/criteria)")
+		artifacts = fs.String("artifacts", "", "write one <id>.json artifact per scenario into this directory")
+		jsonPath  = fs.String("json", "", "write the lba-harness/v1 summary JSON to this file")
+		workers   = fs.Int("workers", 0, "scenario worker pool width (0 = NumCPU, 1 = serial reference)")
+		threads   = fs.Int("threads", harness.DefaultThreads, "threads for multithreaded benchmarks")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (scenarios are selected by the runlist)", fs.Args())
+	}
+	if *runlist == "" {
+		return fmt.Errorf("-runlist is required (see docs/harness.md)")
+	}
+	if *threads < 1 {
+		return fmt.Errorf("-threads must be >= 1, got %d", *threads)
+	}
+
+	scenarios, err := harness.LoadRunlist(*runlist)
+	if err != nil {
+		return err
+	}
+	dir := *criteria
+	if dir == "" {
+		dir = filepath.Join(filepath.Dir(*runlist), "criteria")
+	}
+	crit, err := harness.LoadAllCriteria(dir, scenarios)
+	if err != nil {
+		return err
+	}
+
+	sum, err := harness.Run(context.Background(), scenarios, crit,
+		harness.Options{Workers: *workers, Threads: *threads})
+	if err != nil {
+		return err
+	}
+
+	// Artifacts first: writing them records each artifact's file name on
+	// its summary row, so the summary JSON can point at them.
+	if *artifacts != "" {
+		if err := sum.WriteArtifacts(*artifacts); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := sum.WriteJSONFile(*jsonPath); err != nil {
+			return err
+		}
+	}
+
+	printSummary(out, sum)
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed: %s",
+			sum.Failed, sum.Total, strings.Join(sum.Failures(), ", "))
+	}
+	return nil
+}
+
+// printSummary renders the run as a fixed-width text table, one row per
+// scenario plus a totals line, with failing checks expanded under their
+// row.
+func printSummary(out io.Writer, sum *harness.Summary) {
+	idW, kindW := len("scenario"), len("kind")
+	for _, r := range sum.Scenarios {
+		if len(r.ID) > idW {
+			idW = len(r.ID)
+		}
+		if len(r.Kind) > kindW {
+			kindW = len(r.Kind)
+		}
+	}
+	fmt.Fprintf(out, "%-*s  %-*s  %-6s  %s\n", idW, "scenario", kindW, "kind", "status", "checks")
+	for _, r := range sum.Scenarios {
+		fmt.Fprintf(out, "%-*s  %-*s  %-6s  %d\n", idW, r.ID, kindW, r.Kind, r.Status, len(r.Checks))
+		for _, ck := range r.Checks {
+			if !ck.Pass {
+				fmt.Fprintf(out, "%-*s  FAIL %s: want %s, got %s\n", idW, "", ck.Name, ck.Want, ck.Got)
+			}
+		}
+	}
+	fmt.Fprintf(out, "\n%d passed, %d failed, %d total\n", sum.Passed, sum.Failed, sum.Total)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHarnessFlagValidation mirrors lbabench's TestChurnFlagValidation:
+// every invalid invocation must be rejected up front, before any
+// simulation runs.
+func TestHarnessFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		why  string
+	}{
+		{[]string{}, "-runlist is required"},
+		{[]string{"-runlist", "corpus/runlist.csv", "stray"}, "unexpected arguments"},
+		{[]string{"-runlist", "testdata/broken/runlist.csv", "-threads", "0"}, "-threads must be >= 1"},
+		{[]string{"-runlist", "testdata/broken/runlist.csv", "-threads", "-2"}, "-threads must be >= 1"},
+		{[]string{"-runlist", "testdata/no-such-runlist.csv"}, "no such file"},
+		{[]string{"-runlist", "testdata/broken/runlist.csv", "-criteria", "testdata/no-such-dir"}, "no criteria file"},
+	}
+	for _, tc := range cases {
+		t.Run(strings.Join(tc.args, " "), func(t *testing.T) {
+			err := run(tc.args, new(bytes.Buffer))
+			if err == nil {
+				t.Fatalf("args %v accepted, want rejection (%s)", tc.args, tc.why)
+			}
+			if !strings.Contains(err.Error(), tc.why) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.why)
+			}
+		})
+	}
+}
+
+// TestBrokenCriteriaFixture pins the negative path: a criteria file with
+// a wrong expectation must produce a fail row and a nonzero exit (run
+// returning an error is what drives main's os.Exit(1)), while correct
+// scenarios in the same runlist still pass.
+func TestBrokenCriteriaFixture(t *testing.T) {
+	var out bytes.Buffer
+	jsonPath := filepath.Join(t.TempDir(), "summary.json")
+	err := run([]string{
+		"-runlist", "testdata/broken/runlist.csv",
+		"-json", jsonPath,
+		"-workers", "2",
+	}, &out)
+	if err == nil {
+		t.Fatalf("broken criteria fixture passed; the harness cannot catch regressions\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "1 of 2 scenarios failed") ||
+		!strings.Contains(err.Error(), "broken-expectation") {
+		t.Fatalf("exit error should count and name the failure, got: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fail") || !strings.Contains(text, "want stack-overflow, got none") {
+		t.Fatalf("table should show the fail row with its check detail:\n%s", text)
+	}
+	if !strings.Contains(text, "clean-pass") || !strings.Contains(text, "pass") {
+		t.Fatalf("the correct scenario should still pass:\n%s", text)
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("summary JSON should be written even on failure: %v", err)
+	}
+	if !strings.Contains(string(blob), `"failed": 1`) {
+		t.Fatalf("summary JSON should record the failure:\n%s", blob)
+	}
+}
+
+// TestSummaryGoldenDeterminism runs the checked-in seed corpus at
+// -workers 1 (the serial reference) and -workers 4 and requires
+// byte-identical summary JSON — the corpus-level form of the repo's
+// golden determinism contract.
+func TestSummaryGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus runs are the long integration tier")
+	}
+	dir := t.TempDir()
+	runOnce := func(workers string) []byte {
+		var out bytes.Buffer
+		path := filepath.Join(dir, "summary-"+workers+".json")
+		if err := run([]string{
+			"-runlist", "../../corpus/runlist.csv",
+			"-json", path,
+			"-workers", workers,
+		}, &out); err != nil {
+			t.Fatalf("corpus run (-workers %s) failed: %v\n%s", workers, err, out.String())
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial, parallel := runOnce("1"), runOnce("4")
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("corpus summary diverges between -workers 1 (%d bytes) and -workers 4 (%d bytes)",
+			len(serial), len(parallel))
+	}
+	if !strings.Contains(string(serial), `"failed": 0`) {
+		t.Fatalf("checked-in corpus should be all-pass:\n%s", serial)
+	}
+}

@@ -34,8 +34,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -46,27 +48,43 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbasim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam (mirroring lbabench):
+// flag parsing and validation happen on a private FlagSet so the
+// table-driven rejection tests can call the command in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lbasim", flag.ContinueOnError)
 	var (
-		bench     = flag.String("bench", "gzip", "benchmark name (see -list)")
-		mode      = flag.String("mode", "lba", "unmonitored | lba | dbi")
-		lifeguard = flag.String("lifeguard", "AddrCheck", "AddrCheck | TaintCheck | LockSet | StackCheck | CacheProf")
-		scale     = flag.Int("scale", 1_000_000, "approximate dynamic instructions")
-		seed      = flag.Uint64("seed", 0xB5EED, "workload seed")
-		threads   = flag.Int("threads", 2, "worker threads (multithreaded benchmarks)")
-		bugName   = flag.String("bug", "none", "injected bug: none | use-after-free | double-free | leak | tainted-jump | race")
-		baseline  = flag.Bool("baseline", true, "also run unmonitored and report the slowdown")
-		tenants   = flag.Int("tenants", 0, "simulate N tenants sharing a lifeguard-core pool (0 = single run)")
-		pool      = flag.Int("pool", 2, "shared lifeguard cores (with -tenants)")
-		sched     = flag.String("sched", tenant.PolicyLeastLag, "pool scheduler: "+strings.Join(tenant.Policies(), " | "))
-		weights   = flag.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
-		deadline  = flag.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
-		migration = flag.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
-		churn     = flag.Float64("churn", 0, "tenant churn rate: arrival spacing in units of the workload scale (0 = fixed set)")
-		seeds     = flag.Int("seeds", 1, "replicate the pool cell across N workload seeds and report the band")
-		shards    = flag.Int("shards", 0, "partition the pool into K sub-pools replayed in parallel (0/1 = unsharded)")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
+		bench     = fs.String("bench", "gzip", "benchmark name (see -list)")
+		mode      = fs.String("mode", "lba", "unmonitored | lba | dbi")
+		lifeguard = fs.String("lifeguard", "AddrCheck", "AddrCheck | TaintCheck | LockSet | StackCheck | CacheProf")
+		scale     = fs.Int("scale", 1_000_000, "approximate dynamic instructions")
+		seed      = fs.Uint64("seed", 0xB5EED, "workload seed")
+		threads   = fs.Int("threads", 2, "worker threads (multithreaded benchmarks)")
+		bugName   = fs.String("bug", "none", "injected bug: none | use-after-free | double-free | leak | tainted-jump | race")
+		baseline  = fs.Bool("baseline", true, "also run unmonitored and report the slowdown")
+		tenants   = fs.Int("tenants", 0, "simulate N tenants sharing a lifeguard-core pool (0 = single run)")
+		pool      = fs.Int("pool", 2, "shared lifeguard cores (with -tenants)")
+		sched     = fs.String("sched", tenant.PolicyLeastLag, "pool scheduler: "+strings.Join(tenant.Policies(), " | "))
+		weights   = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
+		deadline  = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
+		migration = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
+		churn     = fs.Float64("churn", 0, "tenant churn rate: arrival spacing in units of the workload scale (0 = fixed set)")
+		seeds     = fs.Int("seeds", 1, "replicate the pool cell across N workload seeds and report the band")
+		shards    = fs.Int("shards", 0, "partition the pool into K sub-pools replayed in parallel (0/1 = unsharded)")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *list {
 		tb := metrics.NewTable("benchmark", "threads", "description")
@@ -77,53 +95,62 @@ func main() {
 			}
 			tb.AddRow(s.Name, kind, s.Description)
 		}
-		fmt.Print(tb.String())
-		return
+		fmt.Fprint(out, tb.String())
+		return nil
 	}
 
-	var err error
 	switch {
 	case *tenants < 0:
-		err = fmt.Errorf("-tenants must be >= 0, got %d", *tenants)
+		return fmt.Errorf("-tenants must be >= 0, got %d", *tenants)
 	case *tenants > 0:
 		// The single-run selectors do not apply to a pool simulation;
 		// silently dropping an explicit -bench or -bug would misread as
 		// "ran it, found nothing".
+		var err error
 		conflicting := map[string]bool{"bench": true, "mode": true, "lifeguard": true, "bug": true, "baseline": true}
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s does not apply with -tenants (the tenant set is drawn from the suite)", f.Name)
 			}
 		})
-		if err == nil && *seeds < 1 {
-			err = fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+		if err != nil {
+			return err
 		}
-		if err == nil {
-			err = (tenant.Churn{Rate: *churn}).Validate()
+		// The pool shape must be coherent before any profiling runs: a
+		// zero-core pool cannot serve, a negative shard count is
+		// meaningless, and more shards than cores cannot partition.
+		if *pool < 1 {
+			return fmt.Errorf("-pool must be >= 1 lifeguard core, got %d", *pool)
 		}
-		if err == nil {
-			var wts []float64
-			if wts, err = tenant.ParseWeights(*weights); err == nil {
-				cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
-					DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards}
-				err = runTenants(*tenants, cfg, *scale, *seed, *threads, *churn, *seeds)
-			}
+		if *shards < 0 || *shards > *pool {
+			return fmt.Errorf("-shards must be in 0..pool (%d cores), got %d", *pool, *shards)
 		}
+		if *seeds < 1 {
+			return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+		}
+		if err := (tenant.Churn{Rate: *churn}).Validate(); err != nil {
+			return err
+		}
+		wts, err := tenant.ParseWeights(*weights)
+		if err != nil {
+			return err
+		}
+		cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
+			DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards}
+		return runTenants(out, *tenants, cfg, *scale, *seed, *threads, *churn, *seeds)
 	default:
 		// Mirror image: pool flags only mean something with -tenants.
+		var err error
 		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true, "churn": true, "seeds": true, "shards": true}
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)
 			}
 		})
-		if err == nil {
-			err = run(*bench, *mode, *lifeguard, *scale, *seed, *threads, *bugName, *baseline)
+		if err != nil {
+			return err
 		}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbasim:", err)
-		os.Exit(1)
+		return runSingle(out, *bench, *mode, *lifeguard, *scale, *seed, *threads, *bugName, *baseline)
 	}
 }
 
@@ -131,7 +158,7 @@ func main() {
 // optionally under a churn layout, optionally replicated across workload
 // seeds — and prints the per-tenant breakdown (of the base seed) plus the
 // cross-seed slowdown band when seeds > 1.
-func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads int, churn float64, seeds int) error {
+func runTenants(out io.Writer, n int, pool tenant.PoolConfig, scale int, seed uint64, threads int, churn float64, seeds int) error {
 	eng := tenant.NewEngine(0, nil)
 	results := make([]*tenant.PoolResult, seeds)
 	for k := 0; k < seeds; k++ {
@@ -149,16 +176,16 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 	}
 	res := results[0]
 
-	fmt.Printf("tenants        %d (suite round-robin)\n", n)
-	fmt.Printf("pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
+	fmt.Fprintf(out, "tenants        %d (suite round-robin)\n", n)
+	fmt.Fprintf(out, "pool           %d lifeguard cores, %s scheduling\n", res.Cores, res.Policy)
 	if res.Shards > 1 {
-		fmt.Printf("shards         %d statically-partitioned sub-pools, replayed in parallel\n", res.Shards)
+		fmt.Fprintf(out, "shards         %d statically-partitioned sub-pools, replayed in parallel\n", res.Shards)
 	}
 	if pool.MigrationPenalty > 0 {
-		fmt.Printf("migration      %d-cycle cold-core penalty\n", pool.MigrationPenalty)
+		fmt.Fprintf(out, "migration      %d-cycle cold-core penalty\n", pool.MigrationPenalty)
 	}
 	if res.Churned {
-		fmt.Printf("churn          rate %.2f, peak concurrency %d of %d tenants\n", churn, res.PeakConcurrency, n)
+		fmt.Fprintf(out, "churn          rate %.2f, peak concurrency %d of %d tenants\n", churn, res.PeakConcurrency, n)
 	}
 	// The arrival/departure columns appear only on churning cells, so a
 	// fixed-set run keeps its pre-churn table shape.
@@ -187,9 +214,9 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 			fmt.Sprintf("%d", tr.Violations))
 		tb.AddRow(row...)
 	}
-	fmt.Print(tb.String())
-	fmt.Printf("mean slowdown  %.2fX (max %.2fX)\n", res.MeanSlowdown, res.MaxSlowdown)
-	fmt.Printf("pool util      %.0f%% over %d makespan cycles\n", 100*res.Utilisation, res.MakespanCycles)
+	fmt.Fprint(out, tb.String())
+	fmt.Fprintf(out, "mean slowdown  %.2fX (max %.2fX)\n", res.MeanSlowdown, res.MaxSlowdown)
+	fmt.Fprintf(out, "pool util      %.0f%% over %d makespan cycles\n", 100*res.Utilisation, res.MakespanCycles)
 	if seeds > 1 {
 		lo, hi, sum := results[0].MeanSlowdown, results[0].MeanSlowdown, 0.0
 		for _, r := range results {
@@ -201,7 +228,7 @@ func runTenants(n int, pool tenant.PoolConfig, scale int, seed uint64, threads i
 			}
 			sum += r.MeanSlowdown
 		}
-		fmt.Printf("seed band      mean slowdown %.2f-%.2fX over %d seeds (mean of means %.2fX)\n",
+		fmt.Fprintf(out, "seed band      mean slowdown %.2f-%.2fX over %d seeds (mean of means %.2fX)\n",
 			lo, hi, seeds, sum/float64(seeds))
 	}
 	return nil
@@ -225,7 +252,7 @@ func parseMode(name string) (core.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", name)
 }
 
-func run(bench, modeName, lifeguard string, scale int, seed uint64, threads int, bugName string, baseline bool) error {
+func runSingle(out io.Writer, bench, modeName, lifeguard string, scale int, seed uint64, threads int, bugName string, baseline bool) error {
 	spec, err := workloads.ByName(bench)
 	if err != nil {
 		return err
@@ -247,20 +274,20 @@ func run(bench, modeName, lifeguard string, scale int, seed uint64, threads int,
 		return err
 	}
 
-	fmt.Printf("benchmark      %s (%s)\n", spec.Name, spec.Description)
-	fmt.Printf("mode           %s", res.Mode)
+	fmt.Fprintf(out, "benchmark      %s (%s)\n", spec.Name, spec.Description)
+	fmt.Fprintf(out, "mode           %s", res.Mode)
 	if res.Mode != core.ModeUnmonitored {
-		fmt.Printf(" + %s", res.Lifeguard)
+		fmt.Fprintf(out, " + %s", res.Lifeguard)
 	}
-	fmt.Println()
-	fmt.Printf("instructions   %d\n", res.Instructions)
-	fmt.Printf("app cycles     %d (CPI %.2f)\n", res.AppCycles, res.CPI())
-	fmt.Printf("wall cycles    %d\n", res.WallCycles)
-	fmt.Printf("mem refs       %.1f%%\n", 100*res.MemRefFraction)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "instructions   %d\n", res.Instructions)
+	fmt.Fprintf(out, "app cycles     %d (CPI %.2f)\n", res.AppCycles, res.CPI())
+	fmt.Fprintf(out, "wall cycles    %d\n", res.WallCycles)
+	fmt.Fprintf(out, "mem refs       %.1f%%\n", 100*res.MemRefFraction)
 	if res.Mode == core.ModeLBA {
-		fmt.Printf("log records    %d (%.3f B/record compressed)\n", res.Records, res.BytesPerRecord)
-		fmt.Printf("buffer stalls  %d cycles\n", res.BufferStallCycles)
-		fmt.Printf("drain stalls   %d cycles over %d syscalls\n", res.DrainStallCycles, res.DrainEvents)
+		fmt.Fprintf(out, "log records    %d (%.3f B/record compressed)\n", res.Records, res.BytesPerRecord)
+		fmt.Fprintf(out, "buffer stalls  %d cycles\n", res.BufferStallCycles)
+		fmt.Fprintf(out, "drain stalls   %d cycles over %d syscalls\n", res.DrainStallCycles, res.DrainEvents)
 	}
 
 	if baseline && mode != core.ModeUnmonitored {
@@ -268,19 +295,19 @@ func run(bench, modeName, lifeguard string, scale int, seed uint64, threads int,
 		if err != nil {
 			return err
 		}
-		fmt.Printf("slowdown       %.2fX vs unmonitored\n", res.SlowdownVs(base))
+		fmt.Fprintf(out, "slowdown       %.2fX vs unmonitored\n", res.SlowdownVs(base))
 	}
 
 	if len(res.Violations) == 0 {
-		fmt.Println("violations     none")
+		fmt.Fprintln(out, "violations     none")
 	} else {
-		fmt.Printf("violations     %d\n", len(res.Violations))
+		fmt.Fprintf(out, "violations     %d\n", len(res.Violations))
 		for i, v := range res.Violations {
 			if i == 10 {
-				fmt.Printf("  ... %d more\n", len(res.Violations)-10)
+				fmt.Fprintf(out, "  ... %d more\n", len(res.Violations)-10)
 				break
 			}
-			fmt.Printf("  %s\n", v)
+			fmt.Fprintf(out, "  %s\n", v)
 		}
 	}
 	return nil

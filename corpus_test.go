@@ -1,0 +1,49 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestScenarioCorpus is the integration tier over the checked-in scenario
+// corpus: every runlist row under corpus/ must pass its criteria file, so
+// the corpus doubles as the project's open-ended regression suite — adding
+// coverage means adding a CSV row and a criteria file, not test code. The
+// same corpus runs under cmd/lbaharness and the CI harness smoke step; see
+// docs/harness.md.
+func TestScenarioCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario corpus is the long integration tier")
+	}
+	scenarios, err := harness.LoadRunlist("corpus/runlist.csv")
+	if err != nil {
+		t.Fatalf("LoadRunlist: %v", err)
+	}
+	if len(scenarios) < 12 {
+		t.Fatalf("seed corpus shrank to %d scenarios; keep at least 12", len(scenarios))
+	}
+	criteria, err := harness.LoadAllCriteria("corpus/criteria", scenarios)
+	if err != nil {
+		t.Fatalf("LoadAllCriteria: %v", err)
+	}
+
+	sum, err := harness.Run(context.Background(), scenarios, criteria, harness.Options{})
+	if err != nil {
+		t.Fatalf("harness.Run: %v", err)
+	}
+	if sum.Failed == 0 {
+		return
+	}
+	for _, r := range sum.Scenarios {
+		if r.Status == harness.StatusPass {
+			continue
+		}
+		for _, ck := range r.Checks {
+			if !ck.Pass {
+				t.Errorf("scenario %s: %s: want %s, got %s", r.ID, ck.Name, ck.Want, ck.Got)
+			}
+		}
+	}
+}

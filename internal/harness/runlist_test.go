@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+const runlistHead = "id,kind,benchmark,lifeguard,bug,tenants,policy,pool,weights,migration,churn,shards,scale,seed,slo\n"
+
+func parseRows(t *testing.T, rows ...string) ([]Scenario, error) {
+	t.Helper()
+	return ParseRunlist(strings.NewReader(runlistHead + strings.Join(rows, "\n") + "\n"))
+}
+
+func TestParseRunlistAcceptsEveryKind(t *testing.T) {
+	scenarios, err := parseRows(t,
+		"# comment lines are ignored",
+		"single-uaf,single,gzip,AddrCheck,use-after-free,,,,,,,,30000,7,",
+		"pool-wfq,pool,,,,4,wfq,2,\"2,1\",120,0.5,2,,,",
+		"adm-lag,admission,,,,,least-lag,2,,,,,,,1.25",
+	)
+	if err != nil {
+		t.Fatalf("ParseRunlist: %v", err)
+	}
+	if len(scenarios) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(scenarios))
+	}
+
+	s := scenarios[0]
+	if s.Kind != KindSingle || s.Benchmark != "gzip" || s.Lifeguard != "AddrCheck" ||
+		s.Bug.String() != "use-after-free" || s.Scale != 30000 || s.Seed != 7 {
+		t.Fatalf("single scenario misparsed: %+v", s)
+	}
+
+	p := scenarios[1]
+	if p.Kind != KindPool || p.Tenants != 4 || p.Policy != "wfq" || p.Pool != 2 ||
+		len(p.Weights) != 2 || p.Weights[0] != 2 || p.Migration != 120 ||
+		p.Churn != 0.5 || p.Shards != 2 {
+		t.Fatalf("pool scenario misparsed: %+v", p)
+	}
+	if p.Scale != DefaultScale || p.Seed != DefaultSeed {
+		t.Fatalf("empty scale/seed should default to %d/%#x: %+v", DefaultScale, DefaultSeed, p)
+	}
+
+	a := scenarios[2]
+	if a.Kind != KindAdmission || a.SLO != 1.25 {
+		t.Fatalf("admission scenario misparsed: %+v", a)
+	}
+	if a.Tenants != 2*a.Pool {
+		t.Fatalf("admission search bound should default to 2*pool=%d, got %d", 2*a.Pool, a.Tenants)
+	}
+}
+
+func TestParseRunlistRejectsMalformedRows(t *testing.T) {
+	cases := []struct {
+		name string
+		rows []string
+		want string // substring of the error
+	}{
+		{"unknown kind", []string{"s1,figure,gzip,AddrCheck,,,,,,,,,,,"}, "unknown kind"},
+		{"unknown benchmark", []string{"s1,single,quake,AddrCheck,,,,,,,,,,,"}, "quake"},
+		{"unknown lifeguard", []string{"s1,single,gzip,memwatch,,,,,,,,,,,"}, "unknown lifeguard"},
+		{"unknown bug", []string{"s1,single,gzip,AddrCheck,segfault,,,,,,,,,,"}, "unknown bug"},
+		{"unknown policy", []string{"p1,pool,,,,4,fifo,2,,,,,,,"}, "policy"},
+		{"duplicate id", []string{
+			"s1,single,gzip,AddrCheck,,,,,,,,,,,",
+			"s1,single,bc,AddrCheck,,,,,,,,,,,",
+		}, "duplicate scenario id"},
+		{"empty id", []string{",single,gzip,AddrCheck,,,,,,,,,,,"}, "empty scenario id"},
+		{"uppercase id", []string{"S1,single,gzip,AddrCheck,,,,,,,,,,,"}, "lower-case"},
+		{"zero pool", []string{"p1,pool,,,,4,wfq,0,,,,,,,"}, "pool must be >= 1"},
+		{"negative tenants", []string{"p1,pool,,,,-2,wfq,2,,,,,,,"}, "tenants >= 1"},
+		{"shards beyond pool", []string{"p1,pool,,,,4,wfq,2,,,,3,,,"}, "shards 3 outside 0..pool"},
+		{"negative shards", []string{"p1,pool,,,,4,wfq,2,,,,-1,,,"}, "outside 0..pool"},
+		{"negative churn", []string{"p1,pool,,,,4,wfq,2,,,-0.5,,,,"}, "churn"},
+		{"bad weights", []string{"p1,pool,,,,4,wfq,2,\"2,x\",,,,,,"}, "weight"},
+		{"pool with slo", []string{"p1,pool,,,,4,wfq,2,,,,,,,1.5"}, "slo only applies to admission"},
+		{"pool with benchmark", []string{"p1,pool,gzip,,,4,wfq,2,,,,,,,"}, "does not apply"},
+		{"single with pool columns", []string{"s1,single,gzip,AddrCheck,,4,,,,,,,,,"}, "does not apply"},
+		{"zero scale", []string{"s1,single,gzip,AddrCheck,,,,,,,,,0,,"}, "scale must be > 0"},
+		{"bad seed", []string{"s1,single,gzip,AddrCheck,,,,,,,,,,nope,"}, "seed"},
+		{"admission slo missing", []string{"a1,admission,,,,,least-lag,2,,,,,,,"}, "slo must be a finite contention bound"},
+		{"admission slo negative", []string{"a1,admission,,,,,least-lag,2,,,,,,,-1"}, "slo must be a finite contention bound"},
+		{"admission slo nan", []string{"a1,admission,,,,,least-lag,2,,,,,,,NaN"}, "slo must be a finite contention bound"},
+		{"admission with shards", []string{"a1,admission,,,,,least-lag,2,,,,2,,,1.25"}, "shards does not apply"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseRows(t, tc.rows...)
+			if err == nil {
+				t.Fatalf("rows %q parsed cleanly, want error containing %q", tc.rows, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRunlistRejectsBadHeadersAndEmptyLists(t *testing.T) {
+	for _, tc := range []struct {
+		name, input, want string
+	}{
+		{"empty input", "", "header"},
+		{"wrong header", "id,kind\ns1,single\n", "columns"},
+		{"shuffled header", strings.Replace(runlistHead, "id,kind", "kind,id", 1), "column 1"},
+		{"header only", runlistHead, "no scenarios"},
+		{"ragged row", runlistHead + "s1,single,gzip\n", "fields"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRunlist(strings.NewReader(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got error %v, want one containing %q", err, tc.want)
+			}
+		})
+	}
+}

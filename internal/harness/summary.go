@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/runner"
+	"repro/internal/tenant"
+)
+
+// Schema identifies the JSON layout of the harness summary, for trajectory
+// tooling that tracks HARNESS_*.json artifacts across commits.
+const Schema = "lba-harness/v1"
+
+// ArtifactSchema identifies the per-scenario artifact layout.
+const ArtifactSchema = "lba-harness-artifact/v1"
+
+// Check is one evaluated criterion of a scenario: the criterion's name,
+// what the criteria file demanded, what the run actually measured, and the
+// verdict. Want and Got are rendered deterministically so summary bytes
+// do not depend on the worker count that produced them.
+type Check struct {
+	Name string `json:"name"`
+	Want string `json:"want"`
+	Got  string `json:"got"`
+	Pass bool   `json:"pass"`
+}
+
+// ScenarioResult is one row of the validation summary.
+type ScenarioResult struct {
+	ID     string  `json:"id"`
+	Kind   string  `json:"kind"`
+	Status string  `json:"status"` // "pass" | "fail"
+	Checks []Check `json:"checks"`
+	// Artifact is the per-scenario artifact's file name (relative to the
+	// artifact directory), present once WriteArtifacts has run.
+	Artifact string `json:"artifact,omitempty"`
+
+	artifact *Artifact
+}
+
+// Summary is the machine-readable outcome of one harness run: one result
+// per runlist scenario, in runlist order, plus pass/fail totals. The
+// encoding carries nothing host- or worker-dependent, so a -workers 4 run
+// emits bytes identical to the serial reference run.
+type Summary struct {
+	Schema    string           `json:"schema"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Passed    int              `json:"passed"`
+	Failed    int              `json:"failed"`
+	Total     int              `json:"total"`
+}
+
+// Failures returns the IDs of failing scenarios, in runlist order.
+func (s *Summary) Failures() []string {
+	var ids []string
+	for _, r := range s.Scenarios {
+		if r.Status != StatusPass {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids
+}
+
+// Scenario statuses.
+const (
+	StatusPass = "pass"
+	StatusFail = "fail"
+)
+
+// Artifact is the full per-scenario record backing a summary row: the
+// measured result (one of Single, Cell or Admission, by scenario kind)
+// plus the evaluated checks. Artifacts are what a contributor diffs when
+// a corpus scenario regresses.
+type Artifact struct {
+	Schema string  `json:"schema"`
+	ID     string  `json:"id"`
+	Kind   string  `json:"kind"`
+	Checks []Check `json:"checks"`
+
+	Single    *SingleArtifact         `json:"single,omitempty"`
+	Cell      *runner.TenantCell      `json:"cell,omitempty"`
+	Admission []tenant.AdmissionPoint `json:"admission,omitempty"`
+}
+
+// SingleArtifact is the measured record of a single-run scenario: the
+// monitored run's headline scalars, its slowdown against the memoized
+// unmonitored baseline, and the full violation list.
+type SingleArtifact struct {
+	Benchmark  string   `json:"benchmark"`
+	Lifeguard  string   `json:"lifeguard"`
+	Bug        string   `json:"bug"`
+	Scale      int      `json:"scale"`
+	Seed       uint64   `json:"seed"`
+	WallCycles uint64   `json:"wall_cycles"`
+	AppCycles  uint64   `json:"app_cycles"`
+	Records    uint64   `json:"records"`
+	Slowdown   float64  `json:"slowdown"`
+	Violations []string `json:"violations"`
+}
+
+// WriteJSON emits the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSONFile writes the summary to path, failing on any write or close
+// error so a truncated summary never passes silently.
+func (s *Summary) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteArtifacts writes one <id>.json artifact per scenario into dir
+// (created if missing) and records each file name on its summary row.
+// Artifact bytes are as deterministic as the summary's.
+func (s *Summary) WriteArtifacts(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range s.Scenarios {
+		r := &s.Scenarios[i]
+		if r.artifact == nil {
+			return fmt.Errorf("harness: scenario %q has no artifact", r.ID)
+		}
+		name := r.ID + ".json"
+		blob, err := json.MarshalIndent(r.artifact, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		r.Artifact = name
+	}
+	return nil
+}
