@@ -14,7 +14,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/tenant/...
-	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity|TestChurn|TestPropertyBisection|TestApplyChurn|TestPeakConcurrency|TestSharded|TestShardPlan' ./internal/tenant
+	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity|TestChurn|TestPropertyBisection|TestApplyChurn|TestPeakConcurrency|TestSharded|TestShardPlan|TestStreaming|TestTimelineRoundTrip|TestStepCursorWindows|TestWindowRingRecycle|TestRecorderWidthContract' ./internal/tenant
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/vpc
@@ -53,14 +53,16 @@ bench:
 	$(GO) run ./cmd/lbabench -n 150000 -json BENCH_lbabench.json
 	$(GO) run ./cmd/lbabench -n 40000 -fig churn -tenants 4 -pool 2 -seeds 2 -json BENCH_churn.json
 	@grep -q '"churn"' BENCH_churn.json && grep -q '"peak_concurrency"' BENCH_churn.json
-	$(GO) run ./cmd/lbabench -bench replay -json BENCH_replay.json
-	@grep -q '"lba-bench-replay/v1"' BENCH_replay.json && grep -q '"speedup_x"' BENCH_replay.json
-	@grep -q '"sharded"' BENCH_replay.json && grep -q '"shards": 4' BENCH_replay.json
+	$(GO) run ./cmd/lbabench -bench replay -json BENCH_replay.ci.json -diff-schema BENCH_replay.json
+	@grep -q '"lba-bench-replay/v1"' BENCH_replay.ci.json && grep -q '"speedup_x"' BENCH_replay.ci.json
+	@grep -q '"sharded"' BENCH_replay.ci.json && grep -q '"shards": 4' BENCH_replay.ci.json
+	@grep -q '"streaming"' BENCH_replay.ci.json && grep -q '"peak_heap_bytes"' BENCH_replay.ci.json
 
 harness:
-	$(GO) run ./cmd/lbaharness -runlist corpus/runlist.csv -json HARNESS_corpus.json -artifacts harness-artifacts
+	GOMEMLIMIT=256MiB $(GO) run ./cmd/lbaharness -runlist corpus/runlist.csv -json HARNESS_corpus.json -artifacts harness-artifacts
 	@grep -q '"lba-harness/v1"' HARNESS_corpus.json && grep -q '"failed": 0' HARNESS_corpus.json
 	@grep -q '"lba-harness-artifact/v1"' harness-artifacts/uaf-bc.json
+	@grep -q '"lba-harness-artifact/v1"' harness-artifacts/pool-large-trace.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

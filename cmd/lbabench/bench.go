@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -57,6 +59,22 @@ const (
 // shards=1 IS the batched fast path (the plan short-circuits), so the
 // first row doubles as the section's serial baseline.
 var benchShardCounts = []int{1, 2, 4}
+
+// The streaming section measures the bounded-window replay pipeline: a
+// generator-backed synthetic tenant pair (O(1) resident timeline, so the
+// measured heap growth is the replay's own footprint) replayed at each
+// decoded-window size, reporting throughput and live-heap growth per
+// window. Two tenants on two cores keep the merge and scheduler real
+// while the timeline dominates the work.
+const (
+	benchStreamSteps   = 2_000_000
+	benchStreamTenants = 2
+	benchStreamCores   = 2
+)
+
+// benchStreamWindows are the decoded-window sizes (steps per refill) the
+// memory/throughput curve tracks; 1024 is DefaultStepWindow.
+var benchStreamWindows = []int{128, 512, 1024, 8192}
 
 // benchDispatchStats is one (policy, dispatch) cell of the report.
 type benchDispatchStats struct {
@@ -115,17 +133,49 @@ type benchShardedSection struct {
 	Rows             []benchShardRow `json:"rows"`
 }
 
+// benchStreamRow is one decoded-window size of the streaming section.
+// PeakHeapBytes is the replay's live-heap growth measured cold (GC run
+// first, then disabled): the arena, the window ring at this size and the
+// result — the number that stays flat as timelines grow (see
+// TestSyntheticProfileHeapBounded).
+type benchStreamRow struct {
+	WindowSteps   int     `json:"window_steps"`
+	NsPerReplay   float64 `json:"ns_per_replay"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
+// benchStreamingSection is the bounded-window replay trajectory:
+// throughput and peak heap per window size over a synthetic tenant pair,
+// plus the pinned suite's measured timeline-encoding density.
+type benchStreamingSection struct {
+	Steps   int `json:"steps"`
+	Tenants int `json:"tenants"`
+	Cores   int `json:"cores"`
+	Reps    int `json:"reps"`
+	// EncodedBytesPerStep is measured on the pinned suite's profiles: the
+	// segment encoding's density against the 16 B/step materialised form.
+	SuiteEncodedBytes   uint64           `json:"suite_encoded_bytes"`
+	SuiteSteps          uint64           `json:"suite_steps"`
+	EncodedBytesPerStep float64          `json:"encoded_bytes_per_step"`
+	Rows                []benchStreamRow `json:"rows"`
+}
+
 type benchReport struct {
-	Schema   string              `json:"schema"`
-	Suite    benchSuiteDesc      `json:"suite"`
-	Policies []benchPolicyRow    `json:"policies"`
-	Sharded  benchShardedSection `json:"sharded"`
-	Headline benchHeadline       `json:"headline"`
+	Schema    string                `json:"schema"`
+	Suite     benchSuiteDesc        `json:"suite"`
+	Policies  []benchPolicyRow      `json:"policies"`
+	Sharded   benchShardedSection   `json:"sharded"`
+	Streaming benchStreamingSection `json:"streaming"`
+	Headline  benchHeadline         `json:"headline"`
 }
 
 // benchReplay runs the full benchmark matrix and prints the per-policy
-// table; when jsonPath is non-empty the structured report lands there.
-func (s *session) benchReplay(jsonPath string) error {
+// table; when jsonPath is non-empty the structured report lands there,
+// and when diffSchemaPath is non-empty the fresh report's JSON key-path
+// set is diffed against the committed trajectory file so a silent schema
+// change fails the bench step, not a downstream consumer.
+func (s *session) benchReplay(jsonPath, diffSchemaPath string) error {
 	profiles, err := benchProfiles(benchTenants)
 	if err != nil {
 		return err
@@ -186,6 +236,11 @@ func (s *session) benchReplay(jsonPath string) error {
 		rep.Sharded.Rows = append(rep.Sharded.Rows, row)
 	}
 
+	rep.Streaming, err = measureStreaming(profiles)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(s.out, "Replay dispatch benchmark: %d tenants, %d cores, %d records/replay, best of %d\n",
 		benchTenants, benchCores, rep.Suite.RecordsPerReplay, benchReps)
 	tb := metrics.NewTable("policy", "batched-Mrec/s", "per-record-Mrec/s", "speedup", "batched-allocs", "per-record-allocs")
@@ -212,14 +267,167 @@ func (s *session) benchReplay(jsonPath string) error {
 	fmt.Fprint(s.out, st.String())
 	fmt.Fprintln(s.out)
 
-	if jsonPath == "" {
+	fmt.Fprintf(s.out, "Streaming replay benchmark: %d tenants x %d generated steps, %d cores, suite encodes at %.2f B/step\n",
+		benchStreamTenants, benchStreamSteps, benchStreamCores, rep.Streaming.EncodedBytesPerStep)
+	wt := metrics.NewTable("window", "Mrec/s", "peak-heap-KiB")
+	for _, row := range rep.Streaming.Rows {
+		wt.AddRow(fmt.Sprintf("%d", row.WindowSteps),
+			fmt.Sprintf("%.1f", row.RecordsPerSec/1e6),
+			fmt.Sprintf("%.0f", float64(row.PeakHeapBytes)/1024))
+	}
+	fmt.Fprint(s.out, wt.String())
+	fmt.Fprintln(s.out)
+
+	if jsonPath == "" && diffSchemaPath == "" {
 		return nil
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
+	blob = append(blob, '\n')
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if diffSchemaPath != "" {
+		if err := diffReportSchema(blob, diffSchemaPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "schema matches committed %s\n", diffSchemaPath)
+	}
+	return nil
+}
+
+// measureStreaming builds the streaming section: a pair of generator-
+// backed synthetic tenants replayed at each decoded-window size. The
+// heap figure is measured cold — a GC first empties the arena sync.Pool,
+// then the collector is paused so the replay's live growth (arena +
+// window ring + result) is read deterministically; the throughput reps
+// then run warm, like every other cell. suite supplies the measured
+// encoding density of real profiled timelines.
+func measureStreaming(suite []*tenant.Profile) (benchStreamingSection, error) {
+	sec := benchStreamingSection{
+		Steps: benchStreamSteps, Tenants: benchStreamTenants,
+		Cores: benchStreamCores, Reps: benchReps,
+	}
+	for _, p := range suite {
+		sec.SuiteEncodedBytes += uint64(p.TimelineBytes())
+		sec.SuiteSteps += uint64(p.Steps())
+	}
+	if sec.SuiteSteps > 0 {
+		sec.EncodedBytesPerStep = float64(sec.SuiteEncodedBytes) / float64(sec.SuiteSteps)
+	}
+
+	profiles := make([]*tenant.Profile, benchStreamTenants)
+	for i := range profiles {
+		phase := uint64(i) * 17
+		gen := func(k int) tenant.SyntheticStep {
+			if k%4096 == 4095 {
+				return tenant.SyntheticStep{Cycle: uint64(k)*40 + phase, Drain: true}
+			}
+			return tenant.SyntheticStep{Cycle: uint64(k)*40 + phase, Bits: 64 + uint64(k%61), Cost: 18 + uint64(k%7)}
+		}
+		p, err := tenant.NewSyntheticProfile(fmt.Sprintf("stream-%d", i), benchStreamSteps, 5000, gen)
+		if err != nil {
+			return sec, err
+		}
+		profiles[i] = p
+	}
+
+	for _, window := range benchStreamWindows {
+		pool := tenant.PoolConfig{Cores: benchStreamCores, Policy: tenant.PolicyLeastLag, StepWindow: window}
+
+		runtime.GC() // empty the arena pool so the cold footprint is comparable across windows
+		gcPct := debug.SetGCPercent(-1)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := tenant.ReplayPool(profiles, pool, tenant.DispatchBatched)
+		runtime.ReadMemStats(&after)
+		debug.SetGCPercent(gcPct)
+		if err != nil {
+			return sec, err
+		}
+		var records uint64
+		for _, tr := range res.Tenants {
+			records += tr.Records
+		}
+
+		var best time.Duration
+		for r := 0; r < benchReps; r++ {
+			start := time.Now()
+			if _, err := tenant.ReplayPool(profiles, pool, tenant.DispatchBatched); err != nil {
+				return sec, err
+			}
+			if d := time.Since(start); r == 0 || d < best {
+				best = d
+			}
+		}
+		sec.Rows = append(sec.Rows, benchStreamRow{
+			WindowSteps:   window,
+			NsPerReplay:   float64(best.Nanoseconds()),
+			RecordsPerSec: float64(records) / best.Seconds(),
+			PeakHeapBytes: after.HeapAlloc - before.HeapAlloc,
+		})
+	}
+	return sec, nil
+}
+
+// diffReportSchema compares the fresh report's JSON key-path set against
+// the committed trajectory file's. Values are expected to differ run to
+// run (they are measurements); the key paths are the contract.
+func diffReportSchema(fresh []byte, committedPath string) error {
+	committed, err := os.ReadFile(committedPath)
+	if err != nil {
+		return fmt.Errorf("bench schema diff: %w", err)
+	}
+	var a, b any
+	if err := json.Unmarshal(fresh, &a); err != nil {
+		return fmt.Errorf("bench schema diff: fresh report: %w", err)
+	}
+	if err := json.Unmarshal(committed, &b); err != nil {
+		return fmt.Errorf("bench schema diff: %s: %w", committedPath, err)
+	}
+	got, want := map[string]bool{}, map[string]bool{}
+	jsonKeyPaths(a, "", got)
+	jsonKeyPaths(b, "", want)
+	var missing, extra []string
+	for p := range want {
+		if !got[p] {
+			missing = append(missing, p)
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			extra = append(extra, p)
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return fmt.Errorf("bench schema diff against %s: missing key paths %v, unexpected key paths %v — regenerate and commit the trajectory file if the schema change is intended",
+		committedPath, missing, extra)
+}
+
+// jsonKeyPaths collects every object key path in a decoded JSON value;
+// array elements share one "[]" segment, so row counts do not affect the
+// schema.
+func jsonKeyPaths(v any, prefix string, out map[string]bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, val := range t {
+			p := prefix + "." + k
+			out[p] = true
+			jsonKeyPaths(val, p, out)
+		}
+	case []any:
+		for _, val := range t {
+			jsonKeyPaths(val, prefix+"[]", out)
+		}
+	}
 }
 
 // benchProfiles builds the pinned n-tenant suite's profiles once; replays

@@ -83,23 +83,24 @@ const defaultContentionTenants = 6
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lbabench", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "", "2a | 2b | 2c | contention | sched | affinity | churn")
-		table     = fs.String("table", "", "chars | compress | avg")
-		ablation  = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
-		scale     = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
-		threads   = fs.Int("threads", 2, "threads for multithreaded benchmarks")
-		workers   = fs.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
-		tenants   = fs.Int("tenants", 0, "multi-tenant cell: number of monitored applications (0 = off)")
-		pool      = fs.Int("pool", 4, "multi-tenant cell / sched+affinity figures: shared lifeguard cores")
-		sched     = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: "+strings.Join(tenant.Policies(), " | "))
-		weights   = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
-		deadline  = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
-		migration = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
-		churn     = fs.Float64("churn", 0, "tenant churn rate for a single cell: arrival spacing in tenant lifetimes (0 = fixed set; the churn figure sweeps rates itself)")
-		shards    = fs.Int("shards", 0, "partition a single cell's pool into K sub-pools replayed in parallel (0/1 = unsharded)")
-		seeds     = fs.Int("seeds", 1, "workload-seed replications for the churn figure's admission confidence bands")
-		bench     = fs.String("bench", "", "replay — time the batched replay fast path against the per-record oracle (with -json, writes the lba-bench-replay/v1 report)")
-		jsonPath  = fs.String("json", "", "write structured runner results to this file")
+		fig        = fs.String("fig", "", "2a | 2b | 2c | contention | sched | affinity | churn")
+		table      = fs.String("table", "", "chars | compress | avg")
+		ablation   = fs.String("ablation", "", "buffer | compress | filter | parallel | stall | pipeline")
+		scale      = fs.Int("n", 1_000_000, "approximate dynamic instructions per run")
+		threads    = fs.Int("threads", 2, "threads for multithreaded benchmarks")
+		workers    = fs.Int("workers", 0, "experiment worker pool width (0 = NumCPU, 1 = serial)")
+		tenants    = fs.Int("tenants", 0, "multi-tenant cell: number of monitored applications (0 = off)")
+		pool       = fs.Int("pool", 4, "multi-tenant cell / sched+affinity figures: shared lifeguard cores")
+		sched      = fs.String("sched", tenant.PolicyLeastLag, "multi-tenant scheduler: "+strings.Join(tenant.Policies(), " | "))
+		weights    = fs.String("weights", "", "per-tenant WFQ weights, comma-separated, cycled over the tenant set (wfq/priority)")
+		deadline   = fs.Uint64("deadline", 0, "per-tenant lag deadline in cycles for the deadline policy (0 = default)")
+		migration  = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
+		churn      = fs.Float64("churn", 0, "tenant churn rate for a single cell: arrival spacing in tenant lifetimes (0 = fixed set; the churn figure sweeps rates itself)")
+		shards     = fs.Int("shards", 0, "partition a single cell's pool into K sub-pools replayed in parallel (0/1 = unsharded)")
+		seeds      = fs.Int("seeds", 1, "workload-seed replications for the churn figure's admission confidence bands")
+		bench      = fs.String("bench", "", "replay — time the batched replay fast path against the per-record oracle (with -json, writes the lba-bench-replay/v1 report)")
+		diffSchema = fs.String("diff-schema", "", "with -bench: diff the fresh report's JSON key paths against this committed trajectory file (exits non-zero on drift)")
+		jsonPath   = fs.String("json", "", "write structured runner results to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -145,6 +146,9 @@ func run(args []string, out io.Writer) error {
 	if *bench != "" && *bench != "replay" {
 		return fmt.Errorf("unknown benchmark %q (have replay)", *bench)
 	}
+	if *diffSchema != "" && *bench == "" {
+		return fmt.Errorf("-diff-schema only applies with -bench (it pins the benchmark report's schema)")
+	}
 	var conflict error
 	fs.Visit(func(f *flag.Flag) {
 		if conflict != nil {
@@ -153,7 +157,7 @@ func run(args []string, out io.Writer) error {
 		// The replay benchmark runs a pinned suite (see cmd/lbabench/
 		// bench.go) so its artifacts compare across commits; every sweep
 		// and scale flag would be dropped silently, so reject them.
-		if *bench != "" && f.Name != "bench" && f.Name != "json" {
+		if *bench != "" && f.Name != "bench" && f.Name != "json" && f.Name != "diff-schema" {
 			conflict = fmt.Errorf("-%s does not apply with -bench; the replay benchmark runs the pinned %d-tenant suite", f.Name, benchTenants)
 			return
 		}
@@ -214,7 +218,7 @@ func run(args []string, out io.Writer) error {
 		// The benchmark report has its own schema and is written by
 		// benchReplay itself; the runner-report JSON path below does not
 		// apply.
-		return s.benchReplay(*jsonPath)
+		return s.benchReplay(*jsonPath, *diffSchema)
 	}
 
 	runAll := *fig == "" && *table == "" && *ablation == "" && *tenants == 0

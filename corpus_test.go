@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/harness"
@@ -45,5 +46,60 @@ func TestScenarioCorpus(t *testing.T) {
 				t.Errorf("scenario %s: %s: want %s, got %s", r.ID, ck.Name, ck.Want, ck.Got)
 			}
 		}
+	}
+}
+
+// TestScenarioCorpusMemoryBounded pins the memory side of the large-trace
+// scenario: pool-large-trace runs at 6x the corpus default scale, and its
+// tenant timelines replay through the streaming window path (segment
+// decode into a small recycled ring; see docs/performance.md), so the
+// live heap left behind by the run must stay far below what materialised
+// []step timelines plus replay state would cost as traces grow. The CI
+// harness-smoke job bounds the transient side by running the whole corpus
+// under GOMEMLIMIT; this test bounds the steady-state side in-process
+// with runtime.ReadMemStats.
+func TestScenarioCorpusMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario corpus is the long integration tier")
+	}
+	scenarios, err := harness.LoadRunlist("corpus/runlist.csv")
+	if err != nil {
+		t.Fatalf("LoadRunlist: %v", err)
+	}
+	large := scenarios[:0:0]
+	for _, s := range scenarios {
+		if s.ID == "pool-large-trace" {
+			large = append(large, s)
+		}
+	}
+	if len(large) != 1 {
+		t.Fatalf("runlist holds %d pool-large-trace rows, want exactly 1", len(large))
+	}
+	criteria, err := harness.LoadAllCriteria("corpus/criteria", large)
+	if err != nil {
+		t.Fatalf("LoadAllCriteria: %v", err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	sum, err := harness.Run(context.Background(), large, criteria, harness.Options{})
+	if err != nil {
+		t.Fatalf("harness.Run: %v", err)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("pool-large-trace failed %d checks; see TestScenarioCorpus for details", sum.Failed)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	// The run retains nothing the caller doesn't hold (the summary and
+	// its artifact); memoized engines are garbage once harness.Run
+	// returns. 64 MiB is ~4x the scenario's whole working set today and
+	// far below what leaking per-tenant materialised timelines or replay
+	// arenas across the run would cost at larger scales.
+	const ceiling = 64 << 20
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > ceiling {
+		t.Fatalf("pool-large-trace left %d B of live heap behind, ceiling %d B", grew, ceiling)
 	}
 }

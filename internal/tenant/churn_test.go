@@ -248,9 +248,10 @@ func TestChurnReplayInvariants(t *testing.T) {
 			}
 			for i, tr := range res.Tenants {
 				p := profiles[i]
-				limit := churnLimit(p.steps, p.Tenant.ArriveAt, p.Tenant.DepartAfter)
+				steps := materialise(p.tl)
+				limit := churnLimit(steps, p.Tenant.ArriveAt, p.Tenant.DepartAfter)
 				var want uint64
-				for _, s := range p.steps[:limit] {
+				for _, s := range steps[:limit] {
 					if s.bits != drainMark {
 						want++
 					}
@@ -267,7 +268,7 @@ func TestChurnReplayInvariants(t *testing.T) {
 						t.Errorf("%s/%dc/%d: channel released at %d before its last record finished at %d (drain)",
 							policy, cores, i, tr.DepartAtCycles, maxFinish[i])
 					}
-					if limit < len(p.steps) && tr.Records >= p.Result.Records {
+					if limit < len(steps) && tr.Records >= p.Result.Records {
 						t.Errorf("%s/%dc/%d: truncation did not shed records", policy, cores, i)
 					}
 				} else if tr.DepartAtCycles != 0 {

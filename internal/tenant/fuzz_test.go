@@ -72,13 +72,14 @@ func syntheticProfiles(data []byte) []*Profile {
 		if d := r.next(); d%4 != 0 {
 			depart = arrive + 1 + uint64(d)*64
 		}
+		tl := encodedTimeline(steps)
 		profiles = append(profiles, &Profile{
 			Tenant: Tenant{Name: fmt.Sprintf("fuzz-%d", ti), Benchmark: "fuzz", Config: cfg,
 				ArriveAt: arrive, DepartAfter: depart},
-			steps:         steps,
+			tl:            tl,
 			Result:        &core.Result{AppCycles: appCycles, WallCycles: appCycles, Records: records, LogBits: logBits, LgCycles: cost},
 			Base:          &core.Result{WallCycles: appCycles + 1},
-			DedicatedWall: dedicatedWall(steps, cfg.Channel, appCycles),
+			DedicatedWall: dedicatedWall(tl, cfg.Channel, appCycles),
 		})
 	}
 	return profiles
@@ -89,8 +90,9 @@ func syntheticProfiles(data []byte) []*Profile {
 // conserve.
 func truncatedTotals(profiles []*Profile) (records, cost uint64) {
 	for _, p := range profiles {
-		limit := churnLimit(p.steps, p.Tenant.ArriveAt, p.Tenant.DepartAfter)
-		for _, s := range p.steps[:limit] {
+		steps := materialise(p.tl)
+		limit := churnLimit(steps, p.Tenant.ArriveAt, p.Tenant.DepartAfter)
+		for _, s := range steps[:limit] {
 			if s.bits != drainMark {
 				records++
 				cost += uint64(s.cost)
@@ -146,9 +148,10 @@ func checkReplayInvariants(t *testing.T, policy string, profiles []*Profile, poo
 	for i, tr := range res.Tenants {
 		p := profiles[i]
 		arrive, depart := p.Tenant.ArriveAt, p.Tenant.DepartAfter
-		limit := churnLimit(p.steps, arrive, depart)
+		steps := materialise(p.tl)
+		limit := churnLimit(steps, arrive, depart)
 		var windowRecords uint64
-		for _, s := range p.steps[:limit] {
+		for _, s := range steps[:limit] {
 			if s.bits != drainMark {
 				windowRecords++
 			}
@@ -297,7 +300,7 @@ func TestChurnCorpusSeeds(t *testing.T) {
 		if p.Tenant.ArriveAt != 0 || p.Tenant.DepartAfter != 129 {
 			t.Errorf("mass tenant %d window [%d, %d], want [0, 129]", i, p.Tenant.ArriveAt, p.Tenant.DepartAfter)
 		}
-		if limit := churnLimit(p.steps, 0, 129); limit != 1 {
+		if limit := churnLimit(materialise(p.tl), 0, 129); limit != 1 {
 			t.Errorf("mass tenant %d truncates to %d steps, want 1", i, limit)
 		}
 	}

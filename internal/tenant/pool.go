@@ -55,6 +55,21 @@ type PoolConfig struct {
 	// values above min(Cores, tenants) are clamped down to it. See
 	// shard.go for the partitioning and merge contract.
 	Shards int `json:"shards,omitempty"`
+	// StepWindow is the decoded-step window size (steps per refill) the
+	// streaming replay reads each tenant's encoded timeline through; 0
+	// selects DefaultStepWindow. Purely an execution knob — results are
+	// byte-identical for every window size (the window only bounds how
+	// many decoded steps are resident per tenant), so it is not echoed in
+	// result cells.
+	StepWindow int `json:"step_window,omitempty"`
+}
+
+// stepWindow resolves the effective decoded-window size.
+func (pool PoolConfig) stepWindow() int {
+	if pool.StepWindow > 0 {
+		return pool.StepWindow
+	}
+	return DefaultStepWindow
 }
 
 // tenantViews expands the pool's per-tenant policy inputs to n live
@@ -323,12 +338,15 @@ func (r *PoolResult) Cell() runner.TenantCell {
 	return cell
 }
 
-// tenantState is one tenant's live replay state.
+// tenantState is one tenant's live replay state. The timeline is read
+// through cur, a windowed cursor over the profile's encoded segments: the
+// replay never holds more than one decoded window per live tenant, and
+// the cursor's churn truncation replaces the materialised path's
+// churnLimit prefix (same cut, streamed).
 type tenantState struct {
 	prof   *Profile
 	ch     *logbuf.Channel
-	idx    int    // next step
-	limit  int    // steps inside the active window (= len(steps) without churn)
+	cur    stepCursor
 	offset uint64 // accumulated contention stalls (shifts the timeline)
 	lags   lagHist
 
@@ -346,9 +364,9 @@ type tenantState struct {
 }
 
 // next returns the adjusted virtual time of the tenant's next step.
-func (ts *tenantState) next() uint64 { return ts.prof.steps[ts.idx].cycle + ts.arrive + ts.offset }
+func (ts *tenantState) next() uint64 { return ts.cur.head().cycle + ts.arrive + ts.offset }
 
-func (ts *tenantState) done() bool { return ts.idx >= ts.limit }
+func (ts *tenantState) done() bool { return ts.cur.done() }
 
 // activeApp is the tenant's app-clock span inside its active window,
 // relative to its own start (the departure truncates a longer run).
@@ -363,7 +381,8 @@ func (ts *tenantState) activeApp() uint64 {
 // churnLimit returns how many leading steps of the profile fall inside the
 // tenant's active window: every step whose shifted cycle is at most the
 // departure cycle. Steps are in non-decreasing cycle order, so the window
-// is a prefix.
+// is a prefix. The streaming replay applies the same cut inside
+// stepCursor.fill; this materialised form remains the test tier's oracle.
 func churnLimit(steps []step, arrive, depart uint64) int {
 	if depart == 0 {
 		return len(steps)
@@ -457,6 +476,7 @@ type replayArena struct {
 	channels []*logbuf.Channel
 	warmth   warmthModel
 	scratch  *logbuf.Channel // retire()'s dedicated-core replays
+	ring     windowRing      // decoded-step window buffers, recycled across replays
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(replayArena) }}
@@ -479,6 +499,7 @@ type replayer struct {
 	agenda   []int // tenant indices in arrival order (churn only)
 	arrivals int   // agenda cursor
 	arena    *replayArena
+	ring     *windowRing // decoded-step windows (arena-backed on the batched path)
 }
 
 func replayMode(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64), mode Dispatch) (*PoolResult, error) {
@@ -538,9 +559,12 @@ func (r *replayer) setup(profiles []*Profile) error {
 		r.cores = a.cores[:0]
 		r.busy = a.busy
 		r.warmth = &a.warmth
+		r.ring = &a.ring
 	} else {
 		r.states = make([]tenantState, n)
+		r.ring = &windowRing{}
 	}
+	r.ring.reset(r.pool.stepWindow())
 	for i, p := range profiles {
 		if err := p.Tenant.validateWindow(); err != nil {
 			return err
@@ -562,10 +586,10 @@ func (r *replayer) setup(profiles []*Profile) error {
 		r.states[i] = tenantState{
 			prof:   p,
 			ch:     ch,
-			limit:  churnLimit(p.steps, arrive, depart),
 			arrive: arrive,
 			depart: depart,
 		}
+		r.states[i].cur.open(p.tl, r.ring.get(), arrive, depart)
 	}
 	r.views = r.pool.tenantViewsInto(r.views, n)
 	for i := range r.states {
@@ -656,17 +680,25 @@ func (r *replayer) retire(ti int) {
 	}
 	ts.appFinal = ts.arrive + ts.activeApp() + ts.offset
 	ts.releaseWall = ts.ch.Finish(ts.appFinal)
-	steps := ts.prof.steps[:ts.limit]
+	// Replay the truncated window on a dedicated channel through a fresh
+	// cursor over the same encoded timeline (the cursor's churn truncation
+	// is exactly the prefix the merge just exhausted), drawing the scratch
+	// window from the ring and recycling both it and the retired tenant's
+	// own window — departures free their decoded state for later arrivals.
+	var cur stepCursor
+	cur.open(ts.prof.tl, r.ring.get(), ts.arrive, ts.depart)
 	if a := r.arena; a != nil {
 		if a.scratch == nil {
 			a.scratch = logbuf.New(ts.ch.Config())
 		} else {
 			a.scratch.Reset(ts.ch.Config())
 		}
-		ts.dedicated = dedicatedWallOn(a.scratch, steps, ts.activeApp())
+		ts.dedicated = dedicatedWallOn(a.scratch, &cur, ts.activeApp())
 	} else {
-		ts.dedicated = dedicatedWall(steps, ts.ch.Config(), ts.activeApp())
+		ts.dedicated = dedicatedWallOn(logbuf.New(ts.ch.Config()), &cur, ts.activeApp())
 	}
+	cur.close(r.ring)
+	ts.cur.close(r.ring)
 	ts.released = true
 	r.views[ti].Absent = true
 	r.warmth.release(ti)
@@ -764,8 +796,8 @@ func (r *replayer) runPerRecord() error {
 			return nil
 		}
 		ts := &r.states[ti]
-		s := ts.prof.steps[ts.idx]
-		ts.idx++
+		s := ts.cur.head()
+		ts.cur.advance()
 		now := s.cycle + ts.arrive + ts.offset
 		if r.arrivals < len(r.agenda) {
 			r.flipArrivals(now)
@@ -840,22 +872,22 @@ func (r *replayer) runBatched() error {
 		}
 		ts := &r.states[ti]
 		v := &views[ti]
-		steps, arrive := ts.prof.steps, ts.arrive // immutable across the run
+		cur, arrive := &ts.cur, ts.arrive // arrive immutable across the run
 		if r.batch != nil {
 			if warmBatch {
 				r.refresh(ti)
 			}
 			r.batch.BeginRun(ti, cores, views)
 		}
-		for !ts.done() {
-			s := steps[ts.idx]
+		for !cur.done() {
+			s := cur.head()
 			now := s.cycle + arrive + ts.offset
 			// The runner-up overtakes (or ties with a lower index): back
 			// to the merge scan.
 			if j2 >= 0 && (now > t2 || (now == t2 && j2 < ti)) {
 				break
 			}
-			ts.idx++
+			cur.advance()
 			if r.arrivals < len(r.agenda) && r.flipArrivals(now) && r.batch != nil {
 				// The live-tenant set changed mid-run; rank snapshots
 				// taken at BeginRun are stale, so start a new run in
@@ -1064,6 +1096,14 @@ func (r *replayer) finish() *PoolResult {
 	res.MeanSlowdown /= float64(len(r.states))
 	res.MeanContentionX /= float64(len(r.states))
 	res.PeakConcurrency = peakConcurrency(starts, ends)
+
+	// Return every decoded window to the ring (retired tenants already
+	// did) and drop the cursors' sources, so an arena-held state never
+	// retains a window or a reference into a memoized profile's segments
+	// beyond the replay.
+	for i := range r.states {
+		r.states[i].cur.close(r.ring)
+	}
 
 	var totalBusy uint64
 	for _, b := range r.busy {

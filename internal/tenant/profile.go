@@ -10,7 +10,9 @@ import (
 
 // drainMark distinguishes a syscall-containment step from a record step
 // in a timeline. Record sizes are bounded far below it (a record is at
-// most a few hundred compressed bits).
+// most a few hundred compressed bits); the capture boundary enforces that
+// bound explicitly (see the width contract in timeline.go) instead of
+// trusting it.
 const drainMark = ^uint32(0)
 
 // step is one timed entry of a tenant's uncontended timeline: a produced
@@ -26,10 +28,13 @@ type step struct {
 // Profile is a tenant's uncontended LBA execution: the production
 // timeline plus everything timing-independent. Profiles are shared
 // through the engine's memoization cache and must be treated as
-// immutable — replay reads them concurrently.
+// immutable — replay reads them concurrently. The timeline is held in
+// its compact segment encoding (see timeline.go), not as a live []step:
+// the memo cache stays O(encoded bytes) and replay decodes through
+// bounded windows.
 type Profile struct {
 	Tenant Tenant
-	steps  []step
+	tl     Timeline
 	// Result is the uncontended LBA run (functional outcome, app cycles
 	// without transport stalls, lifeguard busy cycles, log volume). Its
 	// WallCycles are app-only: the channel is applied at replay time.
@@ -44,19 +49,61 @@ type Profile struct {
 }
 
 // Steps reports the timeline length (records + drain points).
-func (p *Profile) Steps() int { return len(p.steps) }
+func (p *Profile) Steps() int {
+	if p.tl == nil {
+		return 0
+	}
+	return p.tl.Len()
+}
 
-// recorder implements core.TransportObserver by appending steps.
+// TimelineBytes reports the resident size of the timeline's encoded form
+// (16 B/step for a materialised slice timeline, typically ~3 B/step for
+// the segment encoding, 0 for generator-backed synthetic timelines).
+func (p *Profile) TimelineBytes() int {
+	switch t := p.tl.(type) {
+	case nil:
+		return 0
+	case *segTimeline:
+		return t.EncodedBytes()
+	case sliceTimeline:
+		return len(t) * 16
+	default:
+		return 0
+	}
+}
+
+// recorder implements core.TransportObserver by encoding steps into
+// timeline segments as they arrive. The observer interface cannot return
+// errors, so width-contract violations latch into err and profiling fails
+// when buildProfile checks it: a record whose compressed size reached
+// drainMark would otherwise be misread as a syscall drain at replay, and
+// an over-wide cost would silently wrap (the bug this replaces narrowed
+// both with unchecked uint32 conversions).
 type recorder struct {
-	steps []step
+	enc timelineEncoder
+	err error
 }
 
 func (r *recorder) Record(appCycle, bits, lgCost uint64) {
-	r.steps = append(r.steps, step{cycle: appCycle, bits: uint32(bits), cost: uint32(lgCost)})
+	if r.err != nil {
+		return
+	}
+	if bits > maxStepBits {
+		r.err = fmt.Errorf("tenant: record at app cycle %d is %d bits; the step encoding carries at most %d (drain sentinel reserved)", appCycle, bits, maxStepBits)
+		return
+	}
+	if lgCost > maxStepCost {
+		r.err = fmt.Errorf("tenant: record at app cycle %d costs %d lifeguard cycles; the step encoding carries at most %d", appCycle, lgCost, maxStepCost)
+		return
+	}
+	r.err = r.enc.append(step{cycle: appCycle, bits: uint32(bits), cost: uint32(lgCost)})
 }
 
 func (r *recorder) Syscall(appCycle uint64) {
-	r.steps = append(r.steps, step{cycle: appCycle, bits: drainMark})
+	if r.err != nil {
+		return
+	}
+	r.err = r.enc.append(step{cycle: appCycle, bits: drainMark})
 }
 
 // buildProfile runs one tenant uncontended and packages its timeline.
@@ -71,12 +118,69 @@ func buildProfile(t Tenant, base *core.Result) (*Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tenant %q: %w", t.Name, err)
 	}
+	if rec.err != nil {
+		return nil, fmt.Errorf("tenant %q: %w", t.Name, rec.err)
+	}
+	tl := rec.enc.finish()
 	return &Profile{
 		Tenant:        t,
-		steps:         rec.steps,
+		tl:            tl,
 		Result:        res,
 		Base:          base,
-		DedicatedWall: dedicatedWall(rec.steps, t.Config.Channel, res.AppCycles),
+		DedicatedWall: dedicatedWall(tl, t.Config.Channel, res.AppCycles),
+	}, nil
+}
+
+// SyntheticStep is one generated entry of a synthetic timeline: either a
+// record (Bits, Cost) or a syscall drain point. Cycles must be
+// non-decreasing in the index and Bits/Cost must respect the step width
+// contract; NewSyntheticProfile validates both.
+type SyntheticStep struct {
+	Cycle uint64
+	Bits  uint64
+	Cost  uint64
+	Drain bool
+}
+
+// NewSyntheticProfile wraps a generator-backed timeline in a Profile the
+// replay accepts: gen(i) yields step i, n is the timeline length, pad is
+// the application slack after the last step. gen must be a pure function
+// of i — the timeline is re-generated on every traversal, which is what
+// lets an arbitrarily long synthetic tenant occupy O(1) resident memory
+// (the bench CLI's streaming section and the 100M-step memory assertion
+// are built on this). The single validation pass here also derives the
+// aggregate counters the result invariants check against.
+func NewSyntheticProfile(name string, n int, pad uint64, gen func(i int) SyntheticStep) (*Profile, error) {
+	var records, logBits, cost, last uint64
+	for i := 0; i < n; i++ {
+		g := gen(i)
+		if g.Cycle < last {
+			return nil, fmt.Errorf("tenant: synthetic step %d at cycle %d precedes step %d at cycle %d", i, g.Cycle, i-1, last)
+		}
+		last = g.Cycle
+		if g.Drain {
+			continue
+		}
+		if g.Bits > maxStepBits {
+			return nil, fmt.Errorf("tenant: synthetic step %d is %d bits; the step encoding carries at most %d", i, g.Bits, maxStepBits)
+		}
+		if g.Cost > maxStepCost {
+			return nil, fmt.Errorf("tenant: synthetic step %d costs %d; the step encoding carries at most %d", i, g.Cost, maxStepCost)
+		}
+		records++
+		logBits += g.Bits
+		cost += g.Cost
+	}
+	appCycles := last + pad
+	cfg := core.DefaultConfig()
+	tl := &genTimeline{n: n, gen: gen}
+	return &Profile{
+		Tenant: Tenant{Name: name, Benchmark: "synthetic", Config: cfg},
+		tl:     tl,
+		Result: &core.Result{AppCycles: appCycles, WallCycles: appCycles,
+			Records: records, LogBits: logBits, LgCycles: cost},
+		Base:          &core.Result{WallCycles: appCycles + 1},
+		DedicatedWall: dedicatedWall(tl, cfg.Channel, appCycles),
 	}, nil
 }
 
@@ -85,16 +189,23 @@ func buildProfile(t Tenant, base *core.Result) (*Profile, error) {
 // It is the single-tenant special case of the pool replay: floor 0 and a
 // one-core pool are equivalent because a lone channel's in-order
 // consumption (lastFinish) already serialises its records.
-func dedicatedWall(steps []step, cfg logbuf.Config, appCycles uint64) uint64 {
-	return dedicatedWallOn(logbuf.New(cfg), steps, appCycles)
+func dedicatedWall(tl Timeline, cfg logbuf.Config, appCycles uint64) uint64 {
+	var cur stepCursor
+	cur.open(tl, make([]step, DefaultStepWindow), 0, 0)
+	return dedicatedWallOn(logbuf.New(cfg), &cur, appCycles)
 }
 
-// dedicatedWallOn is dedicatedWall against a caller-supplied channel,
-// already configured (or Reset) for the tenant. The replay arena uses it
-// so mid-replay retirements do not allocate a channel per departure.
-func dedicatedWallOn(ch *logbuf.Channel, steps []step, appCycles uint64) uint64 {
+// dedicatedWallOn is dedicatedWall against a caller-supplied channel and
+// cursor, already configured (or Reset/opened) for the tenant. The replay
+// arena uses it so mid-replay retirements allocate neither a channel nor
+// a window per departure; the cursor's churn truncation is what replays a
+// departed tenant's window exactly (raw step cycles — arrive shifts only
+// the truncation point, not the dedicated clock).
+func dedicatedWallOn(ch *logbuf.Channel, cur *stepCursor, appCycles uint64) uint64 {
 	var offset uint64
-	for _, s := range steps {
+	for !cur.done() {
+		s := cur.head()
+		cur.advance()
 		now := s.cycle + offset
 		if s.bits == drainMark {
 			offset += ch.Drain(now)

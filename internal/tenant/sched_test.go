@@ -527,7 +527,7 @@ func TestEmptyTimelineTenantInvisible(t *testing.T) {
 		}
 		real[i] = &Profile{
 			Tenant:        Tenant{Name: "real", Benchmark: "synthetic", Config: core.DefaultConfig()},
-			steps:         steps,
+			tl:            encodedTimeline(steps),
 			Result:        &core.Result{AppCycles: 10_000, Records: 200, LogBits: 200 * 64},
 			Base:          &core.Result{WallCycles: 10_000},
 			DedicatedWall: 10_000,

@@ -7,6 +7,18 @@ import (
 	"repro/internal/core"
 )
 
+// encodedTimeline packs hand-built steps into the production segment
+// encoding, so every synthetic test exercises the streaming decode path
+// the real profiles replay through (the differential tier separately
+// pins it byte-identical to the materialised sliceTimeline oracle).
+func encodedTimeline(steps []step) Timeline {
+	tl, err := encodeSteps(steps, 0)
+	if err != nil {
+		panic(err)
+	}
+	return tl
+}
+
 // synthProfile wraps a hand-built timeline in a Profile the replay
 // accepts, deriving the aggregate counters the result invariants check
 // against. pad is the application slack after the last step.
@@ -25,13 +37,14 @@ func synthProfile(name string, steps []step, pad uint64) *Profile {
 	}
 	appCycles := last + pad
 	cfg := core.DefaultConfig()
+	tl := encodedTimeline(steps)
 	return &Profile{
 		Tenant: Tenant{Name: name, Benchmark: "synthetic", Config: cfg},
-		steps:  steps,
+		tl:     tl,
 		Result: &core.Result{AppCycles: appCycles, WallCycles: appCycles,
 			Records: records, LogBits: logBits, LgCycles: cost},
 		Base:          &core.Result{WallCycles: appCycles + 1},
-		DedicatedWall: dedicatedWall(steps, cfg.Channel, appCycles),
+		DedicatedWall: dedicatedWall(tl, cfg.Channel, appCycles),
 	}
 }
 

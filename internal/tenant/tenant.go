@@ -25,6 +25,17 @@
 // byte-identical to the serial reference run — the same contract the
 // experiment runner gives figure matrices.
 //
+// The timeline between the stages is streamed, never materialised: the
+// profiling recorder delta-encodes steps into fixed-size varint
+// segments (~3 B/step, validating the 32-bit width contract at the
+// capture boundary), and every replay path decodes them through a
+// bounded window of PoolConfig.StepWindow steps drawn from a recycled
+// buffer ring — so peak replay memory is O(tenants x window),
+// independent of timeline length, while any window size reproduces the
+// materialised replay byte for byte. See docs/architecture.md (From
+// []step to segments and windows) and docs/performance.md (Streaming
+// bounded-window replay).
+//
 // # Scheduling
 //
 // The replay's record-to-core assignment is a pluggable policy behind the
