@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench harness fmt vet docs ci
+.PHONY: build test race fuzz bench harness fmt vet docs daemon-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/tenant/...
+	$(GO) test -race -count=1 ./internal/serve
 	$(GO) test -race -count=1 -run 'TestSched|TestReplayInvariants|TestPlanAdmission|TestWFQ|TestPriority|TestDeadline|TestAffinity|TestChurn|TestPropertyBisection|TestApplyChurn|TestPeakConcurrency|TestSharded|TestShardPlan|TestStreaming|TestTimelineRoundTrip|TestStepCursorWindows|TestWindowRingRecycle|TestRecorderWidthContract' ./internal/tenant
 
 fuzz:
@@ -30,7 +31,7 @@ docs:
 		echo "example files need gofmt:" >&2; echo "$$diff" >&2; exit 1; \
 	fi
 	@missing=0; \
-	for doc in docs/architecture.md docs/performance.md docs/harness.md; do \
+	for doc in docs/architecture.md docs/performance.md docs/harness.md docs/daemon.md; do \
 	for pkg in $$(grep -oE '(internal|cmd)/[a-z0-9/]+' $$doc | sed 's:/$$::' | sort -u); do \
 		if [ ! -d "$$pkg" ] && [ ! -f "$$pkg" ]; then \
 			echo "$$doc references missing package: $$pkg" >&2; missing=1; \
@@ -39,8 +40,9 @@ docs:
 	@grep -q 'docs/architecture.md' README.md
 	@grep -q 'docs/performance.md' README.md
 	@grep -q 'docs/harness.md' README.md
+	@grep -q 'docs/daemon.md' README.md
 	@$(GO) doc ./internal/tenant | grep -qi 'scheduler'
-	@for doc in docs/performance.md docs/harness.md; do \
+	@for doc in docs/performance.md docs/harness.md docs/daemon.md; do \
 	awk '/^```go$$/{buf="package docsnippet\n\n"; in_go=1; next} \
 		/^```$$/{if (in_go) {printf "%s", buf > "/tmp/docsnippet.go"; close("/tmp/docsnippet.go"); \
 		if (system("gofmt /tmp/docsnippet.go > /tmp/docsnippet.fmt && cmp -s /tmp/docsnippet.go /tmp/docsnippet.fmt") != 0) \
@@ -73,4 +75,31 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race docs fuzz bench harness
+# The lbad daemon end to end: start it against a scratch data dir, admit
+# two suite tenants and evict one through the admin CLI, read the status
+# endpoints, then SIGTERM it and require a clean exit and a non-empty
+# audit log.
+daemon-smoke:
+	$(GO) build -o /tmp/lbad-smoke-bin ./cmd/lbad
+	@set -e; \
+	DATA=$$(mktemp -d); ADDR=127.0.0.1:8391; \
+	/tmp/lbad-smoke-bin -addr $$ADDR -data $$DATA -pool 2 -slo 10 -scale 20000 & \
+	PID=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$$ADDR/v1/pool > /dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	/tmp/lbad-smoke-bin admit -addr $$ADDR; \
+	/tmp/lbad-smoke-bin admit -addr $$ADDR; \
+	/tmp/lbad-smoke-bin status -addr $$ADDR; \
+	curl -sf http://$$ADDR/v1/tenants | grep -q '"state": "admitted"'; \
+	curl -sf http://$$ADDR/v1/metrics | grep -q '^lbad_admitted_total 2$$'; \
+	/tmp/lbad-smoke-bin evict -addr $$ADDR 1; \
+	kill -TERM $$PID; \
+	wait $$PID; \
+	test -s $$DATA/audit.jsonl; \
+	grep -q '"op":"admit"' $$DATA/audit.jsonl; \
+	grep -q '"op":"evict"' $$DATA/audit.jsonl; \
+	rm -rf $$DATA /tmp/lbad-smoke-bin; \
+	echo "daemon-smoke: OK"
+
+ci: fmt vet build test race docs fuzz bench harness daemon-smoke

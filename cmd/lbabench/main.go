@@ -97,6 +97,7 @@ func run(args []string, out io.Writer) error {
 		migration  = fs.Uint64("migration", 0, "migration penalty in cycles for serving a record on a cold core (0 = model off)")
 		churn      = fs.Float64("churn", 0, "tenant churn rate for a single cell: arrival spacing in tenant lifetimes (0 = fixed set; the churn figure sweeps rates itself)")
 		shards     = fs.Int("shards", 0, "partition a single cell's pool into K sub-pools replayed in parallel (0/1 = unsharded)")
+		window     = fs.Int("window", 0, "single cell: replay decode window in steps (0 = the "+fmt.Sprint(tenant.DefaultStepWindow)+"-step default)")
 		seeds      = fs.Int("seeds", 1, "workload-seed replications for the churn figure's admission confidence bands")
 		bench      = fs.String("bench", "", "replay — time the batched replay fast path against the per-record oracle (with -json, writes the lba-bench-replay/v1 report)")
 		diffSchema = fs.String("diff-schema", "", "with -bench: diff the fresh report's JSON key paths against this committed trajectory file (exits non-zero on drift)")
@@ -119,6 +120,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *shards < 0 || *shards > *pool {
 		return fmt.Errorf("-shards must be in 0..pool (%d cores), got %d", *pool, *shards)
+	}
+	if *window < 0 {
+		return fmt.Errorf("-window must be >= 0 decode steps (0 selects the %d-step default), got %d", tenant.DefaultStepWindow, *window)
 	}
 	if err := tenant.ValidPolicy(*sched); err != nil {
 		return err
@@ -193,6 +197,12 @@ func run(args []string, out io.Writer) error {
 			if !cellMode {
 				conflict = fmt.Errorf("-shards only applies with -tenants N (single multi-tenant cell)")
 			}
+		case "window":
+			// Same reasoning: the figures' artifacts pin the default decode
+			// window, so an explicit -window is a single-cell knob.
+			if !cellMode {
+				conflict = fmt.Errorf("-window only applies with -tenants N (single multi-tenant cell)")
+			}
 		case "seeds":
 			if !churnFig {
 				conflict = fmt.Errorf("-seeds only applies with -fig churn (confidence bands for the admission search)")
@@ -208,7 +218,8 @@ func run(args []string, out io.Writer) error {
 		eng:     runner.New(*workers),
 		metrics: map[string]float64{},
 		basePool: tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
-			DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards},
+			DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards,
+			StepWindow: *window},
 		churnRate: *churn,
 		seeds:     *seeds,
 	}

@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		churn     = fs.Float64("churn", 0, "tenant churn rate: arrival spacing in units of the workload scale (0 = fixed set)")
 		seeds     = fs.Int("seeds", 1, "replicate the pool cell across N workload seeds and report the band")
 		shards    = fs.Int("shards", 0, "partition the pool into K sub-pools replayed in parallel (0/1 = unsharded)")
+		window    = fs.Int("window", 0, "replay decode window in steps (0 = the "+fmt.Sprint(tenant.DefaultStepWindow)+"-step default)")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +129,9 @@ func run(args []string, out io.Writer) error {
 		if *seeds < 1 {
 			return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
 		}
+		if *window < 0 {
+			return fmt.Errorf("-window must be >= 0 decode steps (0 selects the %d-step default), got %d", tenant.DefaultStepWindow, *window)
+		}
 		if err := (tenant.Churn{Rate: *churn}).Validate(); err != nil {
 			return err
 		}
@@ -136,12 +140,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cfg := tenant.PoolConfig{Cores: *pool, Policy: *sched, Weights: wts,
-			DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards}
+			DeadlineCycles: *deadline, MigrationPenalty: *migration, Shards: *shards,
+			StepWindow: *window}
 		return runTenants(out, *tenants, cfg, *scale, *seed, *threads, *churn, *seeds)
 	default:
 		// Mirror image: pool flags only mean something with -tenants.
 		var err error
-		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true, "churn": true, "seeds": true, "shards": true}
+		conflicting := map[string]bool{"pool": true, "sched": true, "weights": true, "deadline": true, "migration": true, "churn": true, "seeds": true, "shards": true, "window": true}
 		fs.Visit(func(f *flag.Flag) {
 			if conflicting[f.Name] && err == nil {
 				err = fmt.Errorf("-%s only applies with -tenants N", f.Name)

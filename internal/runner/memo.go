@@ -39,15 +39,31 @@ type memoEntry[V any] struct {
 type Memo[V any] struct {
 	mu    sync.Mutex
 	cache map[string]*memoEntry[V]
-	order []string // keys in first-claim order, for deterministic snapshots
+	// order holds the cached keys: first-claim order when the table is
+	// unbounded (the deterministic snapshot the Engine's report relies
+	// on), least-recently-used first when bounded (hits move keys to the
+	// back, so the front is always the eviction candidate).
+	order []string
+	limit int // > 0 caps len(cache); <= 0 is unbounded
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
 
-// NewMemo returns an empty table.
+// NewMemo returns an empty unbounded table.
 func NewMemo[V any]() *Memo[V] {
 	return &Memo[V]{cache: make(map[string]*memoEntry[V])}
+}
+
+// NewMemoBounded returns an empty table that retains at most limit
+// completed entries, evicting the least recently used once the cap is
+// exceeded — the churn-safe variant for caches whose key population is
+// open-ended (a serving daemon's tenant profiles, say) rather than a
+// fixed experiment matrix. In-flight computations are never evicted, so
+// the table can transiently exceed the cap by the number of concurrent
+// first claims. limit <= 0 means unbounded, identical to NewMemo.
+func NewMemoBounded[V any](limit int) *Memo[V] {
+	return &Memo[V]{cache: make(map[string]*memoEntry[V]), limit: limit}
 }
 
 // Do returns the memoized value for key, computing it with fn on first
@@ -60,6 +76,7 @@ func (m *Memo[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, 
 	}
 	m.mu.Lock()
 	if ent, ok := m.cache[key]; ok {
+		m.touchLocked(key)
 		m.mu.Unlock()
 		m.hits.Add(1)
 		select {
@@ -77,7 +94,54 @@ func (m *Memo[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, 
 	m.misses.Add(1)
 	ent.val, ent.err = fn()
 	close(ent.done)
+
+	if m.limit > 0 {
+		m.mu.Lock()
+		m.evictLocked()
+		m.mu.Unlock()
+	}
 	return ent.val, ent.err
+}
+
+// touchLocked moves key to the back of the recency order. Unbounded
+// tables skip it so their order stays the deterministic first-claim
+// snapshot.
+func (m *Memo[V]) touchLocked(key string) {
+	if m.limit <= 0 {
+		return
+	}
+	for i, k := range m.order {
+		if k == key {
+			copy(m.order[i:], m.order[i+1:])
+			m.order[len(m.order)-1] = key
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// table is back under its cap. Entries still in flight are skipped —
+// their waiters hold the entry pointer, and evicting an unfinished
+// computation would let an equal key run twice concurrently.
+func (m *Memo[V]) evictLocked() {
+	for len(m.cache) > m.limit {
+		evicted := false
+		for i, key := range m.order {
+			ent := m.cache[key]
+			select {
+			case <-ent.done:
+			default:
+				continue
+			}
+			delete(m.cache, key)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything over the cap is in flight; retry on the next Do
+		}
+	}
 }
 
 // Peek returns the completed value for key without blocking; ok is false
@@ -101,12 +165,24 @@ func (m *Memo[V]) Peek(key string) (V, bool) {
 	return ent.val, true
 }
 
-// Keys returns the cached keys in first-claim order.
+// Keys returns the cached keys — in first-claim order for an unbounded
+// table, least-recently-used first for a bounded one.
 func (m *Memo[V]) Keys() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]string(nil), m.order...)
 }
+
+// Len reports how many entries the table currently holds (including
+// in-flight computations).
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}
+
+// Limit reports the retention cap; 0 or less means unbounded.
+func (m *Memo[V]) Limit() int { return m.limit }
 
 // Hits reports how many Do calls were served from the cache (including
 // waits on an in-flight computation).

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestMemoBoundedEvictsLRU pins the bounded table's contract: the cap
+// holds, the least-recently-used key is the one evicted, and a hit
+// refreshes recency.
+func TestMemoBoundedEvictsLRU(t *testing.T) {
+	ctx := context.Background()
+	m := NewMemoBounded[int](2)
+	val := func(v int) func() (int, error) {
+		return func() (int, error) { return v, nil }
+	}
+	for i, key := range []string{"a", "b"} {
+		if got, _ := m.Do(ctx, key, val(i)); got != i {
+			t.Fatalf("Do(%q) = %d, want %d", key, got, i)
+		}
+	}
+	// Refresh "a", then insert "c": "b" is now the LRU entry and must be
+	// the one to go.
+	if _, err := m.Do(ctx, "a", val(-1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do(ctx, "c", val(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != 2 {
+		t.Fatalf("Len = %d, want the cap of 2", got)
+	}
+	if _, ok := m.Peek("b"); ok {
+		t.Error("LRU key b survived eviction")
+	}
+	if _, ok := m.Peek("a"); !ok {
+		t.Error("recently-hit key a was evicted")
+	}
+	// A re-Do of the evicted key is a miss: its function runs again.
+	misses := m.Misses()
+	if got, _ := m.Do(ctx, "b", val(7)); got != 7 {
+		t.Fatalf("recomputed b = %d, want 7", got)
+	}
+	if m.Misses() != misses+1 {
+		t.Error("re-Do of an evicted key did not recompute")
+	}
+}
+
+// TestMemoBoundedStaysBounded is the growth bound itself: a churning key
+// population never pushes the table past its cap.
+func TestMemoBoundedStaysBounded(t *testing.T) {
+	ctx := context.Background()
+	const limit = 8
+	m := NewMemoBounded[int](limit)
+	for i := 0; i < 10*limit; i++ {
+		if _, err := m.Do(ctx, fmt.Sprintf("k%d", i), func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Len(); got > limit {
+			t.Fatalf("after %d inserts Len = %d, cap is %d", i+1, got, limit)
+		}
+	}
+	if got := len(m.Keys()); got != limit {
+		t.Fatalf("Keys reports %d entries, want %d", got, limit)
+	}
+}
+
+// TestMemoBoundedNeverEvictsInFlight: an unfinished computation survives
+// the cap (its waiters hold the entry), and single-flight semantics are
+// preserved across a concurrent eviction pass.
+func TestMemoBoundedNeverEvictsInFlight(t *testing.T) {
+	ctx := context.Background()
+	m := NewMemoBounded[int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	got := make(chan int, 1)
+	go func() {
+		v, _ := m.Do(ctx, "slow", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		got <- v
+	}()
+	<-started
+	// This insert overflows the cap while "slow" is in flight; eviction
+	// must take the completed entry, not the running one.
+	if _, err := m.Do(ctx, "fast", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if v := <-got; v != 42 {
+		t.Fatalf("in-flight computation returned %d, want 42", v)
+	}
+	// A second Do on the slow key while it was in flight would have
+	// shared the entry; after completion it is either cached or a clean
+	// recompute — never a corrupt slot.
+	if v, _ := m.Do(ctx, "slow", func() (int, error) { return 42, nil }); v != 42 {
+		t.Fatalf("post-flight Do = %d, want 42", v)
+	}
+}
+
+// TestMemoUnboundedOrderIsFirstClaim pins the pre-existing contract the
+// Engine report depends on: without a cap, hits do not reorder Keys and
+// nothing is ever evicted.
+func TestMemoUnboundedOrderIsFirstClaim(t *testing.T) {
+	ctx := context.Background()
+	m := NewMemo[int]()
+	for i, key := range []string{"x", "y", "z"} {
+		if _, err := m.Do(ctx, key, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Do(ctx, "x", func() (int, error) { return -1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	keys := m.Keys()
+	want := []string{"x", "y", "z"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want first-claim order %v", keys, want)
+		}
+	}
+	if m.Limit() != 0 {
+		t.Errorf("unbounded Limit = %d, want 0", m.Limit())
+	}
+}

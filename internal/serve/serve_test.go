@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tenant"
+)
+
+// testConfig is a fast daemon shape: small workloads, a generous SLO so
+// admissions succeed, and a tight cap so capacity rejections are cheap
+// to reach.
+func testConfig() Config {
+	return Config{
+		Pool:       tenant.PoolConfig{Cores: 2, Policy: tenant.PolicyLeastLag},
+		SLO:        10,
+		Scale:      20_000,
+		Threads:    2,
+		MaxTenants: 4,
+		Workers:    2,
+	}
+}
+
+func startServer(t *testing.T, cfg Config, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg, dir)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func waitIdle(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	if err := srv.LastError(); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+}
+
+// TestLifecycle drives the full admit -> status -> evict arc over HTTP
+// and checks the live metrics at each step.
+func TestLifecycle(t *testing.T) {
+	srv, ts := startServer(t, testConfig(), t.TempDir())
+	defer srv.Shutdown(context.Background())
+
+	// Admit two suite tenants; each response carries the live decision.
+	var admitted []AdmitResponse
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/tenants", "")
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("admit %d: status %d, want 201", i, resp.StatusCode)
+		}
+		ar := decode[AdmitResponse](t, resp)
+		if ar.Tenant.ID != i+1 {
+			t.Errorf("admit %d: id %d, want %d", i, ar.Tenant.ID, i+1)
+		}
+		if ar.Admission.MaxTenants < i+1 {
+			t.Errorf("admit %d: admitted but band says max %d", i, ar.Admission.MaxTenants)
+		}
+		if ar.Admission.Population != i {
+			t.Errorf("admit %d: band population %d, want %d", i, ar.Admission.Population, i)
+		}
+		admitted = append(admitted, ar)
+	}
+	// The two suite draws must be the suite's first two benchmarks in
+	// order — the planner's candidate populations and the live set are
+	// the same sequence.
+	if admitted[0].Tenant.Name == admitted[1].Tenant.Name {
+		t.Errorf("both draws admitted %q; round-robin should advance", admitted[0].Tenant.Name)
+	}
+
+	waitIdle(t, srv)
+
+	// Status: both tenants live, with replay-backed metrics.
+	var tl struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl = decode[struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}](t, resp)
+	if len(tl.Tenants) != 2 {
+		t.Fatalf("live tenants = %d, want 2", len(tl.Tenants))
+	}
+	for _, ten := range tl.Tenants {
+		if ten.State != "admitted" {
+			t.Errorf("tenant %d state %q, want admitted", ten.ID, ten.State)
+		}
+		if ten.Slowdown == nil || ten.Contention == nil {
+			t.Errorf("tenant %d has no replay metrics after WaitIdle", ten.ID)
+		} else if *ten.Contention < 1 {
+			t.Errorf("tenant %d contention %.2f < 1", ten.ID, *ten.Contention)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := decode[PoolStatus](t, resp)
+	if pool.LiveTenants != 2 || !pool.Fresh || pool.Replays == 0 {
+		t.Errorf("pool status = %+v; want 2 live, fresh, >= 1 replay", pool)
+	}
+	if pool.Utilisation <= 0 || pool.MakespanCycles == 0 {
+		t.Errorf("pool aggregates empty after replay: %+v", pool)
+	}
+
+	// Evict tenant 1: drain-then-release, gone after the next replay.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tenants/1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("evict: status %d, want 202", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	waitIdle(t, srv)
+
+	resp, err = http.Get(ts.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl = decode[struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}](t, resp)
+	if len(tl.Tenants) != 1 || tl.Tenants[0].ID != 2 {
+		t.Fatalf("after evict: %+v, want only tenant 2", tl.Tenants)
+	}
+
+	// Metrics echo the lifecycle.
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"lbad_admitted_total 2", "lbad_evicted_total 1", "lbad_live_tenants 1", "lbad_audit_records 3"} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body.String())
+		}
+	}
+}
+
+// TestAdmissionRejection pins the 409 path: a 1-core pool with a
+// zero-tolerance SLO admits its first tenant (a lone tenant on one core
+// pays no contention) and rejects the second with the bisection band in
+// the body.
+func TestAdmissionRejection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pool.Cores = 1
+	cfg.SLO = 1.0
+	srv, ts := startServer(t, cfg, t.TempDir())
+	defer srv.Shutdown(context.Background())
+
+	if resp := postJSON(t, ts.URL+"/v1/tenants", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first admit: status %d, want 201", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp := postJSON(t, ts.URL+"/v1/tenants", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second admit: status %d, want 409", resp.StatusCode)
+	}
+	er := decode[ErrorResponse](t, resp)
+	if !strings.Contains(er.Error, "admission denied") {
+		t.Errorf("409 error %q does not say admission denied", er.Error)
+	}
+	if er.Admission == nil {
+		t.Fatal("409 body carries no admission band")
+	}
+	if er.Admission.MaxTenants != 1 || er.Admission.TenantsLo != 1 || er.Admission.TenantsHi != 1 {
+		t.Errorf("band = %+v, want max/lo/hi 1", er.Admission)
+	}
+	if er.Admission.SLO != 1.0 {
+		t.Errorf("band SLO = %g, want 1.0", er.Admission.SLO)
+	}
+
+	// The rejection is durable evidence.
+	found := false
+	for _, e := range srv.store.Entries() {
+		if e.Op == "reject" && e.MaxTenants == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no reject entry in the audit log")
+	}
+}
+
+// TestBadRequests pins the 400/404 surfaces.
+func TestBadRequests(t *testing.T) {
+	srv, ts := startServer(t, testConfig(), t.TempDir())
+	defer srv.Shutdown(context.Background())
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodPost, "/v1/tenants", "{not json", http.StatusBadRequest},
+		{http.MethodPost, "/v1/tenants", `{"benchmark":"no-such-benchmark"}`, http.StatusBadRequest},
+		{http.MethodDelete, "/v1/tenants/99", "", http.StatusNotFound},
+		{http.MethodDelete, "/v1/tenants/xyz", "", http.StatusBadRequest},
+		{http.MethodGet, "/v1/nothing", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		var rd *strings.Reader
+		if c.body != "" {
+			rd = strings.NewReader(c.body)
+		} else {
+			rd = strings.NewReader("")
+		}
+		req, err := http.NewRequest(c.method, ts.URL+c.path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestCrashRecovery is the durability arc: admit N tenants, kill the
+// daemon without any shutdown path (the audit log is synced per append,
+// so this is kill -9 as far as the store is concerned), restart on the
+// same directory, and assert the recovered daemon serves the same
+// tenant set, continues the id and draw sequences, and kept the audit
+// log intact.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	srv1, ts1 := startServer(t, cfg, dir)
+
+	var names []string
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts1.URL+"/v1/tenants", "")
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("admit %d: status %d", i, resp.StatusCode)
+		}
+		names = append(names, decode[AdmitResponse](t, resp).Tenant.Name)
+	}
+	// Evict tenant 2 so recovery must fold an eviction too.
+	req, _ := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/tenants/2", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitIdle(t, srv1)
+
+	// Hard kill: no WaitIdle, no store flush, no Shutdown.
+	ts1.Close()
+	srv1.rootCancel()
+	<-srv1.done
+
+	srv2, ts2 := startServer(t, cfg, dir)
+	defer srv2.Shutdown(context.Background())
+	waitIdle(t, srv2)
+
+	var tl struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}
+	gresp, err := http.Get(ts2.URL + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl = decode[struct {
+		Tenants []TenantStatus `json:"tenants"`
+	}](t, gresp)
+	if len(tl.Tenants) != 2 {
+		t.Fatalf("recovered %d tenants, want 2 (admitted 3, evicted 1): %+v", len(tl.Tenants), tl.Tenants)
+	}
+	wantLive := map[int]string{1: names[0], 3: names[2]}
+	for _, ten := range tl.Tenants {
+		if wantLive[ten.ID] != ten.Name {
+			t.Errorf("recovered tenant %d = %q, want %q", ten.ID, ten.Name, wantLive[ten.ID])
+		}
+		if ten.Slowdown == nil {
+			t.Errorf("recovered tenant %d has no replay metrics after WaitIdle", ten.ID)
+		}
+	}
+
+	// The sequences continue: the next admit takes id 4 and suite draw 4,
+	// exactly what the pre-crash daemon would have drawn.
+	wantNext := srv2.drawTenant(3)
+	aresp := postJSON(t, ts2.URL+"/v1/tenants", "")
+	if aresp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-restart admit: status %d", aresp.StatusCode)
+	}
+	ar := decode[AdmitResponse](t, aresp)
+	if ar.Tenant.ID != 4 {
+		t.Errorf("post-restart id = %d, want 4", ar.Tenant.ID)
+	}
+	if ar.Tenant.Name != wantNext.Name {
+		t.Errorf("post-restart draw = %q, want %q (the round-robin must resume, not restart)", ar.Tenant.Name, wantNext.Name)
+	}
+
+	// The audit log carries the whole history: 4 admits + 1 evict.
+	var admits, evicts int
+	for _, e := range srv2.store.Entries() {
+		switch e.Op {
+		case "admit":
+			admits++
+		case "evict":
+			evicts++
+		}
+	}
+	if admits != 4 || evicts != 1 {
+		t.Errorf("audit log has %d admits, %d evicts; want 4 and 1", admits, evicts)
+	}
+}
+
+// TestStoreTornTail pins the kill -9 mid-write case: a final line
+// without its newline is discarded on Open and the log keeps appending
+// cleanly after it.
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(AuditEntry{Op: "admit", TenantID: i + 1, Benchmark: "gzip"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, auditFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"op":"adm`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopening with torn tail: %v", err)
+	}
+	if got := s2.Len(); got != 3 {
+		t.Fatalf("recovered %d entries, want 3 (torn tail dropped)", got)
+	}
+	e, err := s2.Append(AuditEntry{Op: "evict", TenantID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 4 {
+		t.Errorf("post-recovery seq = %d, want 4", e.Seq)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third open: the log parses end to end, 4 entries.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	if got := s3.Len(); got != 4 {
+		t.Errorf("third open recovered %d entries, want 4", got)
+	}
+	s3.Close()
+}
+
+// TestStoreCorruptLine: a malformed line that is not the torn tail is
+// corruption, and Open must refuse rather than silently drop state.
+func TestStoreCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, auditFile)
+	if err := os.WriteFile(path, []byte("{garbage}\n{\"seq\":2,\"op\":\"admit\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt mid-log line")
+	}
+}
+
+// TestServerConfigValidation pins the startup rejections.
+func TestServerConfigValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		why    string
+	}{
+		{func(c *Config) { c.SLO = 0.5 }, "an SLO below 1 can never be met"},
+		{func(c *Config) { c.Pool.Cores = -1 }, "a negative pool cannot serve"},
+		{func(c *Config) { c.Pool.Policy = "no-such-policy" }, "unknown schedulers are rejected"},
+		{func(c *Config) { c.MaxTenants = -2 }, "a negative cap is meaningless"},
+		{func(c *Config) { c.Pool.StepWindow = -1 }, "negative decode windows are rejected at the daemon boundary"},
+	}
+	for _, c := range cases {
+		cfg := testConfig()
+		c.mutate(&cfg)
+		srv, err := New(cfg, t.TempDir())
+		if err == nil {
+			srv.Shutdown(context.Background())
+			t.Errorf("config accepted; want rejection (%s)", c.why)
+		}
+	}
+}
+
+// TestReplayCancelledOnMembershipChange: a second admission mid-replay
+// cancels the in-flight replay (counted in metrics) and the daemon
+// converges on the two-tenant population.
+func TestReplayCancelledOnMembershipChange(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 60_000
+	srv, ts := startServer(t, cfg, t.TempDir())
+	defer srv.Shutdown(context.Background())
+
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/tenants", "")
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("admit %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	waitIdle(t, srv)
+	srv.mu.Lock()
+	live, gen := len(srv.live), srv.resultGen
+	srv.mu.Unlock()
+	if live != 2 {
+		t.Fatalf("live = %d, want 2", live)
+	}
+	if gen == 0 {
+		t.Fatal("no replay generation recorded")
+	}
+	// Whether the first replay finished before the second admission is
+	// timing-dependent; what must hold is convergence (WaitIdle) and the
+	// final result covering both tenants.
+	srv.mu.Lock()
+	rows := len(srv.lastResult.Tenants)
+	srv.mu.Unlock()
+	if rows != 2 {
+		t.Fatalf("final result covers %d tenants, want 2", rows)
+	}
+}

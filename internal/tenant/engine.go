@@ -18,6 +18,14 @@ type Engine struct {
 	profiles *runner.Memo[*Profile]
 }
 
+// DefaultProfileCache bounds the engine's profile memo: under tenant
+// churn the key population is open-ended (every admitted tenant is a new
+// key), so an unbounded cache grows without limit in a long-lived
+// process. 1024 retained profiles cover any realistic live population
+// and matrix sweep while keeping a serving daemon's footprint flat;
+// SetProfileCacheLimit adjusts it.
+const DefaultProfileCache = 1024
+
 // NewEngine returns an engine with the given pool width (<= 0 selects
 // runtime.NumCPU, 1 is the serial reference). exp supplies baseline runs;
 // nil builds a private engine of the same width.
@@ -31,12 +39,24 @@ func NewEngine(workers int, exp *runner.Engine) *Engine {
 	return &Engine{
 		workers:  workers,
 		exp:      exp,
-		profiles: runner.NewMemo[*Profile](),
+		profiles: runner.NewMemoBounded[*Profile](DefaultProfileCache),
 	}
 }
 
 // Workers reports the pool width.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetProfileCacheLimit replaces the profile memo with one retaining at
+// most n completed profiles (n <= 0 selects an unbounded cache). The
+// existing cache is discarded — call it before the first simulation, not
+// between replays, or warm profiles are re-run. Not safe concurrently
+// with RunPool.
+func (e *Engine) SetProfileCacheLimit(n int) {
+	e.profiles = runner.NewMemoBounded[*Profile](n)
+}
+
+// ProfileCacheLen reports how many profiles the memo currently retains.
+func (e *Engine) ProfileCacheLen() int { return e.profiles.Len() }
 
 // Runner returns the experiment engine used for baselines, so callers can
 // fold the tenant runs into a shared JSON report.
@@ -77,6 +97,12 @@ func (e *Engine) Profile(ctx context.Context, t Tenant) (*Profile, error) {
 // peak-concurrency accounting. Invalid windows (a departure at or before
 // the arrival) are rejected before any profiling runs.
 func (e *Engine) RunPool(ctx context.Context, tenants []Tenant, pool PoolConfig) (*PoolResult, error) {
+	// Reject a malformed decode window before any profiling runs, like
+	// the per-tenant window validation below (and unlike the silent
+	// coercion to DefaultStepWindow this replaces).
+	if err := validateStepWindow(pool.StepWindow); err != nil {
+		return nil, err
+	}
 	for _, t := range tenants {
 		if err := t.validateWindow(); err != nil {
 			return nil, err
@@ -99,7 +125,7 @@ func (e *Engine) RunPool(ctx context.Context, tenants []Tenant, pool PoolConfig)
 			profiles[i] = &p
 		}
 	}
-	return replay(profiles, pool)
+	return replayCtx(ctx, profiles, pool)
 }
 
 // RunMatrix simulates the tenant set against every pool configuration,

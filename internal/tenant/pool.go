@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -429,7 +430,17 @@ const (
 // static-partitioning semantics above that — see shard.go). Production
 // callers want Engine.RunPool instead.
 func ReplayPool(profiles []*Profile, pool PoolConfig, mode Dispatch) (*PoolResult, error) {
-	return replayMode(profiles, pool, nil, mode)
+	return replayMode(context.Background(), profiles, pool, nil, mode)
+}
+
+// ReplayPoolContext is ReplayPool under a cancellable context: a
+// cancelled ctx aborts the replay at the next decode-window refill (the
+// check sits off the per-record path, so cancellation costs nothing in
+// the steady state) and the call returns ctx.Err(). A replay that
+// observes a cancelled context never returns a result — long-running
+// callers (the lbad serving daemon's control loop) rely on both halves.
+func ReplayPoolContext(ctx context.Context, profiles []*Profile, pool PoolConfig, mode Dispatch) (*PoolResult, error) {
+	return replayMode(ctx, profiles, pool, nil, mode)
 }
 
 // replay merges the tenants' uncontended timelines in virtual time and
@@ -441,10 +452,16 @@ func ReplayPool(profiles []*Profile, pool PoolConfig, mode Dispatch) (*PoolResul
 // (Engine.RunPool overlays the caller's windows onto the memoized,
 // window-free profiles before calling in).
 func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
+	return replayCtx(context.Background(), profiles, pool)
+}
+
+// replayCtx is replay under a cancellable context (see ReplayPoolContext
+// for the abort contract).
+func replayCtx(ctx context.Context, profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 	if pool.Shards > 1 || pool.Shards < 0 {
-		return replaySharded(profiles, pool, true)
+		return replaySharded(ctx, profiles, pool, true)
 	}
-	return replayMode(profiles, pool, nil, DispatchBatched)
+	return replayMode(ctx, profiles, pool, nil, DispatchBatched)
 }
 
 // replayObserved is replay with an optional per-record observer, invoked
@@ -454,7 +471,14 @@ func replay(profiles []*Profile, pool PoolConfig) (*PoolResult, error) {
 // bytes finished by a wall-clock horizon); production callers pass nil
 // and pay nothing.
 func replayObserved(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64)) (*PoolResult, error) {
-	return replayMode(profiles, pool, obs, DispatchBatched)
+	return replayMode(context.Background(), profiles, pool, obs, DispatchBatched)
+}
+
+// replayObservedCtx is replayObserved under a cancellable context; the
+// cancellation test tier uses the observer to cancel mid-replay at an
+// exact record count.
+func replayObservedCtx(ctx context.Context, profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64)) (*PoolResult, error) {
+	return replayMode(ctx, profiles, pool, obs, DispatchBatched)
 }
 
 // replayArena is one replay's reusable working memory. Replays run per
@@ -491,6 +515,14 @@ type replayer struct {
 	obs     func(tenant, core int, req Request, charge, finish uint64)
 	churned bool
 
+	// Cancellation: ctx's done channel, checked at decode-window refill
+	// boundaries (stepCursor.fill resets the cursor position to zero, so
+	// the loops test pos == 0 after an advance — once per window, never
+	// per record). done is nil for context.Background(), making the
+	// check a single nil comparison in the steady state.
+	ctx  context.Context
+	done <-chan struct{}
+
 	states   []tenantState
 	views    []TenantView
 	cores    []CoreView
@@ -502,24 +534,30 @@ type replayer struct {
 	ring     *windowRing // decoded-step windows (arena-backed on the batched path)
 }
 
-func replayMode(profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64), mode Dispatch) (*PoolResult, error) {
+func replayMode(ctx context.Context, profiles []*Profile, pool PoolConfig, obs func(tenant, core int, req Request, charge, finish uint64), mode Dispatch) (*PoolResult, error) {
 	if mode == DispatchSharded {
 		if obs != nil {
 			return nil, fmt.Errorf("tenant: per-record observers are not supported under sharded dispatch")
 		}
-		return replaySharded(profiles, pool, true)
+		return replaySharded(ctx, profiles, pool, true)
 	}
 	if pool.Cores < 1 {
 		return nil, fmt.Errorf("tenant: pool needs at least one core, got %d", pool.Cores)
 	}
+	if err := validateStepWindow(pool.StepWindow); err != nil {
+		return nil, err
+	}
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("tenant: no tenants")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sched, err := NewScheduler(pool.Policy, pool, len(profiles))
 	if err != nil {
 		return nil, err
 	}
-	r := replayer{pool: pool, sched: sched, obs: obs}
+	r := replayer{pool: pool, sched: sched, obs: obs, ctx: ctx, done: ctx.Done()}
 	if mode != DispatchPerRecord {
 		if bp, ok := sched.(BatchPicker); ok {
 			r.batch = bp
@@ -535,10 +573,49 @@ func replayMode(profiles []*Profile, pool PoolConfig, obs func(tenant, core int,
 	} else {
 		err = r.runBatched()
 	}
+	// A context cancelled during the merge's very last window would
+	// otherwise slip through with a complete-looking result; the contract
+	// is that a cancelled replay always returns ctx.Err() and never a
+	// result (retire()'s dedicated-core replays bail out early on
+	// cancellation with partial clocks, so a result assembled after a
+	// cancel could be silently wrong).
+	if err == nil {
+		err = ctx.Err()
+	}
 	if err != nil {
+		for i := range r.states {
+			r.states[i].cur.close(r.ring)
+		}
 		return nil, err
 	}
 	return r.finish(), nil
+}
+
+// validateStepWindow rejects a negative decode-window size up front; 0
+// selects DefaultStepWindow (see PoolConfig.StepWindow). Before this
+// check existed a negative window was silently coerced to the default by
+// stepWindow()'s > 0 test — the same class of silent repair the Shards
+// and -pool boundaries already refuse.
+func validateStepWindow(window int) error {
+	if window < 0 {
+		return fmt.Errorf("tenant: pool step window must be >= 0 (0 selects the %d-step default), got %d", DefaultStepWindow, window)
+	}
+	return nil
+}
+
+// cancelled reports whether the replay's context has been cancelled. It
+// is called at window-refill boundaries only, so the per-record path
+// pays at most a nil comparison.
+func (r *replayer) cancelled() bool {
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // setup dimensions the replay state for the profiles, drawing working
@@ -693,9 +770,9 @@ func (r *replayer) retire(ti int) {
 		} else {
 			a.scratch.Reset(ts.ch.Config())
 		}
-		ts.dedicated = dedicatedWallOn(a.scratch, &cur, ts.activeApp())
+		ts.dedicated = dedicatedWallOn(a.scratch, &cur, ts.activeApp(), r.done)
 	} else {
-		ts.dedicated = dedicatedWallOn(logbuf.New(ts.ch.Config()), &cur, ts.activeApp())
+		ts.dedicated = dedicatedWallOn(logbuf.New(ts.ch.Config()), &cur, ts.activeApp(), r.done)
 	}
 	cur.close(r.ring)
 	ts.cur.close(r.ring)
@@ -798,6 +875,11 @@ func (r *replayer) runPerRecord() error {
 		ts := &r.states[ti]
 		s := ts.cur.head()
 		ts.cur.advance()
+		// A refill just reset the cursor to the window's start: the
+		// once-per-window cancellation point.
+		if ts.cur.pos == 0 && r.cancelled() {
+			return r.ctx.Err()
+		}
 		now := s.cycle + ts.arrive + ts.offset
 		if r.arrivals < len(r.agenda) {
 			r.flipArrivals(now)
@@ -888,6 +970,11 @@ func (r *replayer) runBatched() error {
 				break
 			}
 			cur.advance()
+			// Once-per-window cancellation point, as in runPerRecord: a
+			// refill resets the cursor position to the window's start.
+			if cur.pos == 0 && r.cancelled() {
+				return r.ctx.Err()
+			}
 			if r.arrivals < len(r.agenda) && r.flipArrivals(now) && r.batch != nil {
 				// The live-tenant set changed mid-run; rank snapshots
 				// taken at BeginRun are stale, so start a new run in

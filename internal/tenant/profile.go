@@ -192,7 +192,7 @@ func NewSyntheticProfile(name string, n int, pad uint64, gen func(i int) Synthet
 func dedicatedWall(tl Timeline, cfg logbuf.Config, appCycles uint64) uint64 {
 	var cur stepCursor
 	cur.open(tl, make([]step, DefaultStepWindow), 0, 0)
-	return dedicatedWallOn(logbuf.New(cfg), &cur, appCycles)
+	return dedicatedWallOn(logbuf.New(cfg), &cur, appCycles, nil)
 }
 
 // dedicatedWallOn is dedicatedWall against a caller-supplied channel and
@@ -200,12 +200,23 @@ func dedicatedWall(tl Timeline, cfg logbuf.Config, appCycles uint64) uint64 {
 // arena uses it so mid-replay retirements allocate neither a channel nor
 // a window per departure; the cursor's churn truncation is what replays a
 // departed tenant's window exactly (raw step cycles — arrive shifts only
-// the truncation point, not the dedicated clock).
-func dedicatedWallOn(ch *logbuf.Channel, cur *stepCursor, appCycles uint64) uint64 {
+// the truncation point, not the dedicated clock). A non-nil done channel
+// makes the walk abort at the next decode-window refill once it fires;
+// the returned wall is then partial and MUST be discarded — replayMode
+// re-checks the context before assembling any result, so a cancelled
+// retirement can never leak a truncated clock into a PoolResult.
+func dedicatedWallOn(ch *logbuf.Channel, cur *stepCursor, appCycles uint64, done <-chan struct{}) uint64 {
 	var offset uint64
 	for !cur.done() {
 		s := cur.head()
 		cur.advance()
+		if cur.pos == 0 && done != nil {
+			select {
+			case <-done:
+				return 0
+			default:
+			}
+		}
 		now := s.cycle + offset
 		if s.bits == drainMark {
 			offset += ch.Drain(now)

@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -128,10 +129,15 @@ func subPool(pool PoolConfig, views []TenantView, spec shardSpec) PoolConfig {
 // parallel, or one by one in shard order (the serial oracle the
 // differential test pins the parallel path against). A plan of one shard
 // short-circuits to the global batched replay, so its result is the
-// DispatchBatched result, field for field.
-func replaySharded(profiles []*Profile, pool PoolConfig, parallel bool) (*PoolResult, error) {
+// DispatchBatched result, field for field. A cancelled ctx aborts every
+// sub-replay at its next decode-window refill and the call returns
+// ctx.Err(), never a result.
+func replaySharded(ctx context.Context, profiles []*Profile, pool PoolConfig, parallel bool) (*PoolResult, error) {
 	if pool.Cores < 1 {
 		return nil, fmt.Errorf("tenant: pool needs at least one core, got %d", pool.Cores)
+	}
+	if err := validateStepWindow(pool.StepWindow); err != nil {
+		return nil, err
 	}
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("tenant: no tenants")
@@ -143,7 +149,7 @@ func replaySharded(profiles []*Profile, pool PoolConfig, parallel bool) (*PoolRe
 	if len(specs) == 1 {
 		sub := pool
 		sub.Shards = 0
-		return replayMode(profiles, sub, nil, DispatchBatched)
+		return replayMode(ctx, profiles, sub, nil, DispatchBatched)
 	}
 	// Fail fast on an unknown policy before spawning anything; sub-replays
 	// would each hit the same error.
@@ -160,7 +166,7 @@ func replaySharded(profiles []*Profile, pool PoolConfig, parallel bool) (*PoolRe
 		for j, t := range spec.tenants {
 			subProfiles[j] = profiles[t]
 		}
-		results[s], errs[s] = replayMode(subProfiles, subPool(pool, views, spec), nil, DispatchBatched)
+		results[s], errs[s] = replayMode(ctx, subProfiles, subPool(pool, views, spec), nil, DispatchBatched)
 	}
 	if parallel {
 		var wg sync.WaitGroup
@@ -183,6 +189,11 @@ func replaySharded(profiles []*Profile, pool PoolConfig, parallel bool) (*PoolRe
 		if err != nil {
 			return nil, err
 		}
+	}
+	// As in replayMode: a cancel that landed after every shard drained
+	// must still surface as ctx.Err(), never as a result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return mergeShards(pool, specs, results), nil
 }

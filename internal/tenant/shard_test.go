@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"strconv"
@@ -80,7 +81,7 @@ func TestShardedDispatchMatchesBatched(t *testing.T) {
 							}
 							continue
 						}
-						serial, err := replaySharded(s.profiles, pool, false)
+						serial, err := replaySharded(context.Background(), s.profiles, pool, false)
 						if err != nil {
 							t.Fatalf("%s: serial sharded replay failed: %v", label, err)
 						}
@@ -230,7 +231,7 @@ func TestShardedResultShape(t *testing.T) {
 	}
 
 	obs := func(int, int, Request, uint64, uint64) {}
-	if _, err := replayMode(profiles, pool, obs, DispatchSharded); err == nil {
+	if _, err := replayMode(context.Background(), profiles, pool, obs, DispatchSharded); err == nil {
 		t.Error("per-record observer should be rejected under sharded dispatch")
 	}
 }
